@@ -1,0 +1,150 @@
+// Command mpsmjoin runs a single equi-join on a generated dataset and prints
+// the per-phase breakdown, the join cardinality and the evaluation-query
+// result. It is the quickest way to compare the join algorithms on a given
+// machine.
+//
+// Usage:
+//
+//	mpsmjoin -algorithm pmpsm -r 1000000 -multiplicity 4 -workers 8
+//	mpsmjoin -algorithm wisconsin -r 500000 -multiplicity 8 -numa
+//	mpsmjoin -algorithm dmpsm -r 200000 -page-budget 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		algorithmName = flag.String("algorithm", "pmpsm", "join algorithm: pmpsm, bmpsm, dmpsm, wisconsin, radix")
+		rSize         = flag.Int("r", 1<<20, "cardinality of the private input R")
+		multiplicity  = flag.Int("multiplicity", 4, "|S| = multiplicity × |R|")
+		workers       = flag.Int("workers", 0, "degree of parallelism (default GOMAXPROCS)")
+		rSkew         = flag.String("r-skew", "none", "key distribution of R: none, low, high")
+		sSkew         = flag.String("s-skew", "none", "key distribution of S: none, low, high")
+		foreignKey    = flag.Bool("fk", true, "draw S keys from R (guarantees join partners)")
+		seed          = flag.Uint64("seed", 42, "dataset seed")
+		trackNUMA     = flag.Bool("numa", false, "enable simulated NUMA access accounting")
+		perWorker     = flag.Bool("per-worker", false, "print per-worker phase breakdowns")
+		splitters     = flag.String("splitters", "equi-cost", "P-MPSM splitter strategy: equi-cost, equi-height, uniform")
+		pageBudget    = flag.Int("page-budget", 0, "D-MPSM: buffer pool budget in pages (0 = unlimited)")
+		pageSize      = flag.Int("page-size", 1024, "D-MPSM: tuples per page")
+		readLatency   = flag.Duration("read-latency", 0, "D-MPSM: simulated per-page read latency")
+	)
+	flag.Parse()
+
+	algorithm, err := exec.ParseAlgorithm(*algorithmName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+		os.Exit(2)
+	}
+	strategy, err := parseSplitters(*splitters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+		os.Exit(2)
+	}
+
+	spec := workload.Spec{
+		RSize:        *rSize,
+		Multiplicity: *multiplicity,
+		RSkew:        parseSkew(*rSkew),
+		SSkew:        parseSkew(*sSkew),
+		ForeignKey:   *foreignKey && parseSkew(*sSkew) == workload.SkewNone,
+		Seed:         *seed,
+	}
+	fmt.Printf("generating |R|=%d |S|=%d (%s / %s keys, foreign-key=%v, seed=%d)\n",
+		spec.RSize, spec.RSize*spec.Multiplicity, spec.RSkew, spec.SSkew, spec.ForeignKey, spec.Seed)
+	genStart := time.Now()
+	r, s, err := workload.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated in %s\n\n", time.Since(genStart).Round(time.Millisecond))
+
+	qr, err := exec.Run(exec.Query{
+		R:         r,
+		S:         s,
+		Algorithm: algorithm,
+		JoinOptions: core.Options{
+			Workers:          *workers,
+			TrackNUMA:        *trackNUMA,
+			CollectPerWorker: *perWorker,
+			Splitters:        strategy,
+		},
+		DiskOptions: core.DiskOptions{
+			PageSize:    *pageSize,
+			PageBudget:  *pageBudget,
+			ReadLatency: *readLatency,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+		os.Exit(1)
+	}
+
+	res := qr.Join
+	fmt.Printf("algorithm:       %s (T=%d)\n", res.Algorithm, res.Workers)
+	fmt.Printf("total time:      %s\n", res.Total.Round(time.Microsecond))
+	for _, p := range res.Phases {
+		fmt.Printf("  %-12s %s\n", p.Name+":", p.Duration.Round(time.Microsecond))
+	}
+	fmt.Printf("join matches:    %d\n", res.Matches)
+	fmt.Printf("max(R.p+S.p):    %d\n", res.MaxSum)
+	if res.PublicScanned > 0 {
+		fmt.Printf("S tuples scanned in join phase: %d (|S| = %d)\n", res.PublicScanned, s.Len())
+	}
+	if *trackNUMA {
+		fmt.Printf("NUMA accesses:   %d total, %.1f%% remote, %d sync ops, simulated cost %s\n",
+			res.NUMA.TotalAccesses(), 100*res.NUMA.RemoteFraction(), res.NUMA.SyncOps,
+			res.SimulatedNUMACost.Round(time.Microsecond))
+	}
+	if qr.DiskStats != nil {
+		fmt.Printf("disk:            %d page writes, %d page reads, pool max resident %d (budget %d), %d hits, %d evictions\n",
+			qr.DiskStats.PageWrites, qr.DiskStats.PageReads, qr.DiskStats.Pool.MaxResident,
+			*pageBudget, qr.DiskStats.Pool.Hits, qr.DiskStats.Pool.Evictions)
+	}
+	if *perWorker {
+		fmt.Println("\nper-worker breakdown:")
+		for _, wb := range res.PerWorker {
+			fmt.Printf("  worker %2d:", wb.Worker)
+			for _, p := range wb.Phases {
+				fmt.Printf("  %s=%s", p.Name, p.Duration.Round(time.Microsecond))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// parseSkew maps a command-line skew name to the workload constant.
+func parseSkew(name string) workload.Skew {
+	switch name {
+	case "low":
+		return workload.SkewLow80
+	case "high":
+		return workload.SkewHigh80
+	default:
+		return workload.SkewNone
+	}
+}
+
+// parseSplitters maps a command-line splitter name to the core constant.
+func parseSplitters(name string) (core.SplitterStrategy, error) {
+	switch name {
+	case "equi-cost", "cost":
+		return core.SplitterEquiCost, nil
+	case "equi-height", "height":
+		return core.SplitterEquiHeight, nil
+	case "uniform", "static":
+		return core.SplitterUniform, nil
+	default:
+		return 0, fmt.Errorf("unknown splitter strategy %q", name)
+	}
+}

@@ -1,0 +1,43 @@
+// Diskjoin: runs the disk-enabled, memory-constrained D-MPSM variant
+// (Section 3.1 of the paper). Both inputs are sorted into runs that are
+// spilled to a simulated disk; the join then walks a global page index in key
+// order while a prefetcher keeps the next pages warm and a buffer pool
+// enforces a strict RAM budget for the public input.
+//
+// Run with:
+//
+//	go run ./examples/diskjoin
+package main
+
+import (
+	"fmt"
+	"time"
+
+	mpsm "repro"
+)
+
+func main() {
+	r := mpsm.GenerateUniform("R", 300_000, 21)
+	s := mpsm.GenerateForeignKey("S", r, 1_200_000, 22)
+
+	for _, budget := range []int{0, 32, 8} {
+		res, stats, err := mpsm.JoinWithDiskStats(r, s, mpsm.Config{
+			Workers: 4,
+			Disk: mpsm.DiskConfig{
+				PageSize:   1024,
+				PageBudget: budget,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		label := fmt.Sprintf("%d pages", budget)
+		if budget == 0 {
+			label = "unlimited"
+		}
+		fmt.Printf("RAM budget %-10s total %-12s matches %-8d", label, res.Total.Round(time.Microsecond), res.Matches)
+		fmt.Printf(" disk: %d writes / %d reads; pool: max %d resident, %d hits, %d evictions\n",
+			stats.PageWrites, stats.PageReads, stats.Pool.MaxResident, stats.Pool.Hits, stats.Pool.Evictions)
+	}
+	fmt.Println("\nthe join result is identical under every budget; only the paging behaviour changes")
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/result"
+)
+
+// BMPSM executes the basic massively parallel sort-merge join (Section 2.1).
+//
+// The private input R and the public input S are each chunked into T equally
+// sized chunks. Phase 1 sorts the public chunks into runs S1..ST, phase 2
+// sorts the private chunks into runs R1..RT (both phases work purely on
+// worker-local memory), and phase 3 merge joins every private run against
+// every public run. No range partitioning takes place, so every worker scans
+// the complete public input — which makes B-MPSM absolutely insensitive to
+// skew at the price of O(|S|) join work per worker.
+func BMPSM(private, public *relation.Relation, opts Options) *result.Result {
+	opts = opts.normalize()
+	workers := opts.Workers
+	res := &result.Result{Algorithm: "B-MPSM", Workers: workers}
+	states := newWorkerStates(opts)
+	start := time.Now()
+
+	publicChunks := public.Split(workers)
+	privateChunks := private.Split(workers)
+	publicRuns := make([]*relation.Run, workers)
+	privateRuns := make([]*relation.Run, workers)
+
+	// Phase 1: sort the public input chunks into runs, locally per worker.
+	phase1 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			publicRuns[w] = sortChunkIntoRun(publicChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPublic, states[w], opts.Topology)
+			states[w].record("phase 1", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 1", phase1)
+
+	// Phase 2: sort the private input chunks into runs, locally per worker.
+	phase2 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			privateRuns[w] = sortChunkIntoRun(privateChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPrivate, states[w], opts.Topology)
+			states[w].record("phase 2", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 2", phase2)
+
+	// Phase 3: every worker merge joins its private run against all public
+	// runs. Remote runs are only read sequentially (commandment C2); the
+	// single synchronization point required by the algorithm — all public
+	// runs must be sorted before the join starts — is the phase barrier
+	// above.
+	aggregates := make([]mergejoin.MaxAggregate, workers)
+	scanned := make([]int, workers)
+	phase3 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			priv := privateRuns[w]
+			if opts.Band > 0 {
+				scanned[w] += mergejoin.JoinBandAgainstRuns(priv.Tuples, publicRuns, opts.Band, &aggregates[w])
+				if states[w].tracker != nil {
+					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+					for _, pub := range publicRuns {
+						states[w].tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
+					}
+				}
+			} else if opts.Kind == mergejoin.Inner {
+				for _, pub := range publicRuns {
+					mergejoin.Join(priv.Tuples, pub.Tuples, &aggregates[w])
+					scanned[w] += len(pub.Tuples)
+					if states[w].tracker != nil {
+						// The private run is re-scanned once per public run
+						// (locally); the public run is scanned sequentially
+						// on whichever node it lives.
+						states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
+						states[w].tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
+					}
+				}
+			} else {
+				scanned[w] += mergejoin.JoinRunsKind(opts.Kind, priv.Tuples, publicRuns, &aggregates[w])
+				if states[w].tracker != nil {
+					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+					for _, pub := range publicRuns {
+						states[w].tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
+					}
+				}
+			}
+			states[w].record("phase 3", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 3", phase3)
+
+	var agg mergejoin.MaxAggregate
+	for w := 0; w < workers; w++ {
+		agg.Merge(aggregates[w])
+		res.PublicScanned += scanned[w]
+	}
+	res.Matches = agg.Count
+	res.MaxSum = agg.Max
+	res.Total = time.Since(start)
+	if opts.CollectPerWorker {
+		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
+		for w := range res.PerWorker {
+			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
+			res.PerWorker[w].PublicScanned = scanned[w]
+			res.PerWorker[w].Matches = aggregates[w].Count
+		}
+	}
+	if opts.TrackNUMA {
+		res.NUMA = mergeTrackers(states)
+		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
+	}
+	return res
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/result"
+	"repro/internal/search"
+	"repro/internal/sorting"
+	"repro/internal/storage"
+)
+
+// DiskOptions configures the disk-enabled D-MPSM variant.
+type DiskOptions struct {
+	// PageSize is the number of tuples per spilled page; 0 selects
+	// storage.DefaultPageSize.
+	PageSize int
+	// PageBudget is the maximum number of public-input pages the buffer
+	// pool keeps resident (0 = unlimited). The paper's point is that the
+	// join needs only the currently processed and prefetched pages in RAM.
+	PageBudget int
+	// PrefetchDistance is how many index entries ahead of the slowest
+	// worker the prefetcher loads; 0 selects a small default.
+	PrefetchDistance int
+	// ReadLatency and WriteLatency simulate per-page disk access latency.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+}
+
+// normalize fills in defaults.
+func (o DiskOptions) normalize() DiskOptions {
+	if o.PageSize <= 0 {
+		o.PageSize = storage.DefaultPageSize
+	}
+	if o.PrefetchDistance <= 0 {
+		o.PrefetchDistance = 8
+	}
+	return o
+}
+
+// DiskStats reports the storage behaviour of a D-MPSM execution.
+type DiskStats struct {
+	// Pool is the buffer pool behaviour (loads, hits, evictions, high-water
+	// mark of resident pages).
+	Pool storage.BufferPoolStats
+	// PageReads and PageWrites are the totals served by the simulated disk.
+	PageReads  int
+	PageWrites int
+	// PublicPages is the number of pages the public input occupies on disk.
+	PublicPages int
+}
+
+// DMPSM executes the disk-enabled, memory-constrained MPSM variant
+// (Section 3.1): both inputs are sorted into runs that are spilled to a
+// (simulated) disk, a global page index ordered by each page's minimal key
+// lets every worker move through the key domain in order, a prefetcher loads
+// upcoming public pages asynchronously, and already-processed pages are
+// released from RAM.
+//
+// Simplification documented in DESIGN.md: each worker materializes its own
+// private run (|R|/T tuples) in memory for the duration of the join, while the
+// public input — the dominant data volume — is strictly paged through the
+// buffer pool under the configured budget.
+func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOptions) (*result.Result, DiskStats) {
+	opts = opts.normalize()
+	diskOpts = diskOpts.normalize()
+	workers := opts.Workers
+	res := &result.Result{Algorithm: "D-MPSM", Workers: workers}
+	states := newWorkerStates(opts)
+	start := time.Now()
+
+	disk := storage.NewDisk(diskOpts.ReadLatency, diskOpts.WriteLatency)
+	publicChunks := public.Split(workers)
+	privateChunks := private.Split(workers)
+	publicRuns := make([]*storage.PagedRun, workers)
+	privateRuns := make([]*storage.PagedRun, workers)
+
+	// Phase 1: sort the public chunks locally and spill them as paged runs.
+	phase1 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			tuples := make([]relation.Tuple, len(publicChunks[w].Tuples))
+			copy(tuples, publicChunks[w].Tuples)
+			sorting.Sort(tuples)
+			run, err := storage.WriteRun(disk, w, tuples, diskOpts.PageSize)
+			if err != nil {
+				panic(fmt.Sprintf("core: spilling public run %d: %v", w, err))
+			}
+			publicRuns[w] = run
+			states[w].record("phase 1", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 1", phase1)
+
+	// Phase 2: sort the private chunks locally and spill them as paged runs.
+	phase2 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			tuples := make([]relation.Tuple, len(privateChunks[w].Tuples))
+			copy(tuples, privateChunks[w].Tuples)
+			sorting.Sort(tuples)
+			run, err := storage.WriteRun(disk, w, tuples, diskOpts.PageSize)
+			if err != nil {
+				panic(fmt.Sprintf("core: spilling private run %d: %v", w, err))
+			}
+			privateRuns[w] = run
+			states[w].record("phase 2", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 2", phase2)
+
+	// The page index over the public runs is built from the per-page
+	// minimal keys recorded during run generation; it is read-only from
+	// here on, so it needs no synchronization.
+	index := storage.BuildPageIndex(publicRuns)
+	pool := storage.NewBufferPool(disk, diskOpts.PageBudget)
+	prefetcher := storage.NewPrefetcher(pool, index, diskOpts.PrefetchDistance)
+	prefetcher.Start()
+
+	// Phase 3: every worker walks the page index in key order, joining each
+	// public page against its private run. Per public run, a cursor into
+	// the private run only ever moves forward, so both inputs are consumed
+	// in ascending key order and processed pages can be released.
+	aggregates := make([]mergejoin.MaxAggregate, workers)
+	scanned := make([]int, workers)
+	phase3 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			priv, err := storage.ReadRunTuples(disk, privateRuns[w])
+			if err != nil {
+				panic(fmt.Sprintf("core: reading private run %d: %v", w, err))
+			}
+			cursors := make([]int, len(index.Runs))
+			for pos, entry := range index.Entries {
+				page, err := pool.Pin(entry.Page)
+				if err != nil {
+					panic(fmt.Sprintf("core: pinning page %+v: %v", entry.Page, err))
+				}
+				cursors[entry.RunOrdinal] = joinPagedRun(priv, cursors[entry.RunOrdinal], page, &aggregates[w])
+				scanned[w] += len(page)
+				pool.Unpin(entry.Page)
+				prefetcher.ReportProgress(pos + 1)
+			}
+			states[w].record("phase 3", time.Since(t0))
+		})
+	})
+	prefetcher.Stop()
+	res.AddPhase("phase 3", phase3)
+
+	var agg mergejoin.MaxAggregate
+	for w := 0; w < workers; w++ {
+		agg.Merge(aggregates[w])
+		res.PublicScanned += scanned[w]
+	}
+	res.Matches = agg.Count
+	res.MaxSum = agg.Max
+	res.Total = time.Since(start)
+	if opts.CollectPerWorker {
+		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
+	}
+
+	stats := DiskStats{
+		Pool:        pool.Stats(),
+		PageReads:   disk.PageReads(),
+		PageWrites:  disk.PageWrites(),
+		PublicPages: len(index.Entries),
+	}
+	return res, stats
+}
+
+// joinPagedRun merge joins one public page (sorted) against the private run,
+// starting at the given private cursor, and returns the advanced cursor: the
+// first private index whose key is >= the page's last key. Keys equal to the
+// page's last key stay reachable because the following page of the same run
+// may start with the same key.
+func joinPagedRun(private []relation.Tuple, cursor int, page []relation.Tuple, out mergejoin.Consumer) int {
+	if len(page) == 0 || cursor >= len(private) {
+		return cursor
+	}
+	mergejoin.Join(private[cursor:], page, out)
+	lastKey := page[len(page)-1].Key
+	return cursor + search.LowerBound(private[cursor:], lastKey)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/result"
+	"repro/internal/sorting"
+	"repro/internal/workload"
+)
+
+// referenceKind computes the expected cardinality and max-sum for a join kind.
+func referenceKind(kind mergejoin.Kind, r, s *relation.Relation) (count, maxSum uint64) {
+	var agg mergejoin.MaxAggregate
+	mergejoin.ReferenceJoinKind(kind, r.Tuples, s.Tuples, &agg)
+	return agg.Count, agg.Max
+}
+
+// kindsDataset builds inputs in a narrow domain so that all four join kinds
+// produce non-trivial results (some private tuples match, some do not).
+func kindsDataset(rSize, mult int, seed uint64) (*relation.Relation, *relation.Relation) {
+	domain := uint64(rSize) * 2
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        rSize,
+		Multiplicity: mult,
+		KeyDomain:    domain,
+		Seed:         seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return r, s
+}
+
+func TestPMPSMJoinKinds(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		r, s := kindsDataset(2500, 4, uint64(workers)*7+1)
+		for _, kind := range []mergejoin.Kind{mergejoin.Inner, mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
+			wantCount, wantMax := referenceKind(kind, r, s)
+			res := PMPSM(r, s, Options{Workers: workers, Kind: kind})
+			if res.Matches != wantCount {
+				t.Fatalf("P-MPSM %v T=%d: matches = %d, want %d", kind, workers, res.Matches, wantCount)
+			}
+			if wantCount > 0 && res.MaxSum != wantMax {
+				t.Fatalf("P-MPSM %v T=%d: max = %d, want %d", kind, workers, res.MaxSum, wantMax)
+			}
+		}
+	}
+}
+
+func TestBMPSMJoinKinds(t *testing.T) {
+	r, s := kindsDataset(2000, 2, 11)
+	for _, kind := range []mergejoin.Kind{mergejoin.Inner, mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
+		wantCount, wantMax := referenceKind(kind, r, s)
+		res := BMPSM(r, s, Options{Workers: 4, Kind: kind})
+		if res.Matches != wantCount {
+			t.Fatalf("B-MPSM %v: matches = %d, want %d", kind, res.Matches, wantCount)
+		}
+		if wantCount > 0 && res.MaxSum != wantMax {
+			t.Fatalf("B-MPSM %v: max = %d, want %d", kind, res.MaxSum, wantMax)
+		}
+	}
+}
+
+func TestJoinKindsCardinalityIdentities(t *testing.T) {
+	// |semi| + |anti| = |R| and |outer| = |inner| + |anti| must hold for the
+	// parallel implementations just as for the kernel.
+	r, s := kindsDataset(3000, 4, 23)
+	counts := map[mergejoin.Kind]uint64{}
+	for _, kind := range []mergejoin.Kind{mergejoin.Inner, mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
+		counts[kind] = PMPSM(r, s, Options{Workers: 8, Kind: kind}).Matches
+	}
+	if counts[mergejoin.Semi]+counts[mergejoin.Anti] != uint64(r.Len()) {
+		t.Fatalf("semi (%d) + anti (%d) != |R| (%d)", counts[mergejoin.Semi], counts[mergejoin.Anti], r.Len())
+	}
+	if counts[mergejoin.LeftOuter] != counts[mergejoin.Inner]+counts[mergejoin.Anti] {
+		t.Fatalf("outer (%d) != inner (%d) + anti (%d)", counts[mergejoin.LeftOuter], counts[mergejoin.Inner], counts[mergejoin.Anti])
+	}
+}
+
+func TestJoinKindsSkewedData(t *testing.T) {
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        2500,
+		Multiplicity: 4,
+		RSkew:        workload.SkewHigh80,
+		SSkew:        workload.SkewLow80,
+		KeyDomain:    5000,
+		Seed:         31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []mergejoin.Kind{mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
+		wantCount, _ := referenceKind(kind, r, s)
+		res := PMPSM(r, s, Options{Workers: 8, Kind: kind, Splitters: SplitterEquiCost})
+		if res.Matches != wantCount {
+			t.Fatalf("skewed %v: matches = %d, want %d", kind, res.Matches, wantCount)
+		}
+	}
+}
+
+func TestBandJoinMPSM(t *testing.T) {
+	r, s := kindsDataset(1500, 2, 51)
+	for _, band := range []uint64{1, 5, 50} {
+		var want mergejoin.MaxAggregate
+		mergejoin.ReferenceJoinBand(r.Tuples, s.Tuples, band, &want)
+		for name, run := range map[string]func() *result.Result{
+			"P-MPSM": func() *result.Result { return PMPSM(r, s, Options{Workers: 4, Band: band}) },
+			"B-MPSM": func() *result.Result { return BMPSM(r, s, Options{Workers: 4, Band: band}) },
+		} {
+			res := run()
+			if res.Matches != want.Count {
+				t.Fatalf("%s band=%d: matches = %d, want %d", name, band, res.Matches, want.Count)
+			}
+			if want.Count > 0 && res.MaxSum != want.Max {
+				t.Fatalf("%s band=%d: max = %d, want %d", name, band, res.MaxSum, want.Max)
+			}
+		}
+	}
+}
+
+func TestBandJoinSupersetOfEquiJoin(t *testing.T) {
+	// A band join's cardinality is monotone in the band width and always at
+	// least the equi-join cardinality.
+	r, s := kindsDataset(2000, 4, 53)
+	equi := PMPSM(r, s, Options{Workers: 4}).Matches
+	prev := equi
+	for _, band := range []uint64{1, 10, 100} {
+		got := PMPSM(r, s, Options{Workers: 4, Band: band}).Matches
+		if got < prev {
+			t.Fatalf("band join cardinality decreased: band=%d gives %d, previous %d", band, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPresortedInputsSkipSorting(t *testing.T) {
+	// A globally presorted public input must still produce a correct join
+	// and should reduce the sorting work (visible in the NUMA counters,
+	// which omit the random sorting accesses when the sort is skipped).
+	r, s := kindsDataset(3000, 4, 77)
+	sSorted := s.Clone()
+	sorting.Sort(sSorted.Tuples)
+
+	wantCount, wantMax := referenceKind(mergejoin.Inner, r, s)
+	plain := PMPSM(r, sSorted, Options{Workers: 4, TrackNUMA: true})
+	pre := PMPSM(r, sSorted, Options{Workers: 4, TrackNUMA: true, PresortedPublic: true})
+	for name, res := range map[string]*result.Result{"without declaration": plain, "with declaration": pre} {
+		if res.Matches != wantCount || res.MaxSum != wantMax {
+			t.Fatalf("%s: got (%d, %d), want (%d, %d)", name, res.Matches, res.MaxSum, wantCount, wantMax)
+		}
+	}
+	if pre.NUMA.LocalRandRead >= plain.NUMA.LocalRandRead {
+		t.Fatalf("presorted public input should skip sorting accesses: %d vs %d",
+			pre.NUMA.LocalRandRead, plain.NUMA.LocalRandRead)
+	}
+
+	// A false declaration must not break correctness: the chunks are
+	// verified and sorted anyway.
+	lying := PMPSM(r, s, Options{Workers: 4, PresortedPublic: true, PresortedPrivate: true})
+	if lying.Matches != wantCount {
+		t.Fatalf("false presorted declaration broke the join: %d matches, want %d", lying.Matches, wantCount)
+	}
+
+	// B-MPSM can additionally skip the private sort.
+	bPre := BMPSM(r.Clone(), sSorted, Options{Workers: 4, PresortedPublic: true})
+	if bPre.Matches != wantCount {
+		t.Fatalf("B-MPSM with presorted public input: %d matches, want %d", bPre.Matches, wantCount)
+	}
+}
+
+func TestJoinKindsEmptyPublic(t *testing.T) {
+	r, _ := kindsDataset(500, 1, 41)
+	empty := relation.New("E", nil)
+	if got := PMPSM(r, empty, Options{Workers: 4, Kind: mergejoin.Anti}).Matches; got != uint64(r.Len()) {
+		t.Fatalf("anti join with empty public = %d, want |R| = %d", got, r.Len())
+	}
+	if got := PMPSM(r, empty, Options{Workers: 4, Kind: mergejoin.Semi}).Matches; got != 0 {
+		t.Fatalf("semi join with empty public = %d, want 0", got)
+	}
+	if got := PMPSM(r, empty, Options{Workers: 4, Kind: mergejoin.LeftOuter}).Matches; got != uint64(r.Len()) {
+		t.Fatalf("outer join with empty public = %d, want |R| = %d", got, r.Len())
+	}
+}

@@ -1,0 +1,142 @@
+// Package core implements the massively parallel sort-merge join algorithms
+// of the paper: the basic B-MPSM (Section 2.1), the range-partitioned P-MPSM
+// with histogram/CDF-based skew handling (Sections 3.2 and 4), and the
+// disk-enabled, memory-constrained D-MPSM (Section 3.1).
+//
+// All variants follow the three NUMA commandments by construction:
+//
+//	C1  sorting happens only on worker-local runs,
+//	C2  remote runs are read strictly sequentially during the join phase,
+//	C3  no fine-grained synchronization — workers only meet at phase barriers,
+//	    and the partitioning phase writes to precomputed, disjoint ranges.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/mergejoin"
+	"repro/internal/numa"
+)
+
+// SplitterStrategy selects how P-MPSM determines the range-partition bounds of
+// the private input.
+type SplitterStrategy int
+
+const (
+	// SplitterEquiCost balances the combined sort-plus-join cost per worker
+	// using the global R histogram and the S CDF (Section 4.3). This is the
+	// paper's skew-resilient default.
+	SplitterEquiCost SplitterStrategy = iota
+	// SplitterEquiHeight balances only the R tuple counts per worker,
+	// ignoring S (the Figure 16(b) baseline).
+	SplitterEquiHeight
+	// SplitterUniform partitions the key domain into equally wide radix
+	// ranges regardless of the data (the static bounds of Section 3.2.1).
+	SplitterUniform
+)
+
+// String implements fmt.Stringer.
+func (s SplitterStrategy) String() string {
+	switch s {
+	case SplitterEquiCost:
+		return "equi-cost"
+	case SplitterEquiHeight:
+		return "equi-height"
+	case SplitterUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("SplitterStrategy(%d)", int(s))
+	}
+}
+
+// Options configures the MPSM join variants.
+type Options struct {
+	// Workers is the degree of parallelism T; 0 selects GOMAXPROCS.
+	Workers int
+
+	// Kind selects the join semantics (inner, left-outer, semi, anti). The
+	// zero value is an inner join. Non-inner kinds are supported by B-MPSM
+	// and P-MPSM; the paper names them as future work and they fit MPSM
+	// naturally because each worker owns a disjoint part of the private
+	// input and sees all of its potential partners.
+	Kind mergejoin.Kind
+
+	// Band turns the equi-join into a non-equi band join: tuples match when
+	// |R.key − S.key| <= Band. It requires Kind == Inner and is supported by
+	// B-MPSM and P-MPSM (another of the paper's future-work join variants;
+	// the sorted runs make the matching window contiguous).
+	Band uint64
+
+	// HistogramBits is the number of leading key bits B used for the
+	// fine-grained histogram on the private input (Section 4.2). It is
+	// clamped to at least ceil(log2(Workers)) so that there is at least one
+	// radix cluster per worker; 0 selects the default of 10 bits (1024
+	// clusters), the granularity of the paper's Figure 16 experiment.
+	HistogramBits int
+
+	// Splitters selects the range-partition strategy of P-MPSM.
+	Splitters SplitterStrategy
+
+	// CDFBoundsPerRun is the number of equi-height bounds f·T each worker
+	// contributes to the global S CDF (Section 4.1); 0 selects 4·Workers.
+	CDFBoundsPerRun int
+
+	// PresortedPublic declares that the public input is already globally
+	// sorted by join key, letting the run-generation phase skip sorting
+	// (the paper: "presorted relations can obviously be exploited to omit
+	// one or both sorting phases"). Each chunk is still verified with a
+	// cheap linear check and sorted if the declaration turns out false.
+	PresortedPublic bool
+	// PresortedPrivate is the same declaration for the private input. It
+	// benefits B-MPSM's phase 2; P-MPSM re-partitions the private input and
+	// must sort the resulting partitions regardless.
+	PresortedPrivate bool
+
+	// CollectPerWorker records per-worker phase breakdowns (Figure 16).
+	CollectPerWorker bool
+
+	// TrackNUMA enables simulated NUMA access accounting.
+	TrackNUMA bool
+	// Topology is the simulated NUMA topology; the zero value selects the
+	// paper's 4-node × 8-core machine.
+	Topology numa.Topology
+	// CostModel converts access statistics into a simulated duration; the
+	// zero value selects the calibrated default model.
+	CostModel numa.CostModel
+}
+
+// normalize fills in defaults and derived values.
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.HistogramBits <= 0 {
+		o.HistogramBits = 10
+	}
+	if minBits := log2ceil(o.Workers); o.HistogramBits < minBits {
+		o.HistogramBits = minBits
+	}
+	if o.HistogramBits > 20 {
+		o.HistogramBits = 20
+	}
+	if o.CDFBoundsPerRun <= 0 {
+		o.CDFBoundsPerRun = 4 * o.Workers
+	}
+	if o.Topology.Nodes == 0 {
+		o.Topology = numa.DefaultTopology()
+	}
+	if o.CostModel == (numa.CostModel{}) {
+		o.CostModel = numa.DefaultCostModel()
+	}
+	return o
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1 and 0 otherwise.
+func log2ceil(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}

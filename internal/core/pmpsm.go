@@ -1,0 +1,244 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/mergejoin"
+	"repro/internal/partition"
+	"repro/internal/relation"
+	"repro/internal/result"
+	"repro/internal/sorting"
+)
+
+// PMPSM executes the range-partitioned massively parallel sort-merge join
+// (Sections 3.2 and 4), the paper's main in-memory contribution.
+//
+// Phases (Figure 5):
+//
+//	phase 1  chunk the public input S and sort the chunks into local runs;
+//	phase 2  range partition the private input R: build the global S CDF from
+//	         per-run equi-height histograms (2.1), build fine-grained radix
+//	         histograms on the R chunks (2.2), compute load-balancing
+//	         splitters and scatter R into per-worker range partitions via
+//	         precomputed prefix sums — no synchronization, sequential writes
+//	         only (2.3);
+//	phase 3  sort each private range partition into a run;
+//	phase 4  every worker merge joins its private run with the relevant,
+//	         interpolation-searched fraction of every public run.
+//
+// The private input should be the smaller relation; see the role-reversal
+// experiment (Section 5.4).
+func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
+	opts = opts.normalize()
+	workers := opts.Workers
+	res := &result.Result{Algorithm: "P-MPSM", Workers: workers}
+	states := newWorkerStates(opts)
+	start := time.Now()
+
+	publicChunks := public.Split(workers)
+	privateChunks := private.Split(workers)
+	publicRuns := make([]*relation.Run, workers)
+
+	// Phase 1: sort the public input chunks into local runs.
+	phase1 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			publicRuns[w] = sortChunkIntoRun(publicChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPublic, states[w], opts.Topology)
+			states[w].record("phase 1", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 1", phase1)
+
+	// Phase 2: range partition the private input.
+	var privateRuns []*relation.Run
+	phase2 := result.StopwatchPhase(func() {
+		privateRuns = rangePartitionPrivate(privateChunks, publicRuns, states, opts)
+	})
+	res.AddPhase("phase 2", phase2)
+
+	// Phase 3: sort each private range partition into a run.
+	phase3 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			run := privateRuns[w]
+			sorting.Sort(run.Tuples)
+			if states[w].tracker != nil {
+				n := uint64(len(run.Tuples))
+				states[w].tracker.RandRead(run.Node, 2*n)
+				states[w].tracker.RandWrite(run.Node, 2*n)
+			}
+			states[w].record("phase 3", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 3", phase3)
+
+	// Phase 4: merge join every private run with the relevant fraction of
+	// every public run, located via interpolation search.
+	aggregates := make([]mergejoin.MaxAggregate, workers)
+	scanned := make([]int, workers)
+	phase4 := result.StopwatchPhase(func() {
+		parallelFor(workers, func(w int) {
+			t0 := time.Now()
+			priv := privateRuns[w]
+			if opts.Band > 0 {
+				// Non-equi band join: every private tuple matches a
+				// contiguous window of each public run.
+				n := mergejoin.JoinBandAgainstRuns(priv.Tuples, publicRuns, opts.Band, &aggregates[w])
+				scanned[w] += n
+				if states[w].tracker != nil {
+					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+					for _, pub := range publicRuns {
+						states[w].tracker.SeqRead(pub.Node, uint64(n/len(publicRuns)))
+					}
+				}
+			} else if opts.Kind == mergejoin.Inner {
+				for _, pub := range publicRuns {
+					n := mergejoin.JoinWithSkip(priv.Tuples, pub.Tuples, &aggregates[w])
+					scanned[w] += n
+					if states[w].tracker != nil {
+						states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
+						states[w].tracker.SeqRead(pub.Node, uint64(n))
+					}
+				}
+			} else {
+				// Non-inner kinds track per-tuple match state across all
+				// public runs, so the kernel owns the whole loop. The NUMA
+				// accounting approximates the public scans as evenly spread
+				// over the runs.
+				n := mergejoin.JoinRunsKind(opts.Kind, priv.Tuples, publicRuns, &aggregates[w])
+				scanned[w] += n
+				if states[w].tracker != nil {
+					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+					for _, pub := range publicRuns {
+						states[w].tracker.SeqRead(pub.Node, uint64(n/len(publicRuns)))
+					}
+				}
+			}
+			states[w].record("phase 4", time.Since(t0))
+		})
+	})
+	res.AddPhase("phase 4", phase4)
+
+	var agg mergejoin.MaxAggregate
+	for w := 0; w < workers; w++ {
+		agg.Merge(aggregates[w])
+		res.PublicScanned += scanned[w]
+	}
+	res.Matches = agg.Count
+	res.MaxSum = agg.Max
+	res.Total = time.Since(start)
+	if opts.CollectPerWorker {
+		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3", "phase 4"})
+		for w := range res.PerWorker {
+			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
+			res.PerWorker[w].PublicScanned = scanned[w]
+			res.PerWorker[w].Matches = aggregates[w].Count
+		}
+	}
+	if opts.TrackNUMA {
+		res.NUMA = mergeTrackers(states)
+		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
+	}
+	return res
+}
+
+// rangePartitionPrivate implements phase 2 of P-MPSM: it returns one private
+// run (still unsorted) per worker, holding exactly the tuples of that worker's
+// key range.
+func rangePartitionPrivate(privateChunks []relation.Chunk, publicRuns []*relation.Run, states []*workerState, opts Options) []*relation.Run {
+	workers := opts.Workers
+
+	// Phase 2.1: per-run equi-height bounds merged into the global S CDF.
+	// The bounds are read off the already-sorted public runs, so this costs
+	// almost nothing.
+	boundsPerRun := make([][]uint64, workers)
+	runLens := make([]int, workers)
+	parallelFor(workers, func(w int) {
+		t0 := time.Now()
+		boundsPerRun[w] = partition.EquiHeightBounds(publicRuns[w].Tuples, opts.CDFBoundsPerRun)
+		runLens[w] = publicRuns[w].Len()
+		states[w].record("phase 2", time.Since(t0))
+	})
+	cdf := partition.BuildCDF(boundsPerRun, runLens)
+
+	// Phase 2.2: fine-grained radix histograms on the private chunks. Each
+	// worker also determines the maximum key of its chunk so that the radix
+	// configuration can be derived without a separate pass.
+	chunkMax := make([]uint64, workers)
+	parallelFor(workers, func(w int) {
+		t0 := time.Now()
+		var localMax uint64
+		for _, t := range privateChunks[w].Tuples {
+			if t.Key > localMax {
+				localMax = t.Key
+			}
+		}
+		chunkMax[w] = localMax
+		if states[w].tracker != nil {
+			states[w].tracker.SeqRead(chunkSourceNode(w, workers, opts.Topology), uint64(len(privateChunks[w].Tuples)))
+		}
+		states[w].record("phase 2", time.Since(t0))
+	})
+	var maxKey uint64
+	for _, m := range chunkMax {
+		if m > maxKey {
+			maxKey = m
+		}
+	}
+	cfg := partition.NewRadixConfig(opts.HistogramBits, maxKey)
+
+	histograms := make([]partition.Histogram, workers)
+	parallelFor(workers, func(w int) {
+		t0 := time.Now()
+		histograms[w] = partition.BuildHistogram(privateChunks[w].Tuples, cfg)
+		if states[w].tracker != nil {
+			states[w].tracker.SeqRead(chunkSourceNode(w, workers, opts.Topology), uint64(len(privateChunks[w].Tuples)))
+		}
+		states[w].record("phase 2", time.Since(t0))
+	})
+
+	// Phase 2.3: splitter computation, prefix sums, and the
+	// synchronization-free scatter into precomputed sub-partitions.
+	globalR := partition.CombineHistograms(histograms)
+	var sp partition.SplitterVector
+	switch opts.Splitters {
+	case SplitterUniform:
+		sp = partition.UniformSplitters(cfg.Clusters(), workers)
+	case SplitterEquiHeight:
+		sp = partition.EquiHeightSplitters(globalR, workers)
+	default:
+		sp = partition.ComputeSplitters(globalR, cdf, cfg, partition.DefaultSplitterCost(workers))
+	}
+	ps := partition.ComputePrefixSums(histograms, sp, workers)
+
+	privateRuns := make([]*relation.Run, workers)
+	for p := 0; p < workers; p++ {
+		privateRuns[p] = &relation.Run{
+			Worker: p,
+			Node:   opts.Topology.NodeOfWorker(p),
+			Tuples: make([]relation.Tuple, ps.Sizes[p]),
+		}
+	}
+	targets := make([][]relation.Tuple, workers)
+	for p := 0; p < workers; p++ {
+		targets[p] = privateRuns[p].Tuples
+	}
+
+	parallelFor(workers, func(w int) {
+		t0 := time.Now()
+		cursors := append([]int(nil), ps.Offsets[w]...)
+		before := append([]int(nil), cursors...)
+		partition.Scatter(privateChunks[w].Tuples, cfg, sp, targets, cursors)
+		if states[w].tracker != nil {
+			// The chunk is read sequentially from its source node; every
+			// target sub-partition is written sequentially on the target
+			// worker's node (remote, but sequential — commandments C1/C2).
+			states[w].tracker.SeqRead(chunkSourceNode(w, workers, opts.Topology), uint64(len(privateChunks[w].Tuples)))
+			for p := 0; p < workers; p++ {
+				states[w].tracker.SeqWrite(privateRuns[p].Node, uint64(cursors[p]-before[p]))
+			}
+		}
+		states[w].record("phase 2", time.Since(t0))
+	})
+	return privateRuns
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/numa"
+	"repro/internal/relation"
+	"repro/internal/result"
+	"repro/internal/sorting"
+)
+
+// parallelFor runs fn(worker) for every worker index concurrently and waits
+// for all of them. It is the only synchronization primitive the MPSM variants
+// use: a barrier between phases (commandment C3 forbids anything finer).
+func parallelFor(workers int, fn func(worker int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// workerState bundles the per-worker bookkeeping shared by the MPSM variants.
+type workerState struct {
+	tracker   *numa.Tracker
+	phaseTime map[string]time.Duration
+}
+
+// newWorkerStates creates one state per worker, with NUMA trackers when
+// enabled.
+func newWorkerStates(opts Options) []*workerState {
+	states := make([]*workerState, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		states[w] = &workerState{phaseTime: make(map[string]time.Duration)}
+		if opts.TrackNUMA {
+			states[w].tracker = numa.NewTracker(opts.Topology, w)
+		}
+	}
+	return states
+}
+
+// record adds a phase duration to the worker's breakdown.
+func (s *workerState) record(phase string, d time.Duration) {
+	s.phaseTime[phase] += d
+}
+
+// perWorkerBreakdowns converts worker states into the result representation,
+// preserving the given phase order.
+func perWorkerBreakdowns(states []*workerState, phaseOrder []string) []result.WorkerBreakdown {
+	out := make([]result.WorkerBreakdown, len(states))
+	for w, s := range states {
+		bd := result.WorkerBreakdown{Worker: w}
+		for _, name := range phaseOrder {
+			bd.Phases = append(bd.Phases, result.Phase{Name: name, Duration: s.phaseTime[name]})
+		}
+		out[w] = bd
+	}
+	return out
+}
+
+// mergeTrackers collects the NUMA statistics of all workers.
+func mergeTrackers(states []*workerState) numa.AccessStats {
+	trackers := make([]*numa.Tracker, len(states))
+	for i, s := range states {
+		trackers[i] = s.tracker
+	}
+	return numa.MergeStats(trackers)
+}
+
+// sortChunkIntoRun copies one chunk of the input relation into a fresh,
+// worker-local run and sorts it with the three-phase Radix/IntroSort. The copy
+// models the paper's redistribution into NUMA-local memory ("chunk the data,
+// redistribute, and then sort/work on your data locally"); its cost is
+// amortized by the first partitioning step of the sort.
+//
+// srcNode is the NUMA node the source chunk resides on (the input relation is
+// assumed to be range-chunked over the nodes); the run itself is allocated on
+// the worker's home node. If presorted is true and the chunk is verified to be
+// in key order already, the sorting pass is skipped (exploiting pre-existing
+// sort orders, as the paper suggests).
+func sortChunkIntoRun(chunk relation.Chunk, worker int, srcNode int, presorted bool, state *workerState, topo numa.Topology) *relation.Run {
+	run := &relation.Run{
+		Worker: worker,
+		Node:   topo.NodeOfWorker(worker),
+		Tuples: make([]relation.Tuple, len(chunk.Tuples)),
+	}
+	copy(run.Tuples, chunk.Tuples)
+	skippedSort := presorted && relation.IsSortedByKey(run.Tuples)
+	if !skippedSort {
+		sorting.Sort(run.Tuples)
+	}
+
+	if state != nil && state.tracker != nil {
+		n := uint64(len(chunk.Tuples))
+		// Copying reads the source sequentially and writes the local run
+		// sequentially; sorting then performs O(n) passes of local
+		// random accesses (one radix scatter pass plus the in-cache
+		// IntroSort work, charged as two read/write passes).
+		state.tracker.SeqRead(srcNode, n)
+		state.tracker.SeqWrite(run.Node, n)
+		if !skippedSort {
+			state.tracker.RandRead(run.Node, 2*n)
+			state.tracker.RandWrite(run.Node, 2*n)
+		}
+	}
+	return run
+}
+
+// chunkSourceNode maps an input chunk index to the NUMA node its memory is
+// assumed to live on: the input relation is spread over the nodes in
+// contiguous blocks, so chunk w of T chunks lives on node w·N/T.
+func chunkSourceNode(chunkIndex, workers int, topo numa.Topology) int {
+	if workers <= 0 {
+		return 0
+	}
+	node := chunkIndex * topo.Nodes / workers
+	if node >= topo.Nodes {
+		node = topo.Nodes - 1
+	}
+	return node
+}

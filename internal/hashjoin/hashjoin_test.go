@@ -1,0 +1,244 @@
+package hashjoin
+
+import (
+	"testing"
+
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// reference computes the expected join cardinality and max-sum with the
+// trusted oracle.
+func reference(r, s *relation.Relation) (count, maxSum uint64) {
+	var agg mergejoin.MaxAggregate
+	mergejoin.ReferenceJoin(r.Tuples, s.Tuples, &agg)
+	return agg.Count, agg.Max
+}
+
+func testDataset(rSize, mult int, seed uint64) (*relation.Relation, *relation.Relation) {
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        rSize,
+		Multiplicity: mult,
+		ForeignKey:   true,
+		Seed:         seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return r, s
+}
+
+func TestWisconsinCorrectness(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, mult := range []int{1, 4} {
+			r, s := testDataset(2000, mult, uint64(workers*10+mult))
+			wantCount, wantMax := reference(r, s)
+			res := Wisconsin(r, s, Options{Workers: workers})
+			if res.Matches != wantCount || res.MaxSum != wantMax {
+				t.Fatalf("workers=%d mult=%d: got (%d, %d), want (%d, %d)",
+					workers, mult, res.Matches, res.MaxSum, wantCount, wantMax)
+			}
+			if res.Algorithm != "Wisconsin" || res.Workers != workers {
+				t.Fatalf("result metadata wrong: %+v", res)
+			}
+			if res.PhaseDuration("build") == 0 && r.Len() > 0 {
+				t.Fatal("build phase duration missing")
+			}
+			if res.PhaseDuration("probe") == 0 && s.Len() > 0 {
+				t.Fatal("probe phase duration missing")
+			}
+		}
+	}
+}
+
+func TestWisconsinEmptyInputs(t *testing.T) {
+	empty := relation.New("E", nil)
+	r, _ := testDataset(100, 1, 1)
+	if res := Wisconsin(empty, r, Options{Workers: 2}); res.Matches != 0 {
+		t.Fatalf("empty build side produced %d matches", res.Matches)
+	}
+	if res := Wisconsin(r, empty, Options{Workers: 2}); res.Matches != 0 {
+		t.Fatalf("empty probe side produced %d matches", res.Matches)
+	}
+}
+
+func TestWisconsinDuplicateKeys(t *testing.T) {
+	// All keys equal: the join is a full cross product.
+	n := 200
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{Key: 7, Payload: uint64(i)}
+	}
+	r := relation.New("R", tuples)
+	s := r.Clone()
+	res := Wisconsin(r, s, Options{Workers: 4})
+	if res.Matches != uint64(n*n) {
+		t.Fatalf("matches = %d, want %d", res.Matches, n*n)
+	}
+	if res.MaxSum != uint64(2*(n-1)) {
+		t.Fatalf("max sum = %d, want %d", res.MaxSum, 2*(n-1))
+	}
+}
+
+func TestWisconsinNUMAAccounting(t *testing.T) {
+	r, s := testDataset(5000, 4, 3)
+	res := Wisconsin(r, s, Options{Workers: 8, TrackNUMA: true})
+	if res.NUMA.TotalAccesses() == 0 {
+		t.Fatal("NUMA accounting enabled but no accesses recorded")
+	}
+	if res.NUMA.SyncOps == 0 {
+		t.Fatal("shared-table build must record synchronization operations")
+	}
+	if res.NUMA.RemoteRandRead+res.NUMA.RemoteRandWrite == 0 {
+		t.Fatal("shared-table join must record remote random accesses")
+	}
+	if res.SimulatedNUMACost == 0 {
+		t.Fatal("simulated NUMA cost missing")
+	}
+}
+
+func TestRadixCorrectness(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, mult := range []int{1, 4} {
+			r, s := testDataset(2000, mult, uint64(workers*100+mult))
+			wantCount, wantMax := reference(r, s)
+			res := Radix(r, s, RadixOptions{Options: Options{Workers: workers}})
+			if res.Matches != wantCount || res.MaxSum != wantMax {
+				t.Fatalf("workers=%d mult=%d: got (%d, %d), want (%d, %d)",
+					workers, mult, res.Matches, res.MaxSum, wantCount, wantMax)
+			}
+		}
+	}
+}
+
+func TestRadixExplicitBits(t *testing.T) {
+	r, s := testDataset(3000, 2, 5)
+	wantCount, wantMax := reference(r, s)
+	for _, bitsUsed := range []int{1, 4, 8} {
+		res := Radix(r, s, RadixOptions{Options: Options{Workers: 4}, PartitionBits: bitsUsed})
+		if res.Matches != wantCount || res.MaxSum != wantMax {
+			t.Fatalf("bits=%d: got (%d, %d), want (%d, %d)", bitsUsed, res.Matches, res.MaxSum, wantCount, wantMax)
+		}
+	}
+}
+
+func TestRadixPassCounts(t *testing.T) {
+	r, s := testDataset(4000, 4, 21)
+	wantCount, wantMax := reference(r, s)
+	for _, passes := range []int{1, 2} {
+		res := Radix(r, s, RadixOptions{Options: Options{Workers: 4}, PartitionBits: 8, Passes: passes})
+		if res.Matches != wantCount || res.MaxSum != wantMax {
+			t.Fatalf("passes=%d: got (%d, %d), want (%d, %d)", passes, res.Matches, res.MaxSum, wantCount, wantMax)
+		}
+	}
+}
+
+func TestRefinePartitionPreservesTuplesAndRanges(t *testing.T) {
+	tuples := make([]relation.Tuple, 0, 1000)
+	rng := workload.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		tuples = append(tuples, relation.Tuple{Key: rng.Uint64n(1 << 16), Payload: uint64(i)})
+	}
+	refined := refinePartition(tuples, 8, 4) // 16 sub-partitions on bits 8..11
+	var back []relation.Tuple
+	for b, part := range refined {
+		for _, tup := range part {
+			if int((tup.Key>>8)&0xF) != b {
+				t.Fatalf("tuple with key %d landed in sub-partition %d", tup.Key, b)
+			}
+			back = append(back, tup)
+		}
+	}
+	if !relation.SameMultiset(tuples, back) {
+		t.Fatal("refinement lost or duplicated tuples")
+	}
+}
+
+func TestRadixEmptyInputs(t *testing.T) {
+	empty := relation.New("E", nil)
+	r, _ := testDataset(100, 1, 7)
+	if res := Radix(empty, r, RadixOptions{Options: Options{Workers: 2}}); res.Matches != 0 {
+		t.Fatalf("empty build side produced %d matches", res.Matches)
+	}
+	if res := Radix(r, empty, RadixOptions{Options: Options{Workers: 2}}); res.Matches != 0 {
+		t.Fatalf("empty probe side produced %d matches", res.Matches)
+	}
+}
+
+func TestRadixSkewedData(t *testing.T) {
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        3000,
+		Multiplicity: 4,
+		RSkew:        workload.SkewHigh80,
+		SSkew:        workload.SkewLow80,
+		KeyDomain:    1 << 20,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, wantMax := reference(r, s)
+	res := Radix(r, s, RadixOptions{Options: Options{Workers: 4}})
+	if res.Matches != wantCount {
+		t.Fatalf("matches = %d, want %d", res.Matches, wantCount)
+	}
+	if wantCount > 0 && res.MaxSum != wantMax {
+		t.Fatalf("max = %d, want %d", res.MaxSum, wantMax)
+	}
+}
+
+func TestRadixNUMAAccounting(t *testing.T) {
+	r, s := testDataset(5000, 4, 11)
+	res := Radix(r, s, RadixOptions{Options: Options{Workers: 8, TrackNUMA: true}})
+	if res.NUMA.TotalAccesses() == 0 {
+		t.Fatal("NUMA accounting enabled but no accesses recorded")
+	}
+	// Radix join never synchronizes per tuple (histogram-based scatter).
+	if res.NUMA.SyncOps != 0 {
+		t.Fatalf("radix join recorded %d sync ops, want 0", res.NUMA.SyncOps)
+	}
+	// Partitioning both inputs must cause remote writes.
+	if res.NUMA.RemoteRandWrite == 0 {
+		t.Fatal("partitioning phase should record remote writes")
+	}
+}
+
+func TestChoosePartitionBits(t *testing.T) {
+	if b := choosePartitionBits(1000); b != 1 {
+		t.Fatalf("choosePartitionBits(1000) = %d, want 1", b)
+	}
+	if b := choosePartitionBits(1 << 20); b <= 4 {
+		t.Fatalf("choosePartitionBits(1M) = %d, want > 4", b)
+	}
+	if b := choosePartitionBits(1 << 30); b != 14 {
+		t.Fatalf("choosePartitionBits(1G) = %d, want capped at 14", b)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1024: 1024, 1025: 2048}
+	for n, want := range cases {
+		if got := nextPow2(n); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSharedTableDirect(t *testing.T) {
+	table := newSharedTable(4)
+	tuples := []relation.Tuple{{Key: 1, Payload: 10}, {Key: 2, Payload: 20}, {Key: 1, Payload: 30}, {Key: 99, Payload: 40}}
+	for i, tup := range tuples {
+		table.insert(int32(i), tup)
+	}
+	var m mergejoin.Materializer
+	table.probe(relation.Tuple{Key: 1, Payload: 100}, &m)
+	if len(m.Out) != 2 {
+		t.Fatalf("probe(1) found %d matches, want 2", len(m.Out))
+	}
+	var c mergejoin.Counter
+	table.probe(relation.Tuple{Key: 5}, &c)
+	if c.Count != 0 {
+		t.Fatalf("probe(5) found %d matches, want 0", c.Count)
+	}
+}

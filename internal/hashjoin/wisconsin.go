@@ -1,0 +1,247 @@
+// Package hashjoin implements the two hash-join baselines the MPSM paper
+// compares against:
+//
+//   - the "Wisconsin" no-partitioning hash join (Blanas et al., SIGMOD 2011):
+//     a single shared hash table built concurrently by all workers and probed
+//     concurrently; build-side inserts synchronize on the shared bucket heads
+//     and probes read the table randomly across NUMA partitions, violating
+//     commandments C2 and C3;
+//   - a radix-partitioned hash join in the MonetDB/Vectorwise lineage: both
+//     inputs are radix partitioned in parallel (writing across NUMA
+//     partitions once), after which each partition pair is joined with a
+//     private, cache-sized hash table.
+//
+// Both implementations report the same result and phase-timing structure as
+// the MPSM variants so that the experiment harness can reproduce Figures 12
+// and 13.
+package hashjoin
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mergejoin"
+	"repro/internal/numa"
+	"repro/internal/relation"
+	"repro/internal/result"
+)
+
+// Options configures the hash-join baselines.
+type Options struct {
+	// Workers is the degree of parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// Topology is the simulated NUMA topology used for access accounting.
+	Topology numa.Topology
+	// TrackNUMA enables NUMA access accounting.
+	TrackNUMA bool
+	// CostModel converts access statistics into a simulated duration; only
+	// used when TrackNUMA is set. The zero value selects the default model.
+	CostModel numa.CostModel
+}
+
+// normalize fills in defaults.
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Topology.Nodes == 0 {
+		o.Topology = numa.DefaultTopology()
+	}
+	if o.CostModel == (numa.CostModel{}) {
+		o.CostModel = numa.DefaultCostModel()
+	}
+	return o
+}
+
+// entry is one node of the shared chaining hash table. Next is the index of
+// the next entry in the chain, or -1.
+type entry struct {
+	key     uint64
+	payload uint64
+	next    int32
+}
+
+// sharedTable is the global hash table of the no-partitioning join. Bucket
+// heads are updated with compare-and-swap, modelling the latched/atomic
+// inserts of the original implementation.
+type sharedTable struct {
+	mask    uint64
+	heads   []int32 // index into entries, -1 if empty
+	entries []entry
+}
+
+// newSharedTable sizes the table to the next power of two of at least
+// 2·capacity buckets.
+func newSharedTable(capacity int) *sharedTable {
+	size := 1
+	for size < 2*capacity {
+		size <<= 1
+	}
+	heads := make([]int32, size)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &sharedTable{
+		mask:    uint64(size - 1),
+		heads:   heads,
+		entries: make([]entry, capacity),
+	}
+}
+
+// hashKey is a Fibonacci (multiplicative) hash spreading keys over buckets.
+func hashKey(key uint64) uint64 {
+	return key * 0x9e3779b97f4a7c15
+}
+
+// bucketOf returns the bucket index for a key.
+func (t *sharedTable) bucketOf(key uint64) uint64 {
+	return (hashKey(key) >> 16) & t.mask
+}
+
+// insert adds the tuple stored at entry slot slot to the table. The entry
+// slot itself is owned exclusively by the inserting worker (slots are
+// pre-assigned by chunk offsets), but the bucket head is shared and updated
+// with CAS, which is the synchronization the paper's commandment C3 warns
+// about.
+func (t *sharedTable) insert(slot int32, tup relation.Tuple) (casRetries uint64) {
+	t.entries[slot].key = tup.Key
+	t.entries[slot].payload = tup.Payload
+	b := t.bucketOf(tup.Key)
+	for {
+		old := atomic.LoadInt32(&t.heads[b])
+		t.entries[slot].next = old
+		if atomic.CompareAndSwapInt32(&t.heads[b], old, slot) {
+			return casRetries
+		}
+		casRetries++
+	}
+}
+
+// probe walks the chain of the probe key's bucket and feeds every match to
+// the consumer. It returns the number of entries inspected.
+func (t *sharedTable) probe(tup relation.Tuple, out mergejoin.Consumer) (inspected uint64) {
+	b := t.bucketOf(tup.Key)
+	for idx := atomic.LoadInt32(&t.heads[b]); idx >= 0; idx = t.entries[idx].next {
+		inspected++
+		if t.entries[idx].key == tup.Key {
+			out.Consume(relation.Tuple{Key: t.entries[idx].key, Payload: t.entries[idx].payload}, tup)
+		}
+	}
+	return inspected
+}
+
+// Wisconsin executes the no-partitioning shared hash join: build a global
+// hash table over R in parallel, then probe it with S in parallel. R is the
+// build side; callers wanting role reversal swap the arguments.
+func Wisconsin(r, s *relation.Relation, opts Options) *result.Result {
+	opts = opts.normalize()
+	workers := opts.Workers
+	res := &result.Result{Algorithm: "Wisconsin", Workers: workers}
+	start := time.Now()
+
+	table := newSharedTable(r.Len())
+	rChunks := r.Split(workers)
+	sChunks := s.Split(workers)
+
+	trackers := make([]*numa.Tracker, workers)
+	if opts.TrackNUMA {
+		for w := 0; w < workers; w++ {
+			trackers[w] = numa.NewTracker(opts.Topology, w)
+		}
+	}
+
+	// Build phase: every worker inserts its chunk into the shared table.
+	buildTime := result.StopwatchPhase(func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				chunk := rChunks[w]
+				tracker := trackers[w]
+				var retries uint64
+				for i, tup := range chunk.Tuples {
+					retries += table.insert(int32(chunk.Offset+i), tup)
+				}
+				if tracker != nil {
+					// The hash table is interleaved across all nodes;
+					// on average (nodes-1)/nodes of the random writes
+					// are remote. We charge them round-robin.
+					n := uint64(len(chunk.Tuples))
+					chargeInterleaved(tracker, opts.Topology, n, false)
+					tracker.Sync(n + retries)
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	res.AddPhase("build", buildTime)
+
+	// Probe phase: every worker probes with its chunk of S.
+	aggregates := make([]mergejoin.MaxAggregate, workers)
+	probeTime := result.StopwatchPhase(func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				chunk := sChunks[w]
+				tracker := trackers[w]
+				var inspected uint64
+				for _, tup := range chunk.Tuples {
+					inspected += table.probe(tup, &aggregates[w])
+				}
+				if tracker != nil {
+					// Probing reads the local S chunk sequentially and
+					// the shared table randomly across all nodes.
+					tracker.SeqRead(tracker.Node(), uint64(len(chunk.Tuples)))
+					chargeInterleaved(tracker, opts.Topology, inspected+uint64(len(chunk.Tuples)), true)
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	res.AddPhase("probe", probeTime)
+
+	var agg mergejoin.MaxAggregate
+	for w := 0; w < workers; w++ {
+		agg.Merge(aggregates[w])
+	}
+	res.Matches = agg.Count
+	res.MaxSum = agg.Max
+	res.Total = time.Since(start)
+	if opts.TrackNUMA {
+		res.NUMA = numa.MergeStats(trackers)
+		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
+	}
+	return res
+}
+
+// chargeInterleaved charges n random accesses against a hash table whose
+// memory is interleaved over all NUMA nodes: 1/nodes of them are local, the
+// rest remote. read selects reads vs writes.
+func chargeInterleaved(tracker *numa.Tracker, topo numa.Topology, n uint64, read bool) {
+	if tracker == nil || n == 0 {
+		return
+	}
+	local := n / uint64(topo.Nodes)
+	remote := n - local
+	if read {
+		tracker.RandRead(tracker.Node(), local)
+		tracker.RandRead((tracker.Node()+1)%topo.Nodes, remote)
+	} else {
+		tracker.RandWrite(tracker.Node(), local)
+		tracker.RandWrite((tracker.Node()+1)%topo.Nodes, remote)
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n (and at least 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

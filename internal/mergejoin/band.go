@@ -1,0 +1,97 @@
+package mergejoin
+
+import "repro/internal/relation"
+
+// JoinBand performs a non-equi band join between two key-sorted inputs: it
+// emits every pair (r, s) with |r.Key − s.Key| <= band. With band = 0 it
+// degenerates to the equi-join.
+//
+// The paper lists non-equi joins among the future join variants of MPSM; a
+// band join is the non-equi variant that benefits most directly from MPSM's
+// sorted runs, because each private tuple's match partners form a contiguous
+// window of the public run. The kernel keeps a sliding window over the public
+// input and therefore runs in O(|private| + |public| + |output|).
+//
+// Both inputs must be sorted by ascending key.
+func JoinBand(private, public []relation.Tuple, band uint64, out Consumer) {
+	if len(private) == 0 || len(public) == 0 {
+		return
+	}
+	start := 0
+	for _, r := range private {
+		low := uint64(0)
+		if r.Key > band {
+			low = r.Key - band
+		}
+		high := r.Key + band
+		if high < r.Key { // overflow: clamp to the maximum key
+			high = ^uint64(0)
+		}
+		// Advance the window start: keys below low can never match this or
+		// any later private tuple (keys are non-decreasing).
+		for start < len(public) && public[start].Key < low {
+			start++
+		}
+		for j := start; j < len(public) && public[j].Key <= high; j++ {
+			out.Consume(r, public[j])
+		}
+	}
+}
+
+// JoinBandAgainstRuns band joins one sorted private run against every sorted
+// public run in turn. It returns the number of public tuples that fell inside
+// the private run's extended key range and were therefore scanned.
+func JoinBandAgainstRuns(private []relation.Tuple, publicRuns []*relation.Run, band uint64, out Consumer) (publicScanned int) {
+	if len(private) == 0 {
+		return 0
+	}
+	for _, pub := range publicRuns {
+		if pub.Len() == 0 {
+			continue
+		}
+		JoinBand(private, pub.Tuples, band, out)
+		// Scanned portion: the window between (minKey − band) and
+		// (maxKey + band) of the private run.
+		low := uint64(0)
+		if private[0].Key > band {
+			low = private[0].Key - band
+		}
+		high := private[len(private)-1].Key + band
+		if high < private[len(private)-1].Key {
+			high = ^uint64(0)
+		}
+		publicScanned += boundedWindow(pub.Tuples, low, high)
+	}
+	return publicScanned
+}
+
+// boundedWindow returns the number of tuples of a sorted run whose key lies in
+// [low, high].
+func boundedWindow(run []relation.Tuple, low, high uint64) int {
+	start := 0
+	for start < len(run) && run[start].Key < low {
+		start++
+	}
+	end := start
+	for end < len(run) && run[end].Key <= high {
+		end++
+	}
+	return end - start
+}
+
+// ReferenceJoinBand is the quadratic oracle for band-join tests.
+func ReferenceJoinBand(r, s []relation.Tuple, band uint64, out Consumer) {
+	for _, rt := range r {
+		for _, st := range s {
+			var diff uint64
+			if rt.Key > st.Key {
+				diff = rt.Key - st.Key
+			} else {
+				diff = st.Key - rt.Key
+			}
+			if diff <= band {
+				out.Consume(rt, st)
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package mergejoin
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/search"
+)
+
+// Kind selects the join semantics of the MPSM variants. The paper's future
+// work section names outer, semi and anti joins as the natural extensions of
+// the algorithm; they all fit the MPSM structure because every private tuple
+// is owned by exactly one worker, which sees all of that tuple's potential
+// match partners across the public runs.
+type Kind int
+
+const (
+	// Inner emits one result per matching (r, s) pair.
+	Inner Kind = iota
+	// LeftOuter emits every matching pair plus, for every private tuple
+	// without a match, one result with the zero public tuple (the NULL
+	// convention of this library).
+	LeftOuter
+	// Semi emits every private tuple that has at least one match, exactly
+	// once, paired with the zero public tuple.
+	Semi
+	// Anti emits every private tuple that has no match, paired with the
+	// zero public tuple.
+	Anti
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Inner:
+		return "inner"
+	case LeftOuter:
+		return "left-outer"
+	case Semi:
+		return "semi"
+	case Anti:
+		return "anti"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is a known join kind.
+func (k Kind) Valid() bool { return k >= Inner && k <= Anti }
+
+// JoinRunsKind merge joins one sorted private run against all sorted public
+// runs with the requested join semantics and returns the number of public
+// tuples scanned.
+//
+// For Inner it behaves exactly like JoinAgainstRuns. For the other kinds the
+// kernel tracks, per private tuple, whether any public run produced a match;
+// the unmatched/matched results are emitted after the last public run so that
+// a tuple matching only in the final run is classified correctly. Non-inner
+// results carry the zero relation.Tuple on the public side.
+func JoinRunsKind(kind Kind, private []relation.Tuple, publicRuns []*relation.Run, out Consumer) (publicScanned int) {
+	switch kind {
+	case Inner:
+		return JoinAgainstRuns(private, publicRuns, out)
+	case LeftOuter, Semi, Anti:
+		// Handled below.
+	default:
+		panic(fmt.Sprintf("mergejoin: unknown join kind %d", int(kind)))
+	}
+	if len(private) == 0 {
+		return 0
+	}
+
+	matched := make([]bool, len(private))
+	for _, pub := range publicRuns {
+		publicScanned += markAndEmit(kind, private, matched, pub.Tuples, out)
+	}
+	for i, t := range private {
+		switch kind {
+		case LeftOuter, Anti:
+			if !matched[i] {
+				out.Consume(t, relation.Tuple{})
+			}
+		case Semi:
+			if matched[i] {
+				out.Consume(t, relation.Tuple{})
+			}
+		}
+	}
+	return publicScanned
+}
+
+// markAndEmit performs one merge pass of the private run against one public
+// run: it records which private tuples found a partner and, for LeftOuter,
+// emits the matching pairs immediately (outer join output contains all inner
+// matches). Semi and Anti joins emit nothing during the pass. It returns the
+// number of public tuples scanned after the interpolation-search skip.
+func markAndEmit(kind Kind, private []relation.Tuple, matched []bool, public []relation.Tuple, out Consumer) int {
+	if len(public) == 0 {
+		return 0
+	}
+	loKey := private[0].Key
+	hiKey := private[len(private)-1].Key
+	start := search.LowerBound(public, loKey)
+	end := search.UpperBound(public, hiKey)
+	if start >= end {
+		return 0
+	}
+	window := public[start:end]
+
+	i, j := 0, 0
+	for i < len(private) && j < len(window) {
+		rk, sk := private[i].Key, window[j].Key
+		switch {
+		case rk < sk:
+			i++
+		case rk > sk:
+			j++
+		default:
+			iEnd := i + 1
+			for iEnd < len(private) && private[iEnd].Key == rk {
+				iEnd++
+			}
+			jEnd := j + 1
+			for jEnd < len(window) && window[jEnd].Key == rk {
+				jEnd++
+			}
+			for a := i; a < iEnd; a++ {
+				matched[a] = true
+				if kind == LeftOuter {
+					for b := j; b < jEnd; b++ {
+						out.Consume(private[a], window[b])
+					}
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return end - start
+}
+
+// ReferenceJoinKind is the oracle counterpart of JoinRunsKind used by tests:
+// a straightforward hash-based implementation of every join kind.
+func ReferenceJoinKind(kind Kind, r, s []relation.Tuple, out Consumer) {
+	switch kind {
+	case Inner:
+		ReferenceJoin(r, s, out)
+		return
+	}
+	sKeys := make(map[uint64][]relation.Tuple, len(s))
+	for _, t := range s {
+		sKeys[t.Key] = append(sKeys[t.Key], t)
+	}
+	for _, rt := range r {
+		partners := sKeys[rt.Key]
+		switch kind {
+		case LeftOuter:
+			if len(partners) == 0 {
+				out.Consume(rt, relation.Tuple{})
+				continue
+			}
+			for _, st := range partners {
+				out.Consume(rt, st)
+			}
+		case Semi:
+			if len(partners) > 0 {
+				out.Consume(rt, relation.Tuple{})
+			}
+		case Anti:
+			if len(partners) == 0 {
+				out.Consume(rt, relation.Tuple{})
+			}
+		}
+	}
+}

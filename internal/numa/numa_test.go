@@ -1,0 +1,190 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(0, 8); err == nil {
+		t.Fatal("zero nodes should be rejected")
+	}
+	if _, err := NewTopology(4, 0); err == nil {
+		t.Fatal("zero cores should be rejected")
+	}
+	topo, err := NewTopology(4, 8)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if topo.TotalCores() != 32 {
+		t.Fatalf("TotalCores = %d, want 32", topo.TotalCores())
+	}
+}
+
+func TestDefaultTopologyMatchesPaperMachine(t *testing.T) {
+	topo := DefaultTopology()
+	if topo.Nodes != 4 || topo.CoresPerNode != 8 || topo.TotalCores() != 32 {
+		t.Fatalf("DefaultTopology = %+v, want 4 nodes × 8 cores", topo)
+	}
+}
+
+func TestNodeOfWorker(t *testing.T) {
+	topo := DefaultTopology()
+	cases := map[int]int{
+		0: 0, 7: 0, 8: 1, 15: 1, 16: 2, 24: 3, 31: 3,
+		32: 0, // hyperthread wraps to node 0
+		63: 3,
+	}
+	for worker, want := range cases {
+		if got := topo.NodeOfWorker(worker); got != want {
+			t.Errorf("NodeOfWorker(%d) = %d, want %d", worker, got, want)
+		}
+	}
+	if !topo.IsLocal(0, 0) || topo.IsLocal(0, 1) {
+		t.Fatal("IsLocal misclassifies worker 0")
+	}
+}
+
+func TestNodeOfWorkerAlwaysInRange(t *testing.T) {
+	f := func(nodes, cores uint8, worker int16) bool {
+		n := int(nodes%8) + 1
+		c := int(cores%8) + 1
+		topo, err := NewTopology(n, c)
+		if err != nil {
+			return false
+		}
+		node := topo.NodeOfWorker(int(worker))
+		return node >= 0 && node < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerClassification(t *testing.T) {
+	topo := DefaultTopology()
+	tr := NewTracker(topo, 0) // home node 0
+	tr.SeqRead(0, 10)
+	tr.SeqRead(1, 20)
+	tr.RandRead(0, 3)
+	tr.RandRead(2, 4)
+	tr.SeqWrite(0, 5)
+	tr.SeqWrite(3, 6)
+	tr.RandWrite(0, 7)
+	tr.RandWrite(1, 8)
+	tr.Sync(9)
+
+	s := tr.Stats()
+	if s.LocalSeqRead != 10 || s.RemoteSeqRead != 20 {
+		t.Fatalf("seq reads = %d/%d", s.LocalSeqRead, s.RemoteSeqRead)
+	}
+	if s.LocalRandRead != 3 || s.RemoteRandRead != 4 {
+		t.Fatalf("rand reads = %d/%d", s.LocalRandRead, s.RemoteRandRead)
+	}
+	if s.LocalSeqWrite != 5 || s.RemoteSeqWrite != 6 {
+		t.Fatalf("seq writes = %d/%d", s.LocalSeqWrite, s.RemoteSeqWrite)
+	}
+	if s.LocalRandWrite != 7 || s.RemoteRandWrite != 8 {
+		t.Fatalf("rand writes = %d/%d", s.LocalRandWrite, s.RemoteRandWrite)
+	}
+	if s.SyncOps != 9 {
+		t.Fatalf("sync ops = %d", s.SyncOps)
+	}
+	if s.TotalAccesses() != 10+20+3+4+5+6+7+8 {
+		t.Fatalf("TotalAccesses = %d", s.TotalAccesses())
+	}
+	if tr.Worker() != 0 || tr.Node() != 0 {
+		t.Fatalf("Worker/Node = %d/%d", tr.Worker(), tr.Node())
+	}
+}
+
+func TestNilTrackerIsNoOp(t *testing.T) {
+	var tr *Tracker
+	tr.SeqRead(0, 1)
+	tr.RandRead(0, 1)
+	tr.SeqWrite(0, 1)
+	tr.RandWrite(0, 1)
+	tr.Sync(1)
+	if tr.Stats().TotalAccesses() != 0 {
+		t.Fatal("nil tracker should record nothing")
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	topo := DefaultTopology()
+	a := NewTracker(topo, 0)
+	b := NewTracker(topo, 8)
+	a.SeqRead(0, 5) // local for worker 0
+	b.SeqRead(0, 5) // remote for worker 8 (node 1)
+	total := MergeStats([]*Tracker{a, b, nil})
+	if total.LocalSeqRead != 5 || total.RemoteSeqRead != 5 {
+		t.Fatalf("merged = %+v", total)
+	}
+}
+
+func TestRemoteFraction(t *testing.T) {
+	var s AccessStats
+	if s.RemoteFraction() != 0 {
+		t.Fatal("empty stats should have remote fraction 0")
+	}
+	s.LocalSeqRead = 75
+	s.RemoteSeqRead = 25
+	if got := s.RemoteFraction(); got != 0.25 {
+		t.Fatalf("RemoteFraction = %f, want 0.25", got)
+	}
+}
+
+func TestCostModelRelativePenalties(t *testing.T) {
+	// The default cost model must reproduce the qualitative ordering of
+	// Figure 1: random remote ≫ random local > sequential remote ≳
+	// sequential local, and synchronization is expensive per operation.
+	c := DefaultCostModel()
+	if !(c.RemoteRandRead > 2*c.LocalRandRead) {
+		t.Fatalf("remote random read (%f) should be much more expensive than local (%f)", c.RemoteRandRead, c.LocalRandRead)
+	}
+	if !(c.RemoteSeqRead < 1.5*c.LocalSeqRead) {
+		t.Fatalf("remote sequential read (%f) should be close to local (%f)", c.RemoteSeqRead, c.LocalSeqRead)
+	}
+	if !(c.SyncOp > c.LocalSeqWrite) {
+		t.Fatal("sync op should cost more than a plain local write")
+	}
+}
+
+func TestCostModelEstimate(t *testing.T) {
+	c := CostModel{LocalSeqRead: 2, RemoteSeqRead: 3, SyncOp: 10}
+	s := AccessStats{LocalSeqRead: 100, RemoteSeqRead: 10, SyncOps: 1}
+	if got := c.Estimate(s); got.Nanoseconds() != 2*100+3*10+10 {
+		t.Fatalf("Estimate = %v", got)
+	}
+}
+
+func TestFigure1ShapeFromCostModel(t *testing.T) {
+	// Reconstruct the three Figure 1 comparisons from the access counters
+	// an algorithm would report, and check the expected ordering of the
+	// simulated durations.
+	c := DefaultCostModel()
+	n := uint64(1 << 20)
+
+	// (1) sort local vs sort in a remote/global array: sorting performs a
+	// mix of random reads and writes over the run.
+	sortLocal := AccessStats{LocalRandRead: 4 * n, LocalRandWrite: 4 * n}
+	sortRemote := AccessStats{RemoteRandRead: 4 * n, RemoteRandWrite: 4 * n}
+	if !(c.Estimate(sortRemote) > 2*c.Estimate(sortLocal)) {
+		t.Fatal("remote sort should be at least 2x more expensive than local sort")
+	}
+
+	// (2) synchronized scatter vs precomputed partitions.
+	scatterSync := AccessStats{RemoteRandWrite: n, SyncOps: n}
+	scatterPre := AccessStats{RemoteSeqWrite: n}
+	if !(c.Estimate(scatterSync) > 2*c.Estimate(scatterPre)) {
+		t.Fatal("synchronized scatter should be much more expensive")
+	}
+
+	// (3) merge join with remote vs local second run: sequential scans.
+	joinRemote := AccessStats{LocalSeqRead: n, RemoteSeqRead: n}
+	joinLocal := AccessStats{LocalSeqRead: 2 * n}
+	ratio := float64(c.Estimate(joinRemote)) / float64(c.Estimate(joinLocal))
+	if ratio < 1.0 || ratio > 1.5 {
+		t.Fatalf("remote sequential join penalty ratio = %f, want within [1.0, 1.5]", ratio)
+	}
+}

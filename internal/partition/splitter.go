@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"math"
+)
+
+// SplitterCost models the per-worker cost the splitter computation balances
+// (Section 4.3 of the paper):
+//
+//	split-relevant-cost_i = |Ri|·log2(|Ri|)        (sort chunk Ri)
+//	                      + T·|Ri|                  (process run Ri for all S runs)
+//	                      + CDF(Ri.high) − CDF(Ri.low)  (process relevant S data)
+//
+// The weights allow experiments (and ablation benches) to change the relative
+// cost of sorting R versus scanning S without touching the algorithm.
+type SplitterCost struct {
+	// Workers is T, the number of parallel workers.
+	Workers int
+	// SortWeight scales the |Ri|·log2(|Ri|) term. 1 by default.
+	SortWeight float64
+	// ScanRWeight scales the T·|Ri| term. 1 by default.
+	ScanRWeight float64
+	// ScanSWeight scales the CDF range term. 1 by default.
+	ScanSWeight float64
+}
+
+// DefaultSplitterCost returns the cost model with the paper's unit weights.
+func DefaultSplitterCost(workers int) SplitterCost {
+	return SplitterCost{Workers: workers, SortWeight: 1, ScanRWeight: 1, ScanSWeight: 1}
+}
+
+// PartitionCost evaluates the split-relevant cost of a candidate partition
+// holding rCount private tuples and covering sMass public tuples.
+func (c SplitterCost) PartitionCost(rCount int, sMass float64) float64 {
+	sortCost := 0.0
+	if rCount > 1 {
+		sortCost = float64(rCount) * math.Log2(float64(rCount))
+	}
+	return c.SortWeight*sortCost +
+		c.ScanRWeight*float64(c.Workers)*float64(rCount) +
+		c.ScanSWeight*sMass
+}
+
+// ComputeSplitters determines the load-balancing splitter vector for P-MPSM's
+// skew-resilient partitioning. It takes the global fine-grained radix
+// histogram of R (Section 4.2), the global CDF of S (Section 4.1), the radix
+// configuration that produced the histogram, and the cost model, and returns
+// a splitter vector assigning each radix cluster to one of cost.Workers
+// contiguous partitions such that the maximum per-partition cost is
+// (approximately) minimized.
+//
+// The optimization is the classic "minimize the largest block sum" contiguous
+// partitioning problem (the paper refers to Ross & Cieslewicz for exact
+// two-table splitters); we solve it by binary searching the optimal maximum
+// cost and greedily packing clusters, which is optimal for monotone cost
+// functions of contiguous cluster ranges and runs in
+// O(clusters · log(total cost / precision)).
+func ComputeSplitters(globalR Histogram, cdf *CDF, cfg RadixConfig, cost SplitterCost) SplitterVector {
+	clusters := len(globalR)
+	workers := cost.Workers
+	if workers <= 0 {
+		panic("partition: ComputeSplitters with non-positive worker count")
+	}
+	sp := make(SplitterVector, clusters)
+	if workers == 1 {
+		return sp
+	}
+
+	// Precompute, per cluster, the R count and the estimated S mass of its
+	// key range so that range costs can be accumulated cheaply during the
+	// greedy feasibility check.
+	sMass := make([]float64, clusters)
+	for cl := 0; cl < clusters; cl++ {
+		low := cfg.ClusterLowKey(cl)
+		high := cfg.ClusterHighKey(cl)
+		sMass[cl] = cdf.EstimateRange(low, high)
+	}
+
+	// An upper bound on the optimal maximum cost: everything in one
+	// partition. A lower bound: the cost of the most expensive single
+	// cluster (no partition can be cheaper than its priciest cluster).
+	totalR := globalR.Total()
+	upper := cost.PartitionCost(totalR, cdf.Total())
+	lower := 0.0
+	for cl := 0; cl < clusters; cl++ {
+		c := cost.PartitionCost(globalR[cl], sMass[cl])
+		if c > lower {
+			lower = c
+		}
+	}
+
+	// feasible reports whether the clusters can be packed into at most
+	// `workers` contiguous partitions, each of cost <= limit, and fills sp
+	// with the assignment when they can.
+	feasible := func(limit float64, record bool) bool {
+		part := 0
+		rAcc := 0
+		sAcc := 0.0
+		for cl := 0; cl < clusters; cl++ {
+			rNext := rAcc + globalR[cl]
+			sNext := sAcc + sMass[cl]
+			if cost.PartitionCost(rNext, sNext) > limit && (rAcc > 0 || sAcc > 0) {
+				// Close the current partition and start a new one
+				// with this cluster.
+				part++
+				if part >= workers {
+					return false
+				}
+				rNext = globalR[cl]
+				sNext = sMass[cl]
+			}
+			rAcc, sAcc = rNext, sNext
+			if record {
+				sp[cl] = part
+			}
+		}
+		return true
+	}
+
+	// Binary search the smallest feasible limit. 40 iterations reduce the
+	// uncertainty below any practically relevant resolution.
+	for i := 0; i < 40 && upper-lower > 1e-6*math.Max(1, upper); i++ {
+		mid := (lower + upper) / 2
+		if feasible(mid, false) {
+			upper = mid
+		} else {
+			lower = mid
+		}
+	}
+	if !feasible(upper, true) {
+		// Should not happen (the all-in-one bound is always feasible),
+		// but fall back to uniform splitters rather than returning an
+		// invalid vector.
+		return UniformSplitters(clusters, workers)
+	}
+	return sp
+}
+
+// EquiHeightSplitters builds the non-skew-aware alternative used as the
+// baseline in Figure 16(b): clusters are packed so that every partition holds
+// (approximately) the same number of R tuples, ignoring the S distribution.
+func EquiHeightSplitters(globalR Histogram, workers int) SplitterVector {
+	clusters := len(globalR)
+	sp := make(SplitterVector, clusters)
+	if workers <= 1 {
+		return sp
+	}
+	total := globalR.Total()
+	target := float64(total) / float64(workers)
+	part := 0
+	acc := 0
+	for cl := 0; cl < clusters; cl++ {
+		sp[cl] = part
+		acc += globalR[cl]
+		// Move to the next partition once the current one has reached its
+		// share, leaving enough partitions for the remaining clusters.
+		if float64(acc) >= target*float64(part+1) && part < workers-1 {
+			part++
+		}
+	}
+	return sp
+}
+
+// MaxPartitionCost evaluates the maximum per-partition split-relevant cost of
+// a given splitter vector. It is used by tests and by the Figure 16 harness to
+// compare equi-height with equi-cost splitters.
+func MaxPartitionCost(globalR Histogram, cdf *CDF, cfg RadixConfig, cost SplitterCost, sp SplitterVector) float64 {
+	workers := cost.Workers
+	rCounts := make([]int, workers)
+	low := make([]uint64, workers)
+	high := make([]uint64, workers)
+	for p := 0; p < workers; p++ {
+		low[p] = ^uint64(0)
+	}
+	for cl, p := range sp {
+		rCounts[p] += globalR[cl]
+		cl0 := cfg.ClusterLowKey(cl)
+		cl1 := cfg.ClusterHighKey(cl)
+		if cl0 < low[p] {
+			low[p] = cl0
+		}
+		if cl1 > high[p] {
+			high[p] = cl1
+		}
+	}
+	maxCost := 0.0
+	for p := 0; p < workers; p++ {
+		var sMass float64
+		if low[p] <= high[p] {
+			sMass = cdf.EstimateRange(low[p], high[p])
+		}
+		if c := cost.PartitionCost(rCounts[p], sMass); c > maxCost {
+			maxCost = c
+		}
+	}
+	return maxCost
+}

@@ -1,0 +1,212 @@
+// Package relation defines the fundamental data representation shared by all
+// join algorithms in this repository: fixed-width tuples of a 64-bit join key
+// and a 64-bit payload, relations as flat tuple slices, and sorted runs.
+//
+// The layout mirrors the evaluation setup of the MPSM paper (Albutiu et al.,
+// VLDB 2012): every tuple is {joinkey: 64-bit, payload: 64-bit} with keys drawn
+// from [0, 2^32). Keeping tuples as a flat slice of fixed-size structs gives
+// the same sequential-scan friendliness the paper relies on.
+package relation
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tuple is a single row: a 64-bit join key and a 64-bit payload.
+//
+// The payload typically carries a record identifier or an aggregation input;
+// the evaluation query of the paper computes max(R.payload + S.payload).
+type Tuple struct {
+	Key     uint64
+	Payload uint64
+}
+
+// Relation is an in-memory table held as a flat slice of tuples.
+type Relation struct {
+	// Tuples is the backing storage. Algorithms may reorder it in place
+	// (for example, local run sorting), but never change its multiset of
+	// values unless documented otherwise.
+	Tuples []Tuple
+
+	// Name is an optional human-readable identifier used in diagnostics.
+	Name string
+}
+
+// ErrEmptyRelation is returned by operations that need at least one tuple.
+var ErrEmptyRelation = errors.New("relation: empty relation")
+
+// New returns a relation wrapping the given tuples without copying.
+func New(name string, tuples []Tuple) *Relation {
+	return &Relation{Name: name, Tuples: tuples}
+}
+
+// NewWithCapacity returns an empty relation with preallocated capacity.
+func NewWithCapacity(name string, capacity int) *Relation {
+	return &Relation{Name: name, Tuples: make([]Tuple, 0, capacity)}
+}
+
+// Len reports the number of tuples in the relation.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Append adds a tuple to the relation.
+func (r *Relation) Append(t Tuple) { r.Tuples = append(r.Tuples, t) }
+
+// Clone returns a deep copy of the relation. Algorithms that must not disturb
+// caller-owned data (for example, benchmark harnesses reusing inputs) clone
+// before running in-place phases.
+func (r *Relation) Clone() *Relation {
+	cp := make([]Tuple, len(r.Tuples))
+	copy(cp, r.Tuples)
+	return &Relation{Name: r.Name, Tuples: cp}
+}
+
+// MinMaxKey returns the minimum and maximum join key present in the relation.
+// It returns ErrEmptyRelation for an empty relation.
+func (r *Relation) MinMaxKey() (minKey, maxKey uint64, err error) {
+	if len(r.Tuples) == 0 {
+		return 0, 0, ErrEmptyRelation
+	}
+	minKey, maxKey = r.Tuples[0].Key, r.Tuples[0].Key
+	for _, t := range r.Tuples[1:] {
+		if t.Key < minKey {
+			minKey = t.Key
+		}
+		if t.Key > maxKey {
+			maxKey = t.Key
+		}
+	}
+	return minKey, maxKey, nil
+}
+
+// String implements fmt.Stringer with a short diagnostic form.
+func (r *Relation) String() string {
+	return fmt.Sprintf("Relation{%s, %d tuples}", r.Name, len(r.Tuples))
+}
+
+// Chunk describes a contiguous region of a relation assigned to one worker.
+type Chunk struct {
+	// Worker is the index of the worker that owns this chunk.
+	Worker int
+	// Offset is the index of the first tuple of the chunk within the
+	// relation's tuple slice.
+	Offset int
+	// Tuples aliases the relation storage for the chunk range.
+	Tuples []Tuple
+}
+
+// Len reports the number of tuples in the chunk.
+func (c Chunk) Len() int { return len(c.Tuples) }
+
+// Split partitions the relation into n contiguous, almost equally sized
+// chunks, one per worker. The first len(r) mod n chunks receive one extra
+// tuple, so chunk sizes differ by at most one. Chunks alias the relation's
+// storage; they do not copy.
+//
+// Split panics if n <= 0 to surface programming errors early, matching the
+// behaviour of make with a negative size.
+func (r *Relation) Split(n int) []Chunk {
+	if n <= 0 {
+		panic(fmt.Sprintf("relation: Split into %d chunks", n))
+	}
+	chunks := make([]Chunk, n)
+	total := len(r.Tuples)
+	base := total / n
+	extra := total % n
+	offset := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		chunks[i] = Chunk{
+			Worker: i,
+			Offset: offset,
+			Tuples: r.Tuples[offset : offset+size],
+		}
+		offset += size
+	}
+	return chunks
+}
+
+// Run is a sorted sequence of tuples produced by a worker's local sort phase.
+// Runs are the unit the MPSM join phase operates on: each worker merge joins
+// its private run against all public runs.
+type Run struct {
+	// Worker is the index of the worker that produced the run.
+	Worker int
+	// Node is the simulated NUMA node the run's memory belongs to.
+	Node int
+	// Tuples are sorted by ascending key.
+	Tuples []Tuple
+}
+
+// Len reports the number of tuples in the run.
+func (r *Run) Len() int { return len(r.Tuples) }
+
+// MinKey returns the smallest key of the run, or ok=false if the run is empty.
+func (r *Run) MinKey() (key uint64, ok bool) {
+	if len(r.Tuples) == 0 {
+		return 0, false
+	}
+	return r.Tuples[0].Key, true
+}
+
+// MaxKey returns the largest key of the run, or ok=false if the run is empty.
+func (r *Run) MaxKey() (key uint64, ok bool) {
+	if len(r.Tuples) == 0 {
+		return 0, false
+	}
+	return r.Tuples[len(r.Tuples)-1].Key, true
+}
+
+// IsSorted reports whether the run's tuples are in non-decreasing key order.
+func (r *Run) IsSorted() bool { return IsSortedByKey(r.Tuples) }
+
+// IsSortedByKey reports whether tuples are in non-decreasing key order.
+func IsSortedByKey(tuples []Tuple) bool {
+	for i := 1; i < len(tuples); i++ {
+		if tuples[i].Key < tuples[i-1].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalLen sums the lengths of the given runs.
+func TotalLen(runs []*Run) int {
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	return total
+}
+
+// KeyHistogram counts the number of tuples per key. It is intended for test
+// helpers validating that an algorithm preserved the multiset of tuples.
+func KeyHistogram(tuples []Tuple) map[uint64]int {
+	h := make(map[uint64]int, len(tuples))
+	for _, t := range tuples {
+		h[t.Key]++
+	}
+	return h
+}
+
+// SameMultiset reports whether two tuple slices contain the same multiset of
+// (key, payload) pairs. It is O(n) space and intended for tests.
+func SameMultiset(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[Tuple]int, len(a))
+	for _, t := range a {
+		counts[t]++
+	}
+	for _, t := range b {
+		counts[t]--
+		if counts[t] < 0 {
+			return false
+		}
+	}
+	return true
+}

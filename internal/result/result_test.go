@@ -1,0 +1,50 @@
+package result
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddPhaseAndPhaseDuration(t *testing.T) {
+	var r Result
+	r.AddPhase("phase 1", 10*time.Millisecond)
+	r.AddPhase("phase 2", 20*time.Millisecond)
+	if got := r.PhaseDuration("phase 1"); got != 10*time.Millisecond {
+		t.Fatalf("PhaseDuration(phase 1) = %v", got)
+	}
+	if got := r.PhaseDuration("phase 2"); got != 20*time.Millisecond {
+		t.Fatalf("PhaseDuration(phase 2) = %v", got)
+	}
+	if got := r.PhaseDuration("missing"); got != 0 {
+		t.Fatalf("PhaseDuration(missing) = %v, want 0", got)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("Phases = %v", r.Phases)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Algorithm: "P-MPSM", Workers: 8, Matches: 42, MaxSum: 99, Total: 3 * time.Millisecond}
+	r.AddPhase("phase 1", time.Millisecond)
+	s := r.String()
+	for _, want := range []string{"P-MPSM", "T=8", "matches=42", "max=99", "phase 1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestStopwatchPhase(t *testing.T) {
+	ran := false
+	d := StopwatchPhase(func() {
+		ran = true
+		time.Sleep(2 * time.Millisecond)
+	})
+	if !ran {
+		t.Fatal("StopwatchPhase did not invoke the function")
+	}
+	if d < 2*time.Millisecond {
+		t.Fatalf("StopwatchPhase duration %v shorter than the work", d)
+	}
+}

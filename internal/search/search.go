@@ -1,0 +1,90 @@
+// Package search provides the interpolation search the MPSM join phase uses
+// to find the first public-input tuple of a sorted run that can join with a
+// worker's private run (Section 3.2.2, Figure 7 of the paper).
+//
+// Sequentially scanning for the merge-join start point would incur many
+// comparisons; interpolation search narrows the search space by repeatedly
+// applying the rule of proportion between the minimum and maximum keys of the
+// current search interval. A binary-search fallback bounds the worst case on
+// adversarially distributed keys.
+package search
+
+import "repro/internal/relation"
+
+// maxInterpolationSteps bounds the number of interpolation iterations before
+// the search falls back to plain binary search. Interpolation converges in
+// O(log log n) steps on uniform data; heavily skewed data could otherwise
+// degenerate toward O(n).
+const maxInterpolationSteps = 64
+
+// linearCutoff is the interval size below which a linear scan finishes the
+// search; tiny intervals are faster to scan than to keep interpolating.
+const linearCutoff = 8
+
+// LowerBound returns the index of the first tuple in the sorted run whose key
+// is >= probe. If every key is smaller than probe it returns len(run). The run
+// must be sorted by ascending key.
+func LowerBound(run []relation.Tuple, probe uint64) int {
+	lo, hi := 0, len(run) // invariant: the answer lies in [lo, hi]
+
+	steps := 0
+	for hi-lo > linearCutoff {
+		loKey := run[lo].Key
+		hiKey := run[hi-1].Key
+		if probe <= loKey {
+			return lo
+		}
+		if probe > hiKey {
+			return hi
+		}
+		steps++
+		if steps > maxInterpolationSteps || hiKey == loKey {
+			return binaryLowerBound(run, lo, hi, probe)
+		}
+		// Rule of proportion: the most probable position of probe within
+		// [lo, hi) assuming a locally uniform key distribution.
+		span := float64(hi - 1 - lo)
+		frac := float64(probe-loKey) / float64(hiKey-loKey)
+		mid := lo + int(span*frac)
+		if mid <= lo {
+			mid = lo + 1
+		}
+		if mid > hi-1 {
+			mid = hi - 1
+		}
+		if run[mid].Key < probe {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if run[i].Key >= probe {
+			return i
+		}
+	}
+	return hi
+}
+
+// binaryLowerBound is the classic binary-search lower bound over [lo, hi).
+func binaryLowerBound(run []relation.Tuple, lo, hi int, probe uint64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if run[mid].Key < probe {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBound returns the index of the first tuple in the sorted run whose key
+// is strictly greater than probe. It is used to find the exclusive end of the
+// relevant S range of a private partition.
+func UpperBound(run []relation.Tuple, probe uint64) int {
+	if probe == ^uint64(0) {
+		return len(run)
+	}
+	return LowerBound(run, probe+1)
+}

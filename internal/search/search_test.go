@@ -1,0 +1,168 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func sortedRun(keys []uint64) []relation.Tuple {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	run := make([]relation.Tuple, len(keys))
+	for i, k := range keys {
+		run[i] = relation.Tuple{Key: k, Payload: uint64(i)}
+	}
+	return run
+}
+
+// referenceLowerBound is the trusted oracle implementation.
+func referenceLowerBound(run []relation.Tuple, probe uint64) int {
+	return sort.Search(len(run), func(i int) bool { return run[i].Key >= probe })
+}
+
+func TestLowerBoundSmallCases(t *testing.T) {
+	run := sortedRun([]uint64{10, 20, 20, 30, 40})
+	cases := map[uint64]int{
+		0:   0,
+		10:  0,
+		11:  1,
+		20:  1,
+		21:  3,
+		30:  3,
+		40:  4,
+		41:  5,
+		100: 5,
+	}
+	for probe, want := range cases {
+		if got := LowerBound(run, probe); got != want {
+			t.Errorf("LowerBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestLowerBoundEmptyAndSingle(t *testing.T) {
+	if got := LowerBound(nil, 5); got != 0 {
+		t.Fatalf("LowerBound(nil, 5) = %d, want 0", got)
+	}
+	run := sortedRun([]uint64{7})
+	if got := LowerBound(run, 7); got != 0 {
+		t.Fatalf("LowerBound([7], 7) = %d, want 0", got)
+	}
+	if got := LowerBound(run, 8); got != 1 {
+		t.Fatalf("LowerBound([7], 8) = %d, want 1", got)
+	}
+}
+
+func TestLowerBoundAllEqualKeys(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = 42
+	}
+	run := sortedRun(keys)
+	if got := LowerBound(run, 42); got != 0 {
+		t.Fatalf("LowerBound(=42) = %d, want 0", got)
+	}
+	if got := LowerBound(run, 43); got != 1000 {
+		t.Fatalf("LowerBound(43) = %d, want 1000", got)
+	}
+	if got := LowerBound(run, 1); got != 0 {
+		t.Fatalf("LowerBound(1) = %d, want 0", got)
+	}
+}
+
+func TestLowerBoundUniformMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 50000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % (1 << 32)
+	}
+	run := sortedRun(keys)
+	for trial := 0; trial < 5000; trial++ {
+		probe := rng.Uint64() % (1 << 33)
+		want := referenceLowerBound(run, probe)
+		if got := LowerBound(run, probe); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestLowerBoundSkewedMatchesReference(t *testing.T) {
+	// Heavily skewed keys defeat pure interpolation; the binary fallback
+	// must keep the result exact.
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]uint64, 20000)
+	for i := range keys {
+		if i%100 == 0 {
+			keys[i] = 1 << 60 // a few huge outliers
+		} else {
+			keys[i] = rng.Uint64() % 1000
+		}
+	}
+	run := sortedRun(keys)
+	probes := []uint64{0, 1, 500, 999, 1000, 1 << 59, 1 << 60, 1<<60 + 1}
+	for trial := 0; trial < 2000; trial++ {
+		probes = append(probes, rng.Uint64()%(1<<61))
+	}
+	for _, probe := range probes {
+		want := referenceLowerBound(run, probe)
+		if got := LowerBound(run, probe); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	f := func(rawKeys []uint64, probe uint64) bool {
+		run := sortedRun(rawKeys)
+		got := LowerBound(run, probe)
+		want := referenceLowerBound(run, probe)
+		if got != want {
+			return false
+		}
+		// Semantic checks independent of the oracle.
+		if got > 0 && run[got-1].Key >= probe {
+			return false
+		}
+		if got < len(run) && run[got].Key < probe {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBound(t *testing.T) {
+	run := sortedRun([]uint64{10, 20, 20, 30})
+	cases := map[uint64]int{
+		5:  0,
+		10: 1,
+		20: 3,
+		25: 3,
+		30: 4,
+		31: 4,
+	}
+	for probe, want := range cases {
+		if got := UpperBound(run, probe); got != want {
+			t.Errorf("UpperBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+	// Max probe must not overflow.
+	if got := UpperBound(run, ^uint64(0)); got != len(run) {
+		t.Fatalf("UpperBound(max) = %d, want %d", got, len(run))
+	}
+}
+
+func TestBinaryLowerBoundDirect(t *testing.T) {
+	run := sortedRun([]uint64{1, 3, 5, 7, 9, 11})
+	for probe := uint64(0); probe <= 12; probe++ {
+		want := referenceLowerBound(run, probe)
+		if got := binaryLowerBound(run, 0, len(run), probe); got != want {
+			t.Errorf("binaryLowerBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+}

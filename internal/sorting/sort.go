@@ -1,0 +1,275 @@
+// Package sorting implements the three-phase sorting routine the MPSM paper
+// (Section 2.3) uses for run generation:
+//
+//  1. An in-place MSD radix partitioning step that splits the input into 256
+//     partitions according to the 8 most significant bits of the (normalized)
+//     join key. The step computes a 256-bucket histogram, derives partition
+//     boundaries, and swaps elements into place (American-flag style), so no
+//     auxiliary tuple buffer is needed.
+//  2. IntroSort (Musser) on every partition: quicksort bounded to 2·log2(N)
+//     recursion levels with a heapsort fallback, stopping at small partitions.
+//  3. A final insertion-sort pass over partitions smaller than the cutoff
+//     (16 elements), which obtains the total order.
+//
+// The paper reports this routine to be roughly 30% faster than the C++ STL
+// sort even with 32 workers sorting local runs concurrently; the package also
+// exposes a standard-library baseline (SortStdlib) so the benchmark harness
+// can reproduce that comparison in Go.
+package sorting
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// radixBits is the number of most significant key bits used by the first
+// radix partitioning phase (2^8 = 256 partitions), as specified in the paper.
+const radixBits = 8
+
+// radixBuckets is the number of partitions produced by the radix phase.
+const radixBuckets = 1 << radixBits
+
+// insertionCutoff is the partition size below which IntroSort leaves the data
+// to the final insertion-sort pass. The paper uses 16.
+const insertionCutoff = 16
+
+// Sort orders tuples in place by ascending join key using the paper's
+// three-phase Radix/IntroSort. It is not stable; tuples with equal keys may
+// appear in any relative order.
+func Sort(tuples []relation.Tuple) {
+	if len(tuples) < 2 {
+		return
+	}
+	if len(tuples) <= insertionCutoff {
+		insertionSort(tuples)
+		return
+	}
+
+	shift := radixShift(tuples)
+	bounds := radixPartition(tuples, shift)
+
+	// Phase 2: IntroSort each radix partition independently; the radix
+	// phase already guarantees inter-partition order.
+	for b := 0; b < radixBuckets; b++ {
+		part := tuples[bounds[b]:bounds[b+1]]
+		if len(part) > insertionCutoff {
+			depthLimit := 2 * log2ceil(len(part))
+			introSortLoop(part, depthLimit)
+		}
+	}
+
+	// Phase 3: one final insertion-sort pass. Thanks to the radix bounds
+	// and the quicksort cutoff every element is within a small distance of
+	// its final position, so this pass is cheap. The pass runs per
+	// partition so that elements never cross radix boundaries.
+	for b := 0; b < radixBuckets; b++ {
+		part := tuples[bounds[b]:bounds[b+1]]
+		if len(part) > 1 {
+			insertionSort(part)
+		}
+	}
+}
+
+// SortStdlib orders tuples in place by ascending key using the Go standard
+// library (sort.Slice). It exists as the comparison baseline for the paper's
+// Section 2.3 claim and for differential testing of Sort.
+func SortStdlib(tuples []relation.Tuple) {
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
+}
+
+// IsSorted reports whether tuples are in non-decreasing key order.
+func IsSorted(tuples []relation.Tuple) bool { return relation.IsSortedByKey(tuples) }
+
+// radixShift determines how far keys must be shifted right so that the top
+// radixBits bits of the observed key range select the radix bucket. The paper
+// notes that, depending on the actual minimum and maximum join key values, the
+// keys may need preprocessing with bitwise shifts before radix clustering; we
+// derive the shift from the highest set bit of the maximum key so that key
+// domains much smaller than 2^64 (for example [0, 2^32) in the evaluation)
+// still spread over all 256 buckets.
+func radixShift(tuples []relation.Tuple) uint {
+	var maxKey uint64
+	for _, t := range tuples {
+		if t.Key > maxKey {
+			maxKey = t.Key
+		}
+	}
+	width := bits.Len64(maxKey)
+	if width <= radixBits {
+		return 0
+	}
+	return uint(width - radixBits)
+}
+
+// radixPartition performs the in-place MSD radix partitioning phase. It
+// returns the 257 partition boundaries: partition b occupies
+// tuples[bounds[b]:bounds[b+1]] and contains exactly the tuples whose bucket
+// (key >> shift) equals b. After the call, buckets appear in ascending order.
+func radixPartition(tuples []relation.Tuple, shift uint) [radixBuckets + 1]int {
+	var histogram [radixBuckets]int
+	for _, t := range tuples {
+		histogram[bucketOf(t.Key, shift)]++
+	}
+
+	// Prefix sums: start offset of each bucket.
+	var bounds [radixBuckets + 1]int
+	for b := 0; b < radixBuckets; b++ {
+		bounds[b+1] = bounds[b] + histogram[b]
+	}
+
+	// American-flag swap: walk each bucket's region and swap misplaced
+	// tuples into the next free slot of their home bucket.
+	var next [radixBuckets]int
+	copy(next[:], bounds[:radixBuckets])
+	for b := 0; b < radixBuckets; b++ {
+		for i := next[b]; i < bounds[b+1]; {
+			dst := bucketOf(tuples[i].Key, shift)
+			if dst == b {
+				i++
+				next[b] = i
+				continue
+			}
+			tuples[i], tuples[next[dst]] = tuples[next[dst]], tuples[i]
+			next[dst]++
+		}
+	}
+	return bounds
+}
+
+// bucketOf maps a key to its radix bucket for the given shift.
+func bucketOf(key uint64, shift uint) int {
+	b := key >> shift
+	if b >= radixBuckets {
+		// Keys above the sampled maximum (possible only if callers pass
+		// a stale shift) clamp into the last bucket so the partition
+		// bounds stay valid; the later sort phases restore total order.
+		return radixBuckets - 1
+	}
+	return int(b)
+}
+
+// introSortLoop is the quicksort part of IntroSort: it recurses on the
+// smaller side, loops on the larger side, leaves partitions below the
+// insertion cutoff untouched, and degrades to heapsort when the depth limit
+// reaches zero (guarding against quadratic behaviour on adversarial inputs).
+func introSortLoop(tuples []relation.Tuple, depthLimit int) {
+	for len(tuples) > insertionCutoff {
+		if depthLimit == 0 {
+			heapSort(tuples)
+			return
+		}
+		depthLimit--
+		p := partitionHoare(tuples)
+		// Recurse on the smaller side to bound stack depth at O(log n).
+		if p < len(tuples)-p {
+			introSortLoop(tuples[:p], depthLimit)
+			tuples = tuples[p:]
+		} else {
+			introSortLoop(tuples[p:], depthLimit)
+			tuples = tuples[:p]
+		}
+	}
+}
+
+// partitionHoare partitions tuples around a median-of-three pivot and returns
+// the split index p such that every element of tuples[:p] is <= every element
+// of tuples[p:] and both sides are non-empty.
+func partitionHoare(tuples []relation.Tuple) int {
+	pivot := medianOfThree(tuples)
+	i, j := -1, len(tuples)
+	for {
+		for {
+			i++
+			if tuples[i].Key >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if tuples[j].Key <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			if j+1 <= 0 || j+1 >= len(tuples) {
+				// Degenerate split (all keys equal to an extreme
+				// pivot); fall back to a midpoint split to
+				// guarantee progress.
+				return len(tuples) / 2
+			}
+			return j + 1
+		}
+		tuples[i], tuples[j] = tuples[j], tuples[i]
+	}
+}
+
+// medianOfThree returns the median key of the first, middle and last elements.
+func medianOfThree(tuples []relation.Tuple) uint64 {
+	a := tuples[0].Key
+	b := tuples[len(tuples)/2].Key
+	c := tuples[len(tuples)-1].Key
+	switch {
+	case (a <= b) == (b <= c):
+		return b
+	case (b <= a) == (a <= c):
+		return a
+	default:
+		return c
+	}
+}
+
+// heapSort sorts tuples in place using a binary max-heap. It is the fallback
+// of IntroSort when the quicksort recursion depth is exhausted.
+func heapSort(tuples []relation.Tuple) {
+	n := len(tuples)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(tuples, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		tuples[0], tuples[end] = tuples[end], tuples[0]
+		siftDown(tuples, 0, end)
+	}
+}
+
+// siftDown restores the max-heap property for the subtree rooted at i within
+// tuples[:n].
+func siftDown(tuples []relation.Tuple, i, n int) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && tuples[child+1].Key > tuples[child].Key {
+			child++
+		}
+		if tuples[i].Key >= tuples[child].Key {
+			return
+		}
+		tuples[i], tuples[child] = tuples[child], tuples[i]
+		i = child
+	}
+}
+
+// insertionSort sorts tuples in place; it is efficient for the short, almost
+// sorted partitions the earlier phases leave behind.
+func insertionSort(tuples []relation.Tuple) {
+	for i := 1; i < len(tuples); i++ {
+		t := tuples[i]
+		j := i - 1
+		for j >= 0 && tuples[j].Key > t.Key {
+			tuples[j+1] = tuples[j]
+			j--
+		}
+		tuples[j+1] = t
+	}
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

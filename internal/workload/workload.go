@@ -1,0 +1,256 @@
+// Package workload generates the synthetic datasets of the MPSM paper's
+// experimental evaluation (Section 5): relations of 64-bit join keys drawn
+// from [0, 2^32) with 64-bit payloads, multiplicities |S| = m·|R| for
+// m ∈ {1, 4, 8, 16}, uniform and 80:20-skewed key distributions, negatively
+// correlated skew between R and S, and location skew within S.
+//
+// All generators are deterministic given a seed so that experiments are
+// reproducible and results can be validated against reference joins.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// DefaultKeyDomain is the key domain of the paper's datasets: [0, 2^32).
+const DefaultKeyDomain = uint64(1) << 32
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (splitmix64). It is deliberately independent of math/rand so that generated
+// datasets are stable across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a pseudo-random value in [0, n). It panics if n is zero.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: Uint64n(0)")
+	}
+	return r.Next() % n
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Skew describes the key-value distribution of a generated relation.
+type Skew int
+
+const (
+	// SkewNone draws keys uniformly from the whole domain.
+	SkewNone Skew = iota
+	// SkewLow80 draws 80% of the keys from the lowest 20% of the domain
+	// (the S-side distribution of the Section 5.6 experiment).
+	SkewLow80
+	// SkewHigh80 draws 80% of the keys from the highest 20% of the domain
+	// (the R-side distribution of the Section 5.6 experiment).
+	SkewHigh80
+)
+
+// String implements fmt.Stringer.
+func (s Skew) String() string {
+	switch s {
+	case SkewNone:
+		return "uniform"
+	case SkewLow80:
+		return "low-80:20"
+	case SkewHigh80:
+		return "high-80:20"
+	default:
+		return fmt.Sprintf("Skew(%d)", int(s))
+	}
+}
+
+// drawKey draws one key from the domain according to the skew.
+func drawKey(rng *RNG, domain uint64, skew Skew) uint64 {
+	switch skew {
+	case SkewLow80:
+		cut := domain / 5
+		if rng.Float64() < 0.8 {
+			return rng.Uint64n(cut)
+		}
+		return cut + rng.Uint64n(domain-cut)
+	case SkewHigh80:
+		cut := domain / 5
+		if rng.Float64() < 0.8 {
+			return domain - cut + rng.Uint64n(cut)
+		}
+		return rng.Uint64n(domain - cut)
+	default:
+		return rng.Uint64n(domain)
+	}
+}
+
+// UniformRelation generates n tuples with keys drawn uniformly from
+// [0, domain) and pseudo-random payloads.
+func UniformRelation(name string, n int, domain uint64, seed uint64) *relation.Relation {
+	return SkewedRelation(name, n, domain, SkewNone, seed)
+}
+
+// SkewedRelation generates n tuples with keys drawn from [0, domain) according
+// to the given skew and pseudo-random payloads.
+func SkewedRelation(name string, n int, domain uint64, skew Skew, seed uint64) *relation.Relation {
+	rng := NewRNG(seed)
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{
+			Key:     drawKey(rng, domain, skew),
+			Payload: rng.Next(),
+		}
+	}
+	return relation.New(name, tuples)
+}
+
+// ForeignKeyRelation generates a relation of n tuples whose keys are sampled
+// (with repetition) from the keys of the given parent relation, mimicking a
+// fact table referencing a dimension table. Every generated tuple therefore
+// has at least one join partner in the parent, which keeps join cardinalities
+// meaningful at laptop scale where uniform 2^32 domains would rarely collide.
+func ForeignKeyRelation(name string, parent *relation.Relation, n int, seed uint64) *relation.Relation {
+	if parent.Len() == 0 {
+		return relation.New(name, nil)
+	}
+	rng := NewRNG(seed)
+	tuples := make([]relation.Tuple, n)
+	parentTuples := parent.Tuples
+	for i := range tuples {
+		src := parentTuples[rng.Uint64n(uint64(len(parentTuples)))]
+		tuples[i] = relation.Tuple{Key: src.Key, Payload: rng.Next()}
+	}
+	return relation.New(name, tuples)
+}
+
+// LocationSkew describes how tuples are physically arranged across worker
+// chunks, independent of the key-value distribution (Section 5.5).
+type LocationSkew int
+
+const (
+	// LocationNone shuffles tuples randomly across the relation.
+	LocationNone LocationSkew = iota
+	// LocationClustered arranges tuples so that small keys appear (mostly)
+	// before large keys: chunk i holds the i-th key range of the relation,
+	// but tuples within a chunk stay unsorted. In the extreme this means
+	// all join partners of a private partition Ri are found in a single
+	// public run.
+	LocationClustered
+)
+
+// String implements fmt.Stringer.
+func (l LocationSkew) String() string {
+	switch l {
+	case LocationNone:
+		return "none"
+	case LocationClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("LocationSkew(%d)", int(l))
+	}
+}
+
+// ApplyLocationSkew rearranges the relation in place according to the
+// requested location skew for the given number of worker chunks. With
+// LocationClustered the tuples are bucketed by key range into chunk-sized
+// groups in ascending order (small to large join key order), but the order
+// within each group remains the original insertion order, so per-chunk sorting
+// is still necessary — exactly the paper's "no total order" arrangement.
+func ApplyLocationSkew(rel *relation.Relation, workers int, skew LocationSkew, domain uint64) {
+	if skew != LocationClustered || workers <= 1 || rel.Len() == 0 {
+		return
+	}
+	buckets := make([][]relation.Tuple, workers)
+	per := domain / uint64(workers)
+	if per == 0 {
+		per = 1
+	}
+	for _, t := range rel.Tuples {
+		b := int(t.Key / per)
+		if b >= workers {
+			b = workers - 1
+		}
+		buckets[b] = append(buckets[b], t)
+	}
+	out := rel.Tuples[:0]
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	rel.Tuples = out
+}
+
+// Spec describes a full benchmark dataset: the private input R, the public
+// input S = multiplicity × |R|, their distributions, and the physical
+// arrangement of S.
+type Spec struct {
+	// Name labels the dataset in reports.
+	Name string
+	// RSize is the number of tuples in R.
+	RSize int
+	// Multiplicity scales |S| = Multiplicity × RSize.
+	Multiplicity int
+	// KeyDomain is the exclusive upper bound of the key domain; 0 selects
+	// DefaultKeyDomain.
+	KeyDomain uint64
+	// RSkew and SSkew select the key-value distributions. Setting
+	// RSkew = SkewHigh80 and SSkew = SkewLow80 reproduces the negatively
+	// correlated workload of Section 5.6.
+	RSkew, SSkew Skew
+	// ForeignKey, if true, draws S keys from R's keys instead of from the
+	// domain, guaranteeing join partners (recommended at small scale).
+	ForeignKey bool
+	// SLocationSkew controls the physical arrangement of S (Section 5.5).
+	SLocationSkew LocationSkew
+	// LocationSkewWorkers is the number of chunks used when arranging S
+	// with location skew; it should equal the worker count of the join.
+	LocationSkewWorkers int
+	// Seed makes the dataset deterministic.
+	Seed uint64
+}
+
+// Validate checks the spec for obviously invalid parameters.
+func (s Spec) Validate() error {
+	if s.RSize < 0 {
+		return fmt.Errorf("workload: negative RSize %d", s.RSize)
+	}
+	if s.Multiplicity <= 0 {
+		return fmt.Errorf("workload: multiplicity must be positive, got %d", s.Multiplicity)
+	}
+	if s.ForeignKey && s.RSize == 0 && s.Multiplicity > 0 {
+		return fmt.Errorf("workload: foreign-key S requires a non-empty R")
+	}
+	return nil
+}
+
+// Generate materializes the dataset described by the spec.
+func Generate(spec Spec) (r, s *relation.Relation, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	domain := spec.KeyDomain
+	if domain == 0 {
+		domain = DefaultKeyDomain
+	}
+	r = SkewedRelation("R", spec.RSize, domain, spec.RSkew, spec.Seed+1)
+	sSize := spec.RSize * spec.Multiplicity
+	if spec.ForeignKey {
+		s = ForeignKeyRelation("S", r, sSize, spec.Seed+2)
+	} else {
+		s = SkewedRelation("S", sSize, domain, spec.SSkew, spec.Seed+2)
+	}
+	ApplyLocationSkew(s, spec.LocationSkewWorkers, spec.SLocationSkew, domain)
+	return r, s, nil
+}

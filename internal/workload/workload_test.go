@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce the same sequence")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different sequences")
+	}
+}
+
+func TestRNGUint64nRange(t *testing.T) {
+	rng := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Uint64n(10); v >= 10 {
+			t.Fatalf("Uint64n(10) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) should panic")
+		}
+	}()
+	rng.Uint64n(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestUniformRelation(t *testing.T) {
+	r := UniformRelation("R", 10000, 1000, 1)
+	if r.Len() != 10000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	minKey, maxKey, err := r.MinMaxKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxKey >= 1000 {
+		t.Fatalf("max key %d outside domain", maxKey)
+	}
+	// A uniform draw of 10000 keys from [0,1000) should cover a wide range.
+	if minKey > 10 || maxKey < 990 {
+		t.Fatalf("keys do not look uniform: min %d max %d", minKey, maxKey)
+	}
+}
+
+func TestUniformRelationDeterministic(t *testing.T) {
+	a := UniformRelation("R", 100, DefaultKeyDomain, 5)
+	b := UniformRelation("R", 100, DefaultKeyDomain, 5)
+	for i := range a.Tuples {
+		if a.Tuples[i] != b.Tuples[i] {
+			t.Fatal("same seed must produce identical relations")
+		}
+	}
+}
+
+func TestSkewedRelationDistribution(t *testing.T) {
+	domain := uint64(1000)
+	n := 50000
+	cut := domain / 5
+
+	low := SkewedRelation("low", n, domain, SkewLow80, 3)
+	lowCount := 0
+	for _, tup := range low.Tuples {
+		if tup.Key < cut {
+			lowCount++
+		}
+	}
+	frac := float64(lowCount) / float64(n)
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("SkewLow80: %.2f of keys in low 20%%, want ~0.80", frac)
+	}
+
+	high := SkewedRelation("high", n, domain, SkewHigh80, 4)
+	highCount := 0
+	for _, tup := range high.Tuples {
+		if tup.Key >= domain-cut {
+			highCount++
+		}
+	}
+	frac = float64(highCount) / float64(n)
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("SkewHigh80: %.2f of keys in high 20%%, want ~0.80", frac)
+	}
+}
+
+func TestSkewStringer(t *testing.T) {
+	if SkewNone.String() != "uniform" || SkewLow80.String() != "low-80:20" || SkewHigh80.String() != "high-80:20" {
+		t.Fatal("unexpected Skew string forms")
+	}
+	if Skew(99).String() != "Skew(99)" {
+		t.Fatal("unknown skew should render numerically")
+	}
+	if LocationNone.String() != "none" || LocationClustered.String() != "clustered" {
+		t.Fatal("unexpected LocationSkew string forms")
+	}
+	if LocationSkew(42).String() != "LocationSkew(42)" {
+		t.Fatal("unknown location skew should render numerically")
+	}
+}
+
+func TestForeignKeyRelation(t *testing.T) {
+	parent := UniformRelation("R", 1000, DefaultKeyDomain, 11)
+	parentKeys := make(map[uint64]bool, parent.Len())
+	for _, tup := range parent.Tuples {
+		parentKeys[tup.Key] = true
+	}
+	child := ForeignKeyRelation("S", parent, 4000, 12)
+	if child.Len() != 4000 {
+		t.Fatalf("child len = %d", child.Len())
+	}
+	for _, tup := range child.Tuples {
+		if !parentKeys[tup.Key] {
+			t.Fatalf("child key %d not present in parent", tup.Key)
+		}
+	}
+}
+
+func TestForeignKeyRelationEmptyParent(t *testing.T) {
+	child := ForeignKeyRelation("S", relation.New("R", nil), 10, 1)
+	if child.Len() != 0 {
+		t.Fatalf("child of empty parent should be empty, got %d", child.Len())
+	}
+}
+
+func TestApplyLocationSkewClustered(t *testing.T) {
+	domain := uint64(1 << 20)
+	rel := UniformRelation("S", 20000, domain, 13)
+	original := append([]relation.Tuple(nil), rel.Tuples...)
+	workers := 8
+	ApplyLocationSkew(rel, workers, LocationClustered, domain)
+
+	if !relation.SameMultiset(original, rel.Tuples) {
+		t.Fatal("location skew must not lose tuples")
+	}
+	// Chunk i must only contain keys from the i-th key range.
+	per := domain / uint64(workers)
+	chunks := rel.Split(workers)
+	// Chunk boundaries do not exactly align with bucket boundaries when
+	// bucket sizes differ, so check a weaker, global property: keys must
+	// be grouped so that the sequence of bucket indices is non-decreasing.
+	prevBucket := -1
+	for _, tup := range rel.Tuples {
+		b := int(tup.Key / per)
+		if b >= workers {
+			b = workers - 1
+		}
+		if b < prevBucket {
+			t.Fatalf("bucket order violated: %d after %d", b, prevBucket)
+		}
+		prevBucket = b
+	}
+	_ = chunks
+}
+
+func TestApplyLocationSkewNoOpCases(t *testing.T) {
+	rel := UniformRelation("S", 100, 1000, 17)
+	original := append([]relation.Tuple(nil), rel.Tuples...)
+	ApplyLocationSkew(rel, 1, LocationClustered, 1000)
+	ApplyLocationSkew(rel, 8, LocationNone, 1000)
+	for i := range original {
+		if rel.Tuples[i] != original[i] {
+			t.Fatal("no-op location skew must not reorder tuples")
+		}
+	}
+	empty := relation.New("E", nil)
+	ApplyLocationSkew(empty, 8, LocationClustered, 1000) // must not panic
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := Spec{RSize: 10, Multiplicity: 4}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{RSize: -1, Multiplicity: 1}).Validate(); err == nil {
+		t.Fatal("negative RSize accepted")
+	}
+	if err := (Spec{RSize: 10, Multiplicity: 0}).Validate(); err == nil {
+		t.Fatal("zero multiplicity accepted")
+	}
+	if err := (Spec{RSize: 0, Multiplicity: 4, ForeignKey: true}).Validate(); err == nil {
+		t.Fatal("foreign-key spec with empty R accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	r, s, err := Generate(Spec{
+		Name:         "uniform-m4",
+		RSize:        1000,
+		Multiplicity: 4,
+		ForeignKey:   true,
+		Seed:         21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1000 || s.Len() != 4000 {
+		t.Fatalf("sizes = %d, %d", r.Len(), s.Len())
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	if _, _, err := Generate(Spec{RSize: 10, Multiplicity: -1}); err == nil {
+		t.Fatal("invalid spec should error")
+	}
+}
+
+func TestGenerateNegativelyCorrelated(t *testing.T) {
+	r, s, err := Generate(Spec{
+		RSize:        20000,
+		Multiplicity: 2,
+		RSkew:        SkewHigh80,
+		SSkew:        SkewLow80,
+		KeyDomain:    1 << 20,
+		Seed:         23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := uint64(1 << 20)
+	cut := domain / 5
+	rHigh, sLow := 0, 0
+	for _, tup := range r.Tuples {
+		if tup.Key >= domain-cut {
+			rHigh++
+		}
+	}
+	for _, tup := range s.Tuples {
+		if tup.Key < cut {
+			sLow++
+		}
+	}
+	if float64(rHigh)/float64(r.Len()) < 0.7 {
+		t.Fatal("R is not skewed toward the high end")
+	}
+	if float64(sLow)/float64(s.Len()) < 0.7 {
+		t.Fatal("S is not skewed toward the low end")
+	}
+}

@@ -1,0 +1,266 @@
+// Package mpsm is a Go implementation of the massively parallel sort-merge
+// (MPSM) join algorithms of Albutiu, Kemper and Neumann, "Massively Parallel
+// Sort-Merge Joins in Main Memory Multi-Core Database Systems" (VLDB 2012),
+// together with the substrates the paper builds on and the baselines it
+// compares against.
+//
+// The package exposes:
+//
+//   - the three MPSM variants: B-MPSM (basic, skew-immune), P-MPSM
+//     (range-partitioned with histogram/CDF-based load balancing — the
+//     paper's main contribution) and D-MPSM (disk-enabled, memory
+//     constrained);
+//   - two hash-join baselines: the "Wisconsin" no-partitioning shared hash
+//     join and a radix-partitioned hash join in the MonetDB/Vectorwise
+//     lineage;
+//   - a workload generator reproducing the paper's evaluation datasets
+//     (uniform, 80:20 skew, negatively correlated skew, location skew,
+//     multiplicities 1–16);
+//   - a simulated NUMA model that classifies memory accesses and prices them
+//     with a calibrated cost model, substituting for hardware NUMA control
+//     that Go does not expose.
+//
+// # Quick start
+//
+//	r := mpsm.GenerateUniform("R", 1_000_000, 42)
+//	s := mpsm.GenerateForeignKey("S", r, 4_000_000, 43)
+//	res, err := mpsm.Join(r, s, mpsm.Config{Workers: 8})
+//	if err != nil { ... }
+//	fmt.Println(res.Matches, res.MaxSum, res.Total)
+//
+// See the examples directory and EXPERIMENTS.md for the full evaluation
+// harness that regenerates every figure of the paper.
+package mpsm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mergejoin"
+	"repro/internal/numa"
+	"repro/internal/relation"
+	"repro/internal/result"
+	"repro/internal/workload"
+)
+
+// Tuple is a single row: a 64-bit join key and a 64-bit payload.
+type Tuple = relation.Tuple
+
+// Relation is an in-memory table held as a flat slice of tuples.
+type Relation = relation.Relation
+
+// Result describes the outcome of a join execution, including the per-phase
+// timing breakdown, the join cardinality, the max(R.payload+S.payload)
+// aggregate, and (when enabled) the simulated NUMA statistics.
+type Result = result.Result
+
+// Phase is one timed phase of a join execution.
+type Phase = result.Phase
+
+// AccessStats are the simulated NUMA access counters of a join execution.
+type AccessStats = numa.AccessStats
+
+// Topology describes a simulated NUMA machine (nodes × cores per node).
+type Topology = numa.Topology
+
+// DiskStats reports the storage behaviour of a D-MPSM execution.
+type DiskStats = core.DiskStats
+
+// NewRelation wraps a tuple slice as a relation without copying.
+func NewRelation(name string, tuples []Tuple) *Relation { return relation.New(name, tuples) }
+
+// Algorithm selects a join implementation.
+type Algorithm = exec.Algorithm
+
+// Available join algorithms.
+const (
+	PMPSM     = exec.AlgorithmPMPSM
+	BMPSM     = exec.AlgorithmBMPSM
+	DMPSM     = exec.AlgorithmDMPSM
+	Wisconsin = exec.AlgorithmWisconsin
+	RadixHash = exec.AlgorithmRadix
+)
+
+// SplitterStrategy selects how P-MPSM balances its range partitions.
+type SplitterStrategy = core.SplitterStrategy
+
+// Available splitter strategies for P-MPSM.
+const (
+	// SplitterEquiCost balances sort + join cost per worker using the
+	// global R histogram and the S CDF (the paper's skew-resilient default).
+	SplitterEquiCost = core.SplitterEquiCost
+	// SplitterEquiHeight balances only R tuple counts (Figure 16 baseline).
+	SplitterEquiHeight = core.SplitterEquiHeight
+	// SplitterUniform uses static, data-oblivious key ranges.
+	SplitterUniform = core.SplitterUniform
+)
+
+// JoinKind selects the join semantics (inner, left-outer, semi, anti).
+type JoinKind = mergejoin.Kind
+
+// Available join kinds. Non-inner kinds are supported by the B-MPSM and
+// P-MPSM algorithms (the paper lists them as natural extensions of MPSM).
+const (
+	// InnerJoin emits one result per matching (r, s) pair.
+	InnerJoin = mergejoin.Inner
+	// LeftOuterJoin additionally emits unmatched private tuples with a
+	// zero-valued public side.
+	LeftOuterJoin = mergejoin.LeftOuter
+	// SemiJoin emits each private tuple with at least one match, once.
+	SemiJoin = mergejoin.Semi
+	// AntiJoin emits each private tuple without any match.
+	AntiJoin = mergejoin.Anti
+)
+
+// Config configures a join execution through the public API.
+type Config struct {
+	// Algorithm selects the join implementation; the zero value is P-MPSM.
+	Algorithm Algorithm
+	// Kind selects the join semantics; the zero value is an inner join.
+	Kind JoinKind
+	// BandWidth, when non-zero, turns the join into a non-equi band join:
+	// tuples match when |R.key − S.key| <= BandWidth. Requires Kind ==
+	// InnerJoin and the B-MPSM or P-MPSM algorithm.
+	BandWidth uint64
+	// Workers is the degree of parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// Splitters selects P-MPSM's partition balancing strategy.
+	Splitters SplitterStrategy
+	// HistogramBits is the granularity of P-MPSM's private-input histogram
+	// (2^bits clusters); 0 selects the default of 10.
+	HistogramBits int
+	// CollectPerWorker records per-worker phase breakdowns.
+	CollectPerWorker bool
+	// PresortedPublic and PresortedPrivate declare that the corresponding
+	// input is already sorted by join key, letting the MPSM variants skip
+	// the respective sorting phase (verified per chunk, so a false
+	// declaration costs only the check).
+	PresortedPublic  bool
+	PresortedPrivate bool
+
+	// TrackNUMA enables the simulated NUMA access accounting.
+	TrackNUMA bool
+	// Topology overrides the simulated NUMA topology (default: 4 nodes × 8
+	// cores, the paper's evaluation machine).
+	Topology Topology
+
+	// Disk configures the D-MPSM variant; ignored by the other algorithms.
+	Disk DiskConfig
+}
+
+// DiskConfig configures the disk-enabled D-MPSM variant.
+type DiskConfig struct {
+	// PageSize is the number of tuples per spilled page (default 1024).
+	PageSize int
+	// PageBudget caps the number of public-input pages kept in RAM
+	// (0 = unlimited).
+	PageBudget int
+	// PrefetchDistance is the prefetcher lookahead in pages.
+	PrefetchDistance int
+}
+
+// toCoreOptions converts the public configuration into internal options.
+func (c Config) toCoreOptions() core.Options {
+	return core.Options{
+		Workers:          c.Workers,
+		Kind:             c.Kind,
+		Band:             c.BandWidth,
+		HistogramBits:    c.HistogramBits,
+		Splitters:        c.Splitters,
+		CollectPerWorker: c.CollectPerWorker,
+		PresortedPublic:  c.PresortedPublic,
+		PresortedPrivate: c.PresortedPrivate,
+		TrackNUMA:        c.TrackNUMA,
+		Topology:         c.Topology,
+	}
+}
+
+// Join executes an equi-join between the private input r and the public input
+// s with the configured algorithm and returns the result. For P-MPSM the
+// private input should be the smaller relation (see the paper's role-reversal
+// discussion); Join does not reverse roles automatically.
+func Join(r, s *Relation, cfg Config) (*Result, error) {
+	if r == nil || s == nil {
+		return nil, fmt.Errorf("mpsm: Join requires non-nil relations")
+	}
+	qr, err := exec.Run(exec.Query{
+		R:           r,
+		S:           s,
+		Algorithm:   cfg.Algorithm,
+		JoinOptions: cfg.toCoreOptions(),
+		DiskOptions: core.DiskOptions{
+			PageSize:         cfg.Disk.PageSize,
+			PageBudget:       cfg.Disk.PageBudget,
+			PrefetchDistance: cfg.Disk.PrefetchDistance,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return qr.Join, nil
+}
+
+// JoinWithDiskStats is Join for the D-MPSM algorithm, additionally returning
+// the buffer pool and disk statistics of the execution.
+func JoinWithDiskStats(r, s *Relation, cfg Config) (*Result, *DiskStats, error) {
+	cfg.Algorithm = DMPSM
+	if r == nil || s == nil {
+		return nil, nil, fmt.Errorf("mpsm: JoinWithDiskStats requires non-nil relations")
+	}
+	qr, err := exec.Run(exec.Query{
+		R:           r,
+		S:           s,
+		Algorithm:   DMPSM,
+		JoinOptions: cfg.toCoreOptions(),
+		DiskOptions: core.DiskOptions{
+			PageSize:         cfg.Disk.PageSize,
+			PageBudget:       cfg.Disk.PageBudget,
+			PrefetchDistance: cfg.Disk.PrefetchDistance,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return qr.Join, qr.DiskStats, nil
+}
+
+// Skew describes the key-value distribution of a generated relation.
+type Skew = workload.Skew
+
+// Available key distributions for generated relations.
+const (
+	// SkewNone draws keys uniformly from the domain.
+	SkewNone = workload.SkewNone
+	// SkewLow80 draws 80% of the keys from the lowest 20% of the domain.
+	SkewLow80 = workload.SkewLow80
+	// SkewHigh80 draws 80% of the keys from the highest 20% of the domain.
+	SkewHigh80 = workload.SkewHigh80
+)
+
+// GenerateUniform creates a relation of n tuples with uniformly distributed
+// 64-bit keys in [0, 2^32) and pseudo-random payloads, matching the paper's
+// dataset format.
+func GenerateUniform(name string, n int, seed uint64) *Relation {
+	return workload.UniformRelation(name, n, workload.DefaultKeyDomain, seed)
+}
+
+// GenerateSkewed creates a relation of n tuples with an 80:20-skewed key
+// distribution over [0, 2^32).
+func GenerateSkewed(name string, n int, skew Skew, seed uint64) *Relation {
+	return workload.SkewedRelation(name, n, workload.DefaultKeyDomain, skew, seed)
+}
+
+// GenerateSkewedWithDomain is GenerateSkewed with an explicit key domain
+// [0, domain). Smaller domains increase the key density and therefore the join
+// selectivity, which keeps skew experiments meaningful at small scale.
+func GenerateSkewedWithDomain(name string, n int, domain uint64, skew Skew, seed uint64) *Relation {
+	return workload.SkewedRelation(name, n, domain, skew, seed)
+}
+
+// GenerateForeignKey creates a relation of n tuples whose keys are sampled
+// from the parent relation's keys, guaranteeing join partners (a fact table
+// referencing a dimension table).
+func GenerateForeignKey(name string, parent *Relation, n int, seed uint64) *Relation {
+	return workload.ForeignKeyRelation(name, parent, n, seed)
+}
