@@ -4,9 +4,10 @@ package mpsm
 // paper's evaluation. The benchmarks run at a reduced scale controlled by
 // benchRSize so that `go test -bench=.` completes in minutes; the mpsmbench
 // command runs the same experiments at configurable scale and prints the
-// paper-style tables (see EXPERIMENTS.md for the recorded shapes).
+// paper-style tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -14,9 +15,54 @@ import (
 	"repro/internal/hashjoin"
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
+	"repro/internal/result"
 	"repro/internal/sorting"
 	"repro/internal/workload"
 )
+
+// The benchmarks run to completion on a background context, so the
+// context-cancellation error paths cannot trigger; these wrappers keep the
+// measurement loops free of error plumbing.
+
+func benchPMPSM(r, s *relation.Relation, opts core.Options) *result.Result {
+	res, err := core.PMPSM(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func benchBMPSM(r, s *relation.Relation, opts core.Options) *result.Result {
+	res, err := core.BMPSM(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func benchDMPSM(r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) *result.Result {
+	res, _, err := core.DMPSM(context.Background(), r, s, opts, diskOpts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func benchWisconsin(r, s *relation.Relation, opts hashjoin.Options) *result.Result {
+	res, err := hashjoin.Wisconsin(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func benchRadix(r, s *relation.Relation, opts hashjoin.RadixOptions) *result.Result {
+	res, err := hashjoin.Radix(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // benchRSize is the |R| cardinality used by the join benchmarks.
 const benchRSize = 1 << 16
@@ -80,7 +126,7 @@ func BenchmarkFigure1Partitioning(b *testing.B) {
 	opts := core.Options{Workers: benchWorkers, Splitters: core.SplitterUniform}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := core.PMPSM(r, r, opts)
+		res := benchPMPSM(r, r, opts)
 		if res.Matches == 0 {
 			b.Fatal("unexpected empty join")
 		}
@@ -95,17 +141,17 @@ func BenchmarkFigure12(b *testing.B) {
 		r, s := benchDataset(mult, workload.SkewNone, workload.SkewNone)
 		b.Run(fmt.Sprintf("PMPSM/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.PMPSM(r, s, core.Options{Workers: benchWorkers})
+				benchPMPSM(r, s, core.Options{Workers: benchWorkers})
 			}
 		})
 		b.Run(fmt.Sprintf("RadixHJ/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				hashjoin.Radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: benchWorkers}})
+				benchRadix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: benchWorkers}})
 			}
 		})
 		b.Run(fmt.Sprintf("Wisconsin/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				hashjoin.Wisconsin(r, s, hashjoin.Options{Workers: benchWorkers})
+				benchWisconsin(r, s, hashjoin.Options{Workers: benchWorkers})
 			}
 		})
 	}
@@ -118,12 +164,12 @@ func BenchmarkFigure13(b *testing.B) {
 	for _, workers := range []int{2, 4, 8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("PMPSM/T=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.PMPSM(r, s, core.Options{Workers: workers})
+				benchPMPSM(r, s, core.Options{Workers: workers})
 			}
 		})
 		b.Run(fmt.Sprintf("RadixHJ/T=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				hashjoin.Radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers}})
+				benchRadix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers}})
 			}
 		})
 	}
@@ -136,12 +182,12 @@ func BenchmarkFigure14(b *testing.B) {
 		r, s := benchDataset(mult, workload.SkewNone, workload.SkewNone)
 		b.Run(fmt.Sprintf("RPrivate/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.PMPSM(r, s, core.Options{Workers: benchWorkers})
+				benchPMPSM(r, s, core.Options{Workers: benchWorkers})
 			}
 		})
 		b.Run(fmt.Sprintf("SPrivate/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.PMPSM(s, r, core.Options{Workers: benchWorkers})
+				benchPMPSM(s, r, core.Options{Workers: benchWorkers})
 			}
 		})
 	}
@@ -157,12 +203,12 @@ func BenchmarkFigure15(b *testing.B) {
 
 	b.Run("NoLocationSkew", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.PMPSM(r, s, core.Options{Workers: benchWorkers})
+			benchPMPSM(r, s, core.Options{Workers: benchWorkers})
 		}
 	})
 	b.Run("ClusteredS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.PMPSM(r, clustered, core.Options{Workers: benchWorkers})
+			benchPMPSM(r, clustered, core.Options{Workers: benchWorkers})
 		}
 	})
 }
@@ -173,12 +219,12 @@ func BenchmarkFigure16(b *testing.B) {
 	r, s := benchDataset(4, workload.SkewHigh80, workload.SkewLow80)
 	b.Run("EquiHeight", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.PMPSM(r, s, core.Options{Workers: benchWorkers, Splitters: core.SplitterEquiHeight})
+			benchPMPSM(r, s, core.Options{Workers: benchWorkers, Splitters: core.SplitterEquiHeight})
 		}
 	})
 	b.Run("EquiCostSplitters", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.PMPSM(r, s, core.Options{Workers: benchWorkers, Splitters: core.SplitterEquiCost})
+			benchPMPSM(r, s, core.Options{Workers: benchWorkers, Splitters: core.SplitterEquiCost})
 		}
 	})
 }
@@ -191,7 +237,7 @@ func BenchmarkFigure9Histograms(b *testing.B) {
 	for _, bits := range []int{5, 6, 7, 8, 9, 10, 11} {
 		b.Run(fmt.Sprintf("clusters=%d", 1<<bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.PMPSM(r, s, core.Options{Workers: benchWorkers, HistogramBits: bits})
+				benchPMPSM(r, s, core.Options{Workers: benchWorkers, HistogramBits: bits})
 			}
 		})
 	}
@@ -204,12 +250,12 @@ func BenchmarkAblationBMPSMvsPMPSM(b *testing.B) {
 		r, s := benchDataset(mult, workload.SkewNone, workload.SkewNone)
 		b.Run(fmt.Sprintf("BMPSM/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.BMPSM(r, s, core.Options{Workers: benchWorkers})
+				benchBMPSM(r, s, core.Options{Workers: benchWorkers})
 			}
 		})
 		b.Run(fmt.Sprintf("PMPSM/mult=%d", mult), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.PMPSM(r, s, core.Options{Workers: benchWorkers})
+				benchPMPSM(r, s, core.Options{Workers: benchWorkers})
 			}
 		})
 	}
@@ -222,7 +268,7 @@ func BenchmarkDMPSM(b *testing.B) {
 	for _, budget := range []int{0, 64, 16} {
 		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.DMPSM(r, s, core.Options{Workers: 4}, core.DiskOptions{PageSize: 1024, PageBudget: budget})
+				benchDMPSM(r, s, core.Options{Workers: 4}, core.DiskOptions{PageSize: 1024, PageBudget: budget})
 			}
 		})
 	}
@@ -260,7 +306,7 @@ func BenchmarkWisconsinBuildProbe(b *testing.B) {
 	for _, workers := range []int{1, benchWorkers} {
 		b.Run(fmt.Sprintf("T=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				hashjoin.Wisconsin(r, s, hashjoin.Options{Workers: workers})
+				benchWisconsin(r, s, hashjoin.Options{Workers: workers})
 			}
 		})
 	}

@@ -3,6 +3,9 @@
 // result. It is the quickest way to compare the join algorithms on a given
 // machine.
 //
+// The join runs through the reusable Engine API and honours Ctrl-C: an
+// interrupt cancels the context and aborts the join mid-flight.
+//
 // Usage:
 //
 //	mpsmjoin -algorithm pmpsm -r 1000000 -multiplicity 4 -workers 8
@@ -11,13 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/exec"
+	mpsm "repro"
 	"repro/internal/workload"
 )
 
@@ -37,10 +41,11 @@ func main() {
 		pageBudget    = flag.Int("page-budget", 0, "D-MPSM: buffer pool budget in pages (0 = unlimited)")
 		pageSize      = flag.Int("page-size", 1024, "D-MPSM: tuples per page")
 		readLatency   = flag.Duration("read-latency", 0, "D-MPSM: simulated per-page read latency")
+		timeout       = flag.Duration("timeout", 0, "abort the join after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	algorithm, err := exec.ParseAlgorithm(*algorithmName)
+	algorithm, err := mpsm.ParseAlgorithm(*algorithmName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
 		os.Exit(2)
@@ -69,28 +74,40 @@ func main() {
 	}
 	fmt.Printf("generated in %s\n\n", time.Since(genStart).Round(time.Millisecond))
 
-	qr, err := exec.Run(exec.Query{
-		R:         r,
-		S:         s,
-		Algorithm: algorithm,
-		JoinOptions: core.Options{
-			Workers:          *workers,
-			TrackNUMA:        *trackNUMA,
-			CollectPerWorker: *perWorker,
-			Splitters:        strategy,
-		},
-		DiskOptions: core.DiskOptions{
-			PageSize:    *pageSize,
-			PageBudget:  *pageBudget,
-			ReadLatency: *readLatency,
-		},
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	engine := mpsm.New(
+		mpsm.WithAlgorithm(algorithm),
+		mpsm.WithWorkers(*workers),
+		mpsm.WithSplitters(strategy),
+		mpsm.WithDisk(mpsm.DiskConfig{PageSize: *pageSize, PageBudget: *pageBudget, ReadLatency: *readLatency}),
+	)
+	var opts []mpsm.Option
+	if *trackNUMA {
+		opts = append(opts, mpsm.WithNUMATracking())
+	}
+	if *perWorker {
+		opts = append(opts, mpsm.WithPerWorkerStats())
+	}
+
+	var res *mpsm.Result
+	var diskStats *mpsm.DiskStats
+	if algorithm == mpsm.DMPSM {
+		res, diskStats, err = engine.JoinWithDiskStats(ctx, r, s, opts...)
+	} else {
+		res, err = engine.Join(ctx, r, s, opts...)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
 		os.Exit(1)
 	}
 
-	res := qr.Join
 	fmt.Printf("algorithm:       %s (T=%d)\n", res.Algorithm, res.Workers)
 	fmt.Printf("total time:      %s\n", res.Total.Round(time.Microsecond))
 	for _, p := range res.Phases {
@@ -106,10 +123,10 @@ func main() {
 			res.NUMA.TotalAccesses(), 100*res.NUMA.RemoteFraction(), res.NUMA.SyncOps,
 			res.SimulatedNUMACost.Round(time.Microsecond))
 	}
-	if qr.DiskStats != nil {
+	if diskStats != nil {
 		fmt.Printf("disk:            %d page writes, %d page reads, pool max resident %d (budget %d), %d hits, %d evictions\n",
-			qr.DiskStats.PageWrites, qr.DiskStats.PageReads, qr.DiskStats.Pool.MaxResident,
-			*pageBudget, qr.DiskStats.Pool.Hits, qr.DiskStats.Pool.Evictions)
+			diskStats.PageWrites, diskStats.PageReads, diskStats.Pool.MaxResident,
+			*pageBudget, diskStats.Pool.Hits, diskStats.Pool.Evictions)
 	}
 	if *perWorker {
 		fmt.Println("\nper-worker breakdown:")
@@ -135,15 +152,15 @@ func parseSkew(name string) workload.Skew {
 	}
 }
 
-// parseSplitters maps a command-line splitter name to the core constant.
-func parseSplitters(name string) (core.SplitterStrategy, error) {
+// parseSplitters maps a command-line splitter name to the strategy constant.
+func parseSplitters(name string) (mpsm.SplitterStrategy, error) {
 	switch name {
 	case "equi-cost", "cost":
-		return core.SplitterEquiCost, nil
+		return mpsm.SplitterEquiCost, nil
 	case "equi-height", "height":
-		return core.SplitterEquiHeight, nil
+		return mpsm.SplitterEquiHeight, nil
 	case "uniform", "static":
-		return core.SplitterUniform, nil
+		return mpsm.SplitterUniform, nil
 	default:
 		return 0, fmt.Errorf("unknown splitter strategy %q", name)
 	}

@@ -1,0 +1,267 @@
+package mpsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/relation"
+	"repro/internal/sink"
+)
+
+// settings is the resolved configuration of an Engine or a single join call.
+type settings struct {
+	algorithm        Algorithm
+	kind             JoinKind
+	band             uint64
+	workers          int
+	splitters        SplitterStrategy
+	histogramBits    int
+	collectPerWorker bool
+	presortedPublic  bool
+	presortedPrivate bool
+	trackNUMA        bool
+	topology         Topology
+	disk             DiskConfig
+	sink             Sink
+}
+
+// Option configures an Engine at construction time or overrides the engine's
+// configuration for a single Join call.
+type Option func(*settings)
+
+// WithAlgorithm selects the join implementation; the default is P-MPSM.
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *settings) { s.algorithm = a }
+}
+
+// WithWorkers sets the degree of parallelism T; 0 selects GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.workers = n }
+}
+
+// WithKind selects the join semantics (inner, left-outer, semi, anti). The
+// non-inner kinds are supported by the B-MPSM and P-MPSM algorithms.
+func WithKind(k JoinKind) Option {
+	return func(s *settings) { s.kind = k }
+}
+
+// WithBandWidth turns the join into a non-equi band join: tuples match when
+// |R.key − S.key| <= width. Requires an inner join kind and the B-MPSM or
+// P-MPSM algorithm.
+func WithBandWidth(width uint64) Option {
+	return func(s *settings) { s.band = width }
+}
+
+// WithSplitters selects P-MPSM's range-partition balancing strategy.
+func WithSplitters(strategy SplitterStrategy) Option {
+	return func(s *settings) { s.splitters = strategy }
+}
+
+// WithHistogramBits sets the granularity of P-MPSM's private-input histogram
+// (2^bits clusters); 0 selects the default of 10.
+func WithHistogramBits(bits int) Option {
+	return func(s *settings) { s.histogramBits = bits }
+}
+
+// WithPerWorkerStats records per-worker phase breakdowns in the Result.
+func WithPerWorkerStats() Option {
+	return func(s *settings) { s.collectPerWorker = true }
+}
+
+// WithPresortedPublic declares that the public input is already sorted by
+// join key, letting the MPSM variants skip its sorting phase (verified per
+// chunk, so a false declaration costs only the check).
+func WithPresortedPublic() Option {
+	return func(s *settings) { s.presortedPublic = true }
+}
+
+// WithPresortedPrivate is WithPresortedPublic for the private input.
+func WithPresortedPrivate() Option {
+	return func(s *settings) { s.presortedPrivate = true }
+}
+
+// WithNUMATracking enables the simulated NUMA access accounting. An optional
+// topology overrides the default 4-node × 8-core machine of the paper's
+// evaluation.
+func WithNUMATracking(topology ...Topology) Option {
+	return func(s *settings) {
+		s.trackNUMA = true
+		if len(topology) > 0 {
+			s.topology = topology[0]
+		}
+	}
+}
+
+// WithDisk configures the D-MPSM buffer pool and simulated disk; it is
+// ignored by the other algorithms.
+func WithDisk(cfg DiskConfig) Option {
+	return func(s *settings) { s.disk = cfg }
+}
+
+// WithSink directs the joined tuple stream into the given sink instead of the
+// default max-sum aggregate. Sinks are stateful: pass a fresh (or reusable,
+// see Sink) sink per Join call, not to New, when the engine runs joins
+// concurrently.
+func WithSink(snk Sink) Option {
+	return func(s *settings) { s.sink = snk }
+}
+
+// Engine is a prepared, reusable join engine: construct it once with New and
+// run any number of joins against it. The engine itself is immutable and safe
+// for concurrent use; per-call state (sinks, results) is created per Join.
+type Engine struct {
+	base settings
+}
+
+// New returns an Engine with the given configuration. The zero configuration
+// runs P-MPSM inner joins with GOMAXPROCS workers and the max-sum sink.
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(&e.base)
+	}
+	return e
+}
+
+// resolve merges per-call options over the engine's base configuration.
+func (e *Engine) resolve(opts []Option) settings {
+	cfg := e.base
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// query assembles the exec query for one join call.
+func (cfg settings) query(r, s *Relation) exec.Query {
+	return exec.Query{
+		R:         r,
+		S:         s,
+		Algorithm: cfg.algorithm,
+		JoinOptions: core.Options{
+			Sink:             cfg.sink,
+			Workers:          cfg.workers,
+			Kind:             cfg.kind,
+			Band:             cfg.band,
+			HistogramBits:    cfg.histogramBits,
+			Splitters:        cfg.splitters,
+			CollectPerWorker: cfg.collectPerWorker,
+			PresortedPublic:  cfg.presortedPublic,
+			PresortedPrivate: cfg.presortedPrivate,
+			TrackNUMA:        cfg.trackNUMA,
+			Topology:         cfg.topology,
+		},
+		DiskOptions: core.DiskOptions{
+			PageSize:         cfg.disk.PageSize,
+			PageBudget:       cfg.disk.PageBudget,
+			PrefetchDistance: cfg.disk.PrefetchDistance,
+			ReadLatency:      cfg.disk.ReadLatency,
+			WriteLatency:     cfg.disk.WriteLatency,
+		},
+	}
+}
+
+// run executes one join call end to end.
+func (e *Engine) run(ctx context.Context, r, s *Relation, opts []Option) (*exec.QueryResult, error) {
+	if r == nil || s == nil {
+		return nil, fmt.Errorf("mpsm: Join requires non-nil relations")
+	}
+	return exec.Run(ctx, e.resolve(opts).query(r, s))
+}
+
+// Join executes an equi-join between the private input r and the public
+// input s, streaming every matching pair into the configured sink (the
+// max-sum aggregate by default, whose Matches/MaxSum appear in the Result).
+//
+// The context is checked at every phase boundary and once per chunk inside
+// the sort and merge loops; a canceled context aborts the join and returns
+// ctx.Err().
+//
+// For P-MPSM the private input should be the smaller relation (see the
+// paper's role-reversal discussion); Join does not reverse roles
+// automatically. Per-call options override the engine's configuration for
+// this call only.
+func (e *Engine) Join(ctx context.Context, r, s *Relation, opts ...Option) (*Result, error) {
+	qr, err := e.run(ctx, r, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	return qr.Join, nil
+}
+
+// JoinWithDiskStats is Join forced onto the D-MPSM algorithm, additionally
+// returning the buffer pool and disk statistics of the execution.
+func (e *Engine) JoinWithDiskStats(ctx context.Context, r, s *Relation, opts ...Option) (*Result, *DiskStats, error) {
+	// The three-index slice keeps the append off the caller's backing array:
+	// concurrent calls may share opts.
+	qr, err := e.run(ctx, r, s, append(opts[:len(opts):len(opts)], WithAlgorithm(DMPSM)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return qr.Join, qr.DiskStats, nil
+}
+
+// JoinStream executes the join as a streaming iterator over the joined
+// (r, s) tuple pairs, for use with range-over-func:
+//
+//	seq, errf := engine.JoinStream(ctx, r, s)
+//	for rt, st := range seq {
+//	    ... // breaking out cancels the join
+//	}
+//	if err := errf(); err != nil { ... }
+//
+// The join runs concurrently with the consumer; pairs arrive in an
+// unspecified order. Breaking out of the loop cancels the underlying join
+// and is not an error. The error function reports the join's outcome and
+// must be called after the loop; ranging the sequence a second time re-runs
+// the join. A WithSink option is ignored — the stream is the sink.
+func (e *Engine) JoinStream(ctx context.Context, r, s *Relation, opts ...Option) (iter.Seq2[Tuple, Tuple], func() error) {
+	var streamErr error
+	seq := func(yield func(Tuple, Tuple) bool) {
+		streamCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		type pair struct{ r, s Tuple }
+		ch := make(chan pair, 1024)
+		errc := make(chan error, 1)
+		go func() {
+			defer close(ch)
+			snk := sink.NewFunc(func(rt, st relation.Tuple) {
+				select {
+				case ch <- pair{rt, st}:
+				case <-streamCtx.Done():
+				}
+			})
+			// Three-index slice: never append into the caller's backing array.
+			_, err := e.run(streamCtx, r, s, append(opts[:len(opts):len(opts)], WithSink(snk)))
+			errc <- err
+		}()
+
+		broke := false
+		for p := range ch {
+			if !yield(p.r, p.s) {
+				broke = true
+				cancel()
+				break
+			}
+		}
+		if broke {
+			// Wait for the producer to observe the cancellation and drain
+			// whatever it already buffered.
+			for range ch {
+			}
+		}
+		err := <-errc
+		if broke && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			// The consumer stopped early; the resulting self-cancellation is
+			// normal stream termination, not a failure.
+			err = nil
+		}
+		streamErr = err
+	}
+	return seq, func() error { return streamErr }
+}

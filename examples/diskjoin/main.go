@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,14 +21,11 @@ func main() {
 	r := mpsm.GenerateUniform("R", 300_000, 21)
 	s := mpsm.GenerateForeignKey("S", r, 1_200_000, 22)
 
+	engine := mpsm.New(mpsm.WithWorkers(4))
+
 	for _, budget := range []int{0, 32, 8} {
-		res, stats, err := mpsm.JoinWithDiskStats(r, s, mpsm.Config{
-			Workers: 4,
-			Disk: mpsm.DiskConfig{
-				PageSize:   1024,
-				PageBudget: budget,
-			},
-		})
+		res, stats, err := engine.JoinWithDiskStats(context.Background(), r, s,
+			mpsm.WithDisk(mpsm.DiskConfig{PageSize: 1024, PageBudget: budget}))
 		if err != nil {
 			panic(err)
 		}

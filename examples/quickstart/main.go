@@ -1,5 +1,5 @@
 // Quickstart: generate a small dataset and run the range-partitioned MPSM
-// join (P-MPSM) through the public API, printing the phase breakdown and the
+// join (P-MPSM) through the Engine API, printing the phase breakdown and the
 // result of the paper's evaluation query max(R.payload + S.payload).
 //
 // Run with:
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,10 +21,12 @@ func main() {
 	r := mpsm.GenerateUniform("R", 500_000, 42)
 	s := mpsm.GenerateForeignKey("S", r, 2_000_000, 43)
 
-	res, err := mpsm.Join(r, s, mpsm.Config{
-		Algorithm: mpsm.PMPSM,
-		Workers:   8,
-	})
+	// Construct the engine once; it is reusable and safe for concurrent use.
+	engine := mpsm.New(
+		mpsm.WithAlgorithm(mpsm.PMPSM),
+		mpsm.WithWorkers(8),
+	)
+	res, err := engine.Join(context.Background(), r, s)
 	if err != nil {
 		panic(err)
 	}

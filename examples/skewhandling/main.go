@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,12 +25,10 @@ func main() {
 	s := mpsm.GenerateSkewedWithDomain("S", 2_000_000, domain, mpsm.SkewLow80, 12)
 	fmt.Printf("R: %d rows skewed to the high end; S: %d rows skewed to the low end\n\n", r.Len(), s.Len())
 
+	engine := mpsm.New(mpsm.WithWorkers(8), mpsm.WithPerWorkerStats())
+
 	for _, strategy := range []mpsm.SplitterStrategy{mpsm.SplitterEquiHeight, mpsm.SplitterEquiCost} {
-		res, err := mpsm.Join(r, s, mpsm.Config{
-			Workers:          8,
-			Splitters:        strategy,
-			CollectPerWorker: true,
-		})
+		res, err := engine.Join(context.Background(), r, s, mpsm.WithSplitters(strategy))
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,76 @@
+// Streaming: demonstrates the result-streaming side of the Engine API.
+//
+// The legacy one-shot Join discards the joined tuples and returns a single
+// aggregate; the Engine instead streams every matching pair into a Sink, or
+// — through JoinStream — into a range-over-func iterator. This example shows
+// three consumers on the same join:
+//
+//  1. a TopK sink that keeps the 5 best pairs by payload sum in bounded
+//     memory (the paper's evaluation query is the k = 1 special case),
+//  2. a materializing sink that produces a relation usable as the input of a
+//     follow-up join (a two-stage pipeline),
+//  3. JoinStream with early termination: the consumer stops after a handful
+//     of pairs and the break cancels the join mid-flight via its context.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+
+	mpsm "repro"
+)
+
+func main() {
+	ctx := context.Background()
+	r := mpsm.GenerateUniform("R", 200_000, 31)
+	s := mpsm.GenerateForeignKey("S", r, 800_000, 32)
+
+	engine := mpsm.New(mpsm.WithWorkers(8))
+
+	// 1. Top-k by payload sum, in bounded memory.
+	top := mpsm.NewTopKSink(5)
+	if _, err := engine.Join(ctx, r, s, mpsm.WithSink(top)); err != nil {
+		panic(err)
+	}
+	fmt.Println("top 5 pairs by R.payload + S.payload:")
+	for i, p := range top.Top() {
+		fmt.Printf("  %d. key=%-12d sum=%d\n", i+1, p.R.Key, p.Sum())
+	}
+
+	// 2. Materialize the join result as a relation and feed it onward: the
+	// engine is reusable, so the second stage is just another Join call.
+	mat := mpsm.NewMaterializeSink()
+	if _, err := engine.Join(ctx, r, s, mpsm.WithSink(mat)); err != nil {
+		panic(err)
+	}
+	joined := mat.Relation("R⋈S")
+	fmt.Printf("\nmaterialized %d result tuples into %v\n", joined.Len(), joined)
+	second, err := engine.Join(ctx, r, joined)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("second-stage join R ⋈ (R⋈S): %d matches\n", second.Matches)
+
+	// 3. Stream pairs and stop early: breaking out of the loop cancels the
+	// underlying join through its context, so no work is wasted on results
+	// nobody will read.
+	seq, errf := engine.JoinStream(ctx, r, s)
+	n := 0
+	for rt, st := range seq {
+		n++
+		if n <= 3 {
+			fmt.Printf("streamed pair: key=%d payloads=(%d, %d)\n", rt.Key, rt.Payload, st.Payload)
+		}
+		if n == 10 {
+			break // cancels the join mid-flight
+		}
+	}
+	if err := errf(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("consumed %d pairs, then stopped — the join was canceled, not drained\n", n)
+}

@@ -2,10 +2,12 @@
 // paper — a large fact table (orderlines) joined with a smaller dimension
 // table (orders) entirely in main memory, "in real time", on all cores.
 //
-// The example compares the three algorithm families on the same data, shows
-// why the smaller relation should play the private role (role reversal,
-// Section 5.4 of the paper), and reports the simulated NUMA behaviour that
-// explains the paper's results on large NUMA machines.
+// One Engine is constructed and then reused for every query, the way a
+// serving layer would hold it: the algorithm is switched per call with a
+// per-join option. The example compares the three algorithm families on the
+// same data, shows why the smaller relation should play the private role
+// (role reversal, Section 5.4 of the paper), and reports the simulated NUMA
+// behaviour that explains the paper's results on large NUMA machines.
 //
 // Run with:
 //
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +23,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A merchandiser's day: 250k orders, each with ~8 orderlines
 	// (multiplicity 8, the paper's TPC-C-like case).
 	orders := mpsm.GenerateUniform("orders", 250_000, 7)
@@ -27,13 +32,12 @@ func main() {
 
 	fmt.Printf("orders: %d rows, orderlines: %d rows\n\n", orders.Len(), orderlines.Len())
 
+	// One engine serves every query below.
+	engine := mpsm.New(mpsm.WithWorkers(8), mpsm.WithNUMATracking())
+
 	// Compare the algorithms on the analytical join.
 	for _, alg := range []mpsm.Algorithm{mpsm.PMPSM, mpsm.BMPSM, mpsm.RadixHash, mpsm.Wisconsin} {
-		res, err := mpsm.Join(orders, orderlines, mpsm.Config{
-			Algorithm: alg,
-			Workers:   8,
-			TrackNUMA: true,
-		})
+		res, err := engine.Join(ctx, orders, orderlines, mpsm.WithAlgorithm(alg))
 		if err != nil {
 			panic(err)
 		}
@@ -47,8 +51,8 @@ func main() {
 	// input. The range-partitioning and join phases get more expensive, so
 	// always keep the smaller relation private.
 	fmt.Println("\nrole reversal (P-MPSM):")
-	good, _ := mpsm.Join(orders, orderlines, mpsm.Config{Workers: 8})
-	bad, _ := mpsm.Join(orderlines, orders, mpsm.Config{Workers: 8})
+	good, _ := engine.Join(ctx, orders, orderlines)
+	bad, _ := engine.Join(ctx, orderlines, orders)
 	fmt.Printf("  private = orders (dimension):    %s\n", good.Total.Round(time.Microsecond))
 	fmt.Printf("  private = orderlines (fact):     %s\n", bad.Total.Round(time.Microsecond))
 }

@@ -8,7 +8,7 @@
 // Absolute numbers differ from the paper — the substrate is a Go program on
 // whatever machine runs the benchmark rather than a 32-core, 1 TB NUMA server
 // — but the shapes (who wins, by roughly what factor, where the crossovers
-// are) are the reproduction target; EXPERIMENTS.md records both.
+// are) are the reproduction target.
 package bench
 
 import (

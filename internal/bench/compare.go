@@ -52,10 +52,10 @@ func makeUniformDataset(cfg Config, multiplicity int, seed uint64) (*relation.Re
 func warmUp(cfg Config) {
 	r, s := makeUniformDataset(Config{Scale: 0.02, Workers: cfg.Workers}, 2, 999)
 	workers := cfg.workers()
-	core.PMPSM(r, s, core.Options{Workers: workers})
-	core.BMPSM(r, s, core.Options{Workers: workers})
-	hashjoin.Radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers}})
-	hashjoin.Wisconsin(r, s, hashjoin.Options{Workers: workers})
+	pmpsm(r, s, core.Options{Workers: workers})
+	bmpsm(r, s, core.Options{Workers: workers})
+	radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers}})
+	wisconsin(r, s, hashjoin.Options{Workers: workers})
 }
 
 // measureRuns is the number of repetitions of every measured join; the
@@ -99,20 +99,20 @@ func runFigure12(cfg Config, w io.Writer) error {
 	for _, mult := range []int{1, 4, 8, 16} {
 		r, s := makeUniformDataset(cfg, mult, uint64(1200+mult))
 
-		p := bestOf(func() *result.Result { return core.PMPSM(r, s, core.Options{Workers: workers, TrackNUMA: true}) })
+		p := bestOf(func() *result.Result { return pmpsm(r, s, core.Options{Workers: workers, TrackNUMA: true}) })
 		tbl.row("P-MPSM", mult, ms(p.Total), phaseCell(p, "phase 1"), phaseCell(p, "phase 2"),
 			phaseCell(p, "phase 3"), phaseCell(p, "phase 4"), "-", "-",
 			ms(p.SimulatedNUMACost), p.NUMA.SyncOps, p.Matches)
 
 		v := bestOf(func() *result.Result {
-			return hashjoin.Radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers, TrackNUMA: true}})
+			return radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers, TrackNUMA: true}})
 		})
 		tbl.row("Radix HJ (VW)", mult, ms(v.Total), "-", "-", "-", "-",
 			phaseCell(v, "partition"), phaseCell(v, "build+probe"),
 			ms(v.SimulatedNUMACost), v.NUMA.SyncOps, v.Matches)
 
 		wi := bestOf(func() *result.Result {
-			return hashjoin.Wisconsin(r, s, hashjoin.Options{Workers: workers, TrackNUMA: true})
+			return wisconsin(r, s, hashjoin.Options{Workers: workers, TrackNUMA: true})
 		})
 		tbl.row("Wisconsin", mult, ms(wi.Total), "-", "-", "-", "-",
 			phaseCell(wi, "build"), phaseCell(wi, "probe"),
@@ -122,7 +122,7 @@ func runFigure12(cfg Config, w io.Writer) error {
 	if cfg.Verbose {
 		fmt.Fprintf(w, "\nworkers=%d |R|=%d\n", workers, cfg.RSize())
 		fmt.Fprintln(w, "expected shape: under the NUMA cost model (the paper's machine), P-MPSM is cheapest and Wisconsin most expensive;")
-		fmt.Fprintln(w, "wall-clock totals on a small-scale, NUMA-oblivious Go runtime favour the cache-sized radix hash join — see EXPERIMENTS.md")
+		fmt.Fprintln(w, "wall-clock totals on a small-scale, NUMA-oblivious Go runtime favour the cache-sized radix hash join")
 	}
 	return nil
 }
@@ -138,8 +138,8 @@ func runFigure13(cfg Config, w io.Writer) error {
 
 	var basePMPSM float64
 	for _, workers := range []int{2, 4, 8, 16, 32, 64} {
-		p := bestOf(func() *result.Result { return core.PMPSM(r, s, core.Options{Workers: workers, TrackNUMA: true}) })
-		v := hashjoin.Radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers}})
+		p := bestOf(func() *result.Result { return pmpsm(r, s, core.Options{Workers: workers, TrackNUMA: true}) })
+		v := radix(r, s, hashjoin.RadixOptions{Options: hashjoin.Options{Workers: workers}})
 		if workers == 2 {
 			basePMPSM = float64(p.Total)
 		}
@@ -166,11 +166,11 @@ func runFigure14(cfg Config, w io.Writer) error {
 	for _, mult := range []int{1, 4, 8, 16} {
 		r, s := makeUniformDataset(cfg, mult, uint64(1400+mult))
 
-		a := bestOf(func() *result.Result { return core.PMPSM(r, s, core.Options{Workers: workers}) }) // R private (recommended)
+		a := bestOf(func() *result.Result { return pmpsm(r, s, core.Options{Workers: workers}) }) // R private (recommended)
 		tbl.row("R (smaller)", mult, ms(a.Total), phaseCell(a, "phase 1"), phaseCell(a, "phase 2"),
 			phaseCell(a, "phase 3"), phaseCell(a, "phase 4"))
 
-		b := bestOf(func() *result.Result { return core.PMPSM(s, r, core.Options{Workers: workers}) }) // S private (reversed)
+		b := bestOf(func() *result.Result { return pmpsm(s, r, core.Options{Workers: workers}) }) // S private (reversed)
 		tbl.row("S (larger)", mult, ms(b.Total), phaseCell(b, "phase 1"), phaseCell(b, "phase 2"),
 			phaseCell(b, "phase 3"), phaseCell(b, "phase 4"))
 	}

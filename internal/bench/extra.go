@@ -89,10 +89,10 @@ func runAblationPartitioning(cfg Config, w io.Writer) error {
 	for _, mult := range []int{1, 4, 8} {
 		r, s := makeUniformDataset(cfg, mult, uint64(1800+mult))
 
-		b := bestOf(func() *result.Result { return core.BMPSM(r, s, core.Options{Workers: workers}) })
+		b := bestOf(func() *result.Result { return bmpsm(r, s, core.Options{Workers: workers}) })
 		tbl.row(mult, "B-MPSM", ms(b.Total), ms(b.PhaseDuration("phase 3")), b.PublicScanned)
 
-		p := bestOf(func() *result.Result { return core.PMPSM(r, s, core.Options{Workers: workers}) })
+		p := bestOf(func() *result.Result { return pmpsm(r, s, core.Options{Workers: workers}) })
 		tbl.row(mult, "P-MPSM", ms(p.Total), ms(p.PhaseDuration("phase 4")), p.PublicScanned)
 	}
 	tbl.flush()
@@ -114,7 +114,7 @@ func runDMPSMBudgets(cfg Config, w io.Writer) error {
 
 	for _, budget := range []int{0, 16, 64} {
 		for _, latency := range []time.Duration{0, 20 * time.Microsecond} {
-			res, stats := core.DMPSM(r, s, core.Options{Workers: workers}, core.DiskOptions{
+			res, stats := dmpsm(r, s, core.Options{Workers: workers}, core.DiskOptions{
 				PageSize:    pageSize,
 				PageBudget:  budget,
 				ReadLatency: latency,

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/hashjoin"
+	"repro/internal/relation"
+	"repro/internal/result"
+)
+
+// The experiment harness always runs joins to completion on a background
+// context, so the context-cancellation error paths of the algorithms cannot
+// trigger here; these wrappers keep the measurement code free of error
+// plumbing.
+
+func pmpsm(r, s *relation.Relation, opts core.Options) *result.Result {
+	res, err := core.PMPSM(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func bmpsm(r, s *relation.Relation, opts core.Options) *result.Result {
+	res, err := core.BMPSM(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func dmpsm(r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) (*result.Result, core.DiskStats) {
+	res, stats, err := core.DMPSM(context.Background(), r, s, opts, diskOpts)
+	if err != nil {
+		panic(err)
+	}
+	return res, stats
+}
+
+func wisconsin(r, s *relation.Relation, opts hashjoin.Options) *result.Result {
+	res, err := hashjoin.Wisconsin(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func radix(r, s *relation.Relation, opts hashjoin.RadixOptions) *result.Result {
+	res, err := hashjoin.Radix(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

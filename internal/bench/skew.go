@@ -76,7 +76,7 @@ func runFigure15(cfg Config, w io.Writer) error {
 	tbl.row("arrangement of S", "total [ms]", "join phase [ms]", "S tuples scanned", "simulated NUMA cost [ms]", "remote access fraction")
 	for _, arr := range arrangements {
 		sArranged := arr.mutate(s)
-		res := core.PMPSM(r, sArranged, core.Options{Workers: workers, TrackNUMA: true, Topology: topo})
+		res := pmpsm(r, sArranged, core.Options{Workers: workers, TrackNUMA: true, Topology: topo})
 		tbl.row(arr.name, ms(res.Total), ms(res.PhaseDuration("phase 4")), res.PublicScanned,
 			ms(res.SimulatedNUMACost), fmt.Sprintf("%.2f", res.NUMA.RemoteFraction()))
 	}
@@ -134,7 +134,7 @@ func runFigure16(cfg Config, w io.Writer) error {
 	}
 
 	for _, st := range strategies {
-		res := core.PMPSM(r, s, core.Options{
+		res := pmpsm(r, s, core.Options{
 			Workers:          workers,
 			Splitters:        st.strategy,
 			CollectPerWorker: true,

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sink"
 )
 
 // BMPSM executes the basic massively parallel sort-merge join (Section 2.1).
@@ -14,11 +16,18 @@ import (
 // sized chunks. Phase 1 sorts the public chunks into runs S1..ST, phase 2
 // sorts the private chunks into runs R1..RT (both phases work purely on
 // worker-local memory), and phase 3 merge joins every private run against
-// every public run. No range partitioning takes place, so every worker scans
-// the complete public input — which makes B-MPSM absolutely insensitive to
-// skew at the price of O(|S|) join work per worker.
-func BMPSM(private, public *relation.Relation, opts Options) *result.Result {
+// every public run, streaming matches into the sink. No range partitioning
+// takes place, so every worker scans the complete public input — which makes
+// B-MPSM absolutely insensitive to skew at the price of O(|S|) join work per
+// worker.
+//
+// Cancellation is checked at phase boundaries and per chunk inside the sort
+// and merge loops; a canceled context aborts the join and returns ctx.Err().
+func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options) (*result.Result, error) {
 	opts = opts.normalize()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "B-MPSM", Workers: workers}
 	states := newWorkerStates(opts)
@@ -32,36 +41,52 @@ func BMPSM(private, public *relation.Relation, opts Options) *result.Result {
 	// Phase 1: sort the public input chunks into runs, locally per worker.
 	phase1 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			publicRuns[w] = sortChunkIntoRun(publicChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPublic, states[w], opts.Topology)
 			states[w].record("phase 1", time.Since(t0))
 		})
 	})
 	res.AddPhase("phase 1", phase1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: sort the private input chunks into runs, locally per worker.
 	phase2 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			privateRuns[w] = sortChunkIntoRun(privateChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPrivate, states[w], opts.Topology)
 			states[w].record("phase 2", time.Since(t0))
 		})
 	})
 	res.AddPhase("phase 2", phase2)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: every worker merge joins its private run against all public
 	// runs. Remote runs are only read sequentially (commandment C2); the
 	// single synchronization point required by the algorithm — all public
 	// runs must be sorted before the join starts — is the phase barrier
 	// above.
-	aggregates := make([]mergejoin.MaxAggregate, workers)
+	out := sink.Bind(opts.Sink, workers)
 	scanned := make([]int, workers)
 	phase3 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
 			t0 := time.Now()
 			priv := privateRuns[w]
+			cons := out.Writer(w)
 			if opts.Band > 0 {
-				scanned[w] += mergejoin.JoinBandAgainstRuns(priv.Tuples, publicRuns, opts.Band, &aggregates[w])
+				if canceled(ctx) {
+					return
+				}
+				scanned[w] += mergejoin.JoinBandAgainstRunsCtx(ctx, priv.Tuples, publicRuns, opts.Band, cons)
 				if states[w].tracker != nil {
 					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
 					for _, pub := range publicRuns {
@@ -70,7 +95,10 @@ func BMPSM(private, public *relation.Relation, opts Options) *result.Result {
 				}
 			} else if opts.Kind == mergejoin.Inner {
 				for _, pub := range publicRuns {
-					mergejoin.Join(priv.Tuples, pub.Tuples, &aggregates[w])
+					if canceled(ctx) {
+						return
+					}
+					mergejoin.Join(priv.Tuples, pub.Tuples, cons)
 					scanned[w] += len(pub.Tuples)
 					if states[w].tracker != nil {
 						// The private run is re-scanned once per public run
@@ -81,7 +109,10 @@ func BMPSM(private, public *relation.Relation, opts Options) *result.Result {
 					}
 				}
 			} else {
-				scanned[w] += mergejoin.JoinRunsKind(opts.Kind, priv.Tuples, publicRuns, &aggregates[w])
+				if canceled(ctx) {
+					return
+				}
+				scanned[w] += mergejoin.JoinRunsKindCtx(ctx, opts.Kind, priv.Tuples, publicRuns, cons)
 				if states[w].tracker != nil {
 					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
 					for _, pub := range publicRuns {
@@ -93,26 +124,33 @@ func BMPSM(private, public *relation.Relation, opts Options) *result.Result {
 		})
 	})
 	res.AddPhase("phase 3", phase3)
+	// Close runs even on cancellation (the sink lifecycle promises it); the
+	// context error still wins as the join's outcome.
+	closeErr := out.Close()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
 
-	var agg mergejoin.MaxAggregate
 	for w := 0; w < workers; w++ {
-		agg.Merge(aggregates[w])
 		res.PublicScanned += scanned[w]
 	}
-	res.Matches = agg.Count
-	res.MaxSum = agg.Max
+	res.Matches = out.Matches()
+	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
 		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
 		for w := range res.PerWorker {
 			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
 			res.PerWorker[w].PublicScanned = scanned[w]
-			res.PerWorker[w].Matches = aggregates[w].Count
+			res.PerWorker[w].Matches = out.WorkerMatches(w)
 		}
 	}
 	if opts.TrackNUMA {
 		res.NUMA = mergeTrackers(states)
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
-	return res
+	return res, nil
 }

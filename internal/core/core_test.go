@@ -1,12 +1,43 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
+	"repro/internal/result"
 	"repro/internal/workload"
 )
+
+// The correctness tests drive the algorithms on a background context, so the
+// cancellation error path cannot trigger; these wrappers keep them concise.
+// The cancellation behaviour itself is covered by cancel_test.go and the
+// public-API tests.
+
+func pmpsm(r, s *relation.Relation, opts Options) *result.Result {
+	res, err := PMPSM(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func bmpsm(r, s *relation.Relation, opts Options) *result.Result {
+	res, err := BMPSM(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func dmpsm(r, s *relation.Relation, opts Options, diskOpts DiskOptions) (*result.Result, DiskStats) {
+	res, stats, err := DMPSM(context.Background(), r, s, opts, diskOpts)
+	if err != nil {
+		panic(err)
+	}
+	return res, stats
+}
 
 // reference computes the expected join cardinality and max-sum.
 func reference(r, s *relation.Relation) (count, maxSum uint64) {
@@ -43,7 +74,7 @@ func TestBMPSMCorrectness(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 4, 8} {
 		for _, mult := range []int{1, 4} {
 			r, s := uniformDataset(1500, mult, uint64(workers*31+mult))
-			res := BMPSM(r, s, Options{Workers: workers})
+			res := bmpsm(r, s, Options{Workers: workers})
 			checkJoinResult(t, "B-MPSM", r, s, res.Matches, res.MaxSum)
 			if res.Algorithm != "B-MPSM" || res.Workers != workers {
 				t.Fatalf("result metadata: %+v", res)
@@ -63,7 +94,7 @@ func TestPMPSMCorrectness(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 4, 8} {
 		for _, mult := range []int{1, 4, 8} {
 			r, s := uniformDataset(1500, mult, uint64(workers*17+mult))
-			res := PMPSM(r, s, Options{Workers: workers})
+			res := pmpsm(r, s, Options{Workers: workers})
 			checkJoinResult(t, "P-MPSM", r, s, res.Matches, res.MaxSum)
 			if len(res.Phases) != 4 {
 				t.Fatalf("P-MPSM should report 4 phases, got %d", len(res.Phases))
@@ -75,7 +106,7 @@ func TestPMPSMCorrectness(t *testing.T) {
 func TestPMPSMAllSplitterStrategies(t *testing.T) {
 	r, s := uniformDataset(3000, 4, 99)
 	for _, strategy := range []SplitterStrategy{SplitterEquiCost, SplitterEquiHeight, SplitterUniform} {
-		res := PMPSM(r, s, Options{Workers: 4, Splitters: strategy})
+		res := pmpsm(r, s, Options{Workers: 4, Splitters: strategy})
 		checkJoinResult(t, strategy.String(), r, s, res.Matches, res.MaxSum)
 	}
 }
@@ -86,8 +117,8 @@ func TestPMPSMScansLessPublicDataThanBMPSM(t *testing.T) {
 	// B-MPSM's T·|S|.
 	workers := 8
 	r, s := uniformDataset(4000, 4, 7)
-	b := BMPSM(r, s, Options{Workers: workers})
-	p := PMPSM(r, s, Options{Workers: workers})
+	b := bmpsm(r, s, Options{Workers: workers})
+	p := pmpsm(r, s, Options{Workers: workers})
 	if p.PublicScanned >= b.PublicScanned/2 {
 		t.Fatalf("P-MPSM scanned %d public tuples, B-MPSM %d; expected a large reduction",
 			p.PublicScanned, b.PublicScanned)
@@ -108,7 +139,7 @@ func TestPMPSMSkewedNegativeCorrelation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, strategy := range []SplitterStrategy{SplitterEquiCost, SplitterEquiHeight} {
-		res := PMPSM(r, s, Options{Workers: 8, Splitters: strategy, CollectPerWorker: true})
+		res := pmpsm(r, s, Options{Workers: 8, Splitters: strategy, CollectPerWorker: true})
 		checkJoinResult(t, "P-MPSM skewed "+strategy.String(), r, s, res.Matches, res.MaxSum)
 		if len(res.PerWorker) != 8 {
 			t.Fatalf("expected 8 per-worker breakdowns, got %d", len(res.PerWorker))
@@ -143,7 +174,7 @@ func TestPMPSMSkewedAllKeysEqual(t *testing.T) {
 	}
 	r := relation.New("R", tuples)
 	s := r.Clone()
-	res := PMPSM(r, s, Options{Workers: 4})
+	res := pmpsm(r, s, Options{Workers: 4})
 	if res.Matches != uint64(n*n) {
 		t.Fatalf("matches = %d, want %d", res.Matches, n*n)
 	}
@@ -164,7 +195,7 @@ func TestPMPSMLocationSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := PMPSM(r, s, Options{Workers: workers})
+	res := pmpsm(r, s, Options{Workers: workers})
 	checkJoinResult(t, "P-MPSM location skew", r, s, res.Matches, res.MaxSum)
 }
 
@@ -172,11 +203,11 @@ func TestMPSMEmptyInputs(t *testing.T) {
 	empty := relation.New("E", nil)
 	r, _ := uniformDataset(500, 1, 3)
 	for name, run := range map[string]func() uint64{
-		"B empty private": func() uint64 { return BMPSM(empty, r, Options{Workers: 4}).Matches },
-		"B empty public":  func() uint64 { return BMPSM(r, empty, Options{Workers: 4}).Matches },
-		"P empty private": func() uint64 { return PMPSM(empty, r, Options{Workers: 4}).Matches },
-		"P empty public":  func() uint64 { return PMPSM(r, empty, Options{Workers: 4}).Matches },
-		"P both empty":    func() uint64 { return PMPSM(empty, empty, Options{Workers: 4}).Matches },
+		"B empty private": func() uint64 { return bmpsm(empty, r, Options{Workers: 4}).Matches },
+		"B empty public":  func() uint64 { return bmpsm(r, empty, Options{Workers: 4}).Matches },
+		"P empty private": func() uint64 { return pmpsm(empty, r, Options{Workers: 4}).Matches },
+		"P empty public":  func() uint64 { return pmpsm(r, empty, Options{Workers: 4}).Matches },
+		"P both empty":    func() uint64 { return pmpsm(empty, empty, Options{Workers: 4}).Matches },
 	} {
 		if got := run(); got != 0 {
 			t.Fatalf("%s: matches = %d, want 0", name, got)
@@ -187,9 +218,9 @@ func TestMPSMEmptyInputs(t *testing.T) {
 func TestMPSMMoreWorkersThanTuples(t *testing.T) {
 	r, s := uniformDataset(5, 1, 5)
 	for _, workers := range []int{8, 16} {
-		res := PMPSM(r, s, Options{Workers: workers})
+		res := pmpsm(r, s, Options{Workers: workers})
 		checkJoinResult(t, "tiny P-MPSM", r, s, res.Matches, res.MaxSum)
-		res = BMPSM(r, s, Options{Workers: workers})
+		res = bmpsm(r, s, Options{Workers: workers})
 		checkJoinResult(t, "tiny B-MPSM", r, s, res.Matches, res.MaxSum)
 	}
 }
@@ -198,8 +229,8 @@ func TestMPSMRoleReversal(t *testing.T) {
 	// Joining R⋈S must produce the same result regardless of which input
 	// plays the private role.
 	r, s := uniformDataset(1000, 4, 23)
-	a := PMPSM(r, s, Options{Workers: 4})
-	b := PMPSM(s, r, Options{Workers: 4})
+	a := pmpsm(r, s, Options{Workers: 4})
+	b := pmpsm(s, r, Options{Workers: 4})
 	if a.Matches != b.Matches || a.MaxSum != b.MaxSum {
 		t.Fatalf("role reversal changed the result: (%d, %d) vs (%d, %d)",
 			a.Matches, a.MaxSum, b.Matches, b.MaxSum)
@@ -208,7 +239,7 @@ func TestMPSMRoleReversal(t *testing.T) {
 
 func TestMPSMNUMAAccountingObeysCommandments(t *testing.T) {
 	r, s := uniformDataset(5000, 4, 29)
-	res := PMPSM(r, s, Options{Workers: 8, TrackNUMA: true})
+	res := pmpsm(r, s, Options{Workers: 8, TrackNUMA: true})
 	if res.NUMA.TotalAccesses() == 0 {
 		t.Fatal("NUMA tracking enabled but nothing recorded")
 	}
@@ -227,7 +258,7 @@ func TestMPSMNUMAAccountingObeysCommandments(t *testing.T) {
 
 	// The same workload through the Wisconsin-style accounting should show
 	// remote random traffic — covered in the hashjoin package tests.
-	bres := BMPSM(r, s, Options{Workers: 8, TrackNUMA: true})
+	bres := bmpsm(r, s, Options{Workers: 8, TrackNUMA: true})
 	if bres.NUMA.SyncOps != 0 || bres.NUMA.RemoteRandRead != 0 {
 		t.Fatalf("B-MPSM violated commandments: %+v", bres.NUMA)
 	}
@@ -237,7 +268,7 @@ func TestDMPSMCorrectness(t *testing.T) {
 	for _, workers := range []int{1, 2, 4} {
 		for _, budget := range []int{0, 4, 16} {
 			r, s := uniformDataset(2000, 4, uint64(workers*7+budget))
-			res, stats := DMPSM(r, s, Options{Workers: workers}, DiskOptions{
+			res, stats := dmpsm(r, s, Options{Workers: workers}, DiskOptions{
 				PageSize:   256,
 				PageBudget: budget,
 			})
@@ -264,17 +295,17 @@ func TestDMPSMSkewedData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := DMPSM(r, s, Options{Workers: 4}, DiskOptions{PageSize: 128, PageBudget: 8})
+	res, _ := dmpsm(r, s, Options{Workers: 4}, DiskOptions{PageSize: 128, PageBudget: 8})
 	checkJoinResult(t, "D-MPSM skewed", r, s, res.Matches, res.MaxSum)
 }
 
 func TestDMPSMEmptyInputs(t *testing.T) {
 	empty := relation.New("E", nil)
 	r, _ := uniformDataset(200, 1, 41)
-	if res, _ := DMPSM(empty, r, Options{Workers: 2}, DiskOptions{}); res.Matches != 0 {
+	if res, _ := dmpsm(empty, r, Options{Workers: 2}, DiskOptions{}); res.Matches != 0 {
 		t.Fatalf("empty private side produced %d matches", res.Matches)
 	}
-	if res, _ := DMPSM(r, empty, Options{Workers: 2}, DiskOptions{}); res.Matches != 0 {
+	if res, _ := dmpsm(r, empty, Options{Workers: 2}, DiskOptions{}); res.Matches != 0 {
 		t.Fatalf("empty public side produced %d matches", res.Matches)
 	}
 }

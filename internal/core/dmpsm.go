@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/result"
 	"repro/internal/search"
+	"repro/internal/sink"
 	"repro/internal/sorting"
 	"repro/internal/storage"
 )
@@ -63,9 +65,16 @@ type DiskStats struct {
 // private run (|R|/T tuples) in memory for the duration of the join, while the
 // public input — the dominant data volume — is strictly paged through the
 // buffer pool under the configured budget.
-func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOptions) (*result.Result, DiskStats) {
+//
+// Cancellation is checked at phase boundaries, per chunk during run
+// generation, and per page during the join; a canceled context aborts the
+// join and returns ctx.Err().
+func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options, diskOpts DiskOptions) (*result.Result, DiskStats, error) {
 	opts = opts.normalize()
 	diskOpts = diskOpts.normalize()
+	if err := ctx.Err(); err != nil {
+		return nil, DiskStats{}, err
+	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "D-MPSM", Workers: workers}
 	states := newWorkerStates(opts)
@@ -80,6 +89,9 @@ func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOption
 	// Phase 1: sort the public chunks locally and spill them as paged runs.
 	phase1 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			tuples := make([]relation.Tuple, len(publicChunks[w].Tuples))
 			copy(tuples, publicChunks[w].Tuples)
@@ -93,10 +105,16 @@ func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOption
 		})
 	})
 	res.AddPhase("phase 1", phase1)
+	if err := ctx.Err(); err != nil {
+		return nil, DiskStats{}, err
+	}
 
 	// Phase 2: sort the private chunks locally and spill them as paged runs.
 	phase2 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			tuples := make([]relation.Tuple, len(privateChunks[w].Tuples))
 			copy(tuples, privateChunks[w].Tuples)
@@ -110,6 +128,9 @@ func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOption
 		})
 	})
 	res.AddPhase("phase 2", phase2)
+	if err := ctx.Err(); err != nil {
+		return nil, DiskStats{}, err
+	}
 
 	// The page index over the public runs is built from the per-page
 	// minimal keys recorded during run generation; it is read-only from
@@ -123,22 +144,31 @@ func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOption
 	// public page against its private run. Per public run, a cursor into
 	// the private run only ever moves forward, so both inputs are consumed
 	// in ascending key order and processed pages can be released.
-	aggregates := make([]mergejoin.MaxAggregate, workers)
+	// Cancellation is checked before every page — the page is the chunk unit
+	// of the disk-enabled merge loop.
+	out := sink.Bind(opts.Sink, workers)
 	scanned := make([]int, workers)
 	phase3 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			priv, err := storage.ReadRunTuples(disk, privateRuns[w])
 			if err != nil {
 				panic(fmt.Sprintf("core: reading private run %d: %v", w, err))
 			}
+			cons := out.Writer(w)
 			cursors := make([]int, len(index.Runs))
 			for pos, entry := range index.Entries {
+				if canceled(ctx) {
+					break
+				}
 				page, err := pool.Pin(entry.Page)
 				if err != nil {
 					panic(fmt.Sprintf("core: pinning page %+v: %v", entry.Page, err))
 				}
-				cursors[entry.RunOrdinal] = joinPagedRun(priv, cursors[entry.RunOrdinal], page, &aggregates[w])
+				cursors[entry.RunOrdinal] = joinPagedRun(priv, cursors[entry.RunOrdinal], page, cons)
 				scanned[w] += len(page)
 				pool.Unpin(entry.Page)
 				prefetcher.ReportProgress(pos + 1)
@@ -148,26 +178,32 @@ func DMPSM(private, public *relation.Relation, opts Options, diskOpts DiskOption
 	})
 	prefetcher.Stop()
 	res.AddPhase("phase 3", phase3)
-
-	var agg mergejoin.MaxAggregate
-	for w := 0; w < workers; w++ {
-		agg.Merge(aggregates[w])
-		res.PublicScanned += scanned[w]
-	}
-	res.Matches = agg.Count
-	res.MaxSum = agg.Max
-	res.Total = time.Since(start)
-	if opts.CollectPerWorker {
-		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
-	}
-
 	stats := DiskStats{
 		Pool:        pool.Stats(),
 		PageReads:   disk.PageReads(),
 		PageWrites:  disk.PageWrites(),
 		PublicPages: len(index.Entries),
 	}
-	return res, stats
+	// Close runs even on cancellation (the sink lifecycle promises it); the
+	// context error still wins as the join's outcome.
+	closeErr := out.Close()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	if closeErr != nil {
+		return nil, stats, closeErr
+	}
+
+	for w := 0; w < workers; w++ {
+		res.PublicScanned += scanned[w]
+	}
+	res.Matches = out.Matches()
+	res.MaxSum = out.MaxSum()
+	res.Total = time.Since(start)
+	if opts.CollectPerWorker {
+		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
+	}
+	return res, stats, nil
 }
 
 // joinPagedRun merge joins one public page (sorted) against the private run,

@@ -38,7 +38,7 @@ func TestPMPSMJoinKinds(t *testing.T) {
 		r, s := kindsDataset(2500, 4, uint64(workers)*7+1)
 		for _, kind := range []mergejoin.Kind{mergejoin.Inner, mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
 			wantCount, wantMax := referenceKind(kind, r, s)
-			res := PMPSM(r, s, Options{Workers: workers, Kind: kind})
+			res := pmpsm(r, s, Options{Workers: workers, Kind: kind})
 			if res.Matches != wantCount {
 				t.Fatalf("P-MPSM %v T=%d: matches = %d, want %d", kind, workers, res.Matches, wantCount)
 			}
@@ -53,7 +53,7 @@ func TestBMPSMJoinKinds(t *testing.T) {
 	r, s := kindsDataset(2000, 2, 11)
 	for _, kind := range []mergejoin.Kind{mergejoin.Inner, mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
 		wantCount, wantMax := referenceKind(kind, r, s)
-		res := BMPSM(r, s, Options{Workers: 4, Kind: kind})
+		res := bmpsm(r, s, Options{Workers: 4, Kind: kind})
 		if res.Matches != wantCount {
 			t.Fatalf("B-MPSM %v: matches = %d, want %d", kind, res.Matches, wantCount)
 		}
@@ -69,7 +69,7 @@ func TestJoinKindsCardinalityIdentities(t *testing.T) {
 	r, s := kindsDataset(3000, 4, 23)
 	counts := map[mergejoin.Kind]uint64{}
 	for _, kind := range []mergejoin.Kind{mergejoin.Inner, mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
-		counts[kind] = PMPSM(r, s, Options{Workers: 8, Kind: kind}).Matches
+		counts[kind] = pmpsm(r, s, Options{Workers: 8, Kind: kind}).Matches
 	}
 	if counts[mergejoin.Semi]+counts[mergejoin.Anti] != uint64(r.Len()) {
 		t.Fatalf("semi (%d) + anti (%d) != |R| (%d)", counts[mergejoin.Semi], counts[mergejoin.Anti], r.Len())
@@ -93,7 +93,7 @@ func TestJoinKindsSkewedData(t *testing.T) {
 	}
 	for _, kind := range []mergejoin.Kind{mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
 		wantCount, _ := referenceKind(kind, r, s)
-		res := PMPSM(r, s, Options{Workers: 8, Kind: kind, Splitters: SplitterEquiCost})
+		res := pmpsm(r, s, Options{Workers: 8, Kind: kind, Splitters: SplitterEquiCost})
 		if res.Matches != wantCount {
 			t.Fatalf("skewed %v: matches = %d, want %d", kind, res.Matches, wantCount)
 		}
@@ -106,8 +106,8 @@ func TestBandJoinMPSM(t *testing.T) {
 		var want mergejoin.MaxAggregate
 		mergejoin.ReferenceJoinBand(r.Tuples, s.Tuples, band, &want)
 		for name, run := range map[string]func() *result.Result{
-			"P-MPSM": func() *result.Result { return PMPSM(r, s, Options{Workers: 4, Band: band}) },
-			"B-MPSM": func() *result.Result { return BMPSM(r, s, Options{Workers: 4, Band: band}) },
+			"P-MPSM": func() *result.Result { return pmpsm(r, s, Options{Workers: 4, Band: band}) },
+			"B-MPSM": func() *result.Result { return bmpsm(r, s, Options{Workers: 4, Band: band}) },
 		} {
 			res := run()
 			if res.Matches != want.Count {
@@ -124,10 +124,10 @@ func TestBandJoinSupersetOfEquiJoin(t *testing.T) {
 	// A band join's cardinality is monotone in the band width and always at
 	// least the equi-join cardinality.
 	r, s := kindsDataset(2000, 4, 53)
-	equi := PMPSM(r, s, Options{Workers: 4}).Matches
+	equi := pmpsm(r, s, Options{Workers: 4}).Matches
 	prev := equi
 	for _, band := range []uint64{1, 10, 100} {
-		got := PMPSM(r, s, Options{Workers: 4, Band: band}).Matches
+		got := pmpsm(r, s, Options{Workers: 4, Band: band}).Matches
 		if got < prev {
 			t.Fatalf("band join cardinality decreased: band=%d gives %d, previous %d", band, got, prev)
 		}
@@ -144,8 +144,8 @@ func TestPresortedInputsSkipSorting(t *testing.T) {
 	sorting.Sort(sSorted.Tuples)
 
 	wantCount, wantMax := referenceKind(mergejoin.Inner, r, s)
-	plain := PMPSM(r, sSorted, Options{Workers: 4, TrackNUMA: true})
-	pre := PMPSM(r, sSorted, Options{Workers: 4, TrackNUMA: true, PresortedPublic: true})
+	plain := pmpsm(r, sSorted, Options{Workers: 4, TrackNUMA: true})
+	pre := pmpsm(r, sSorted, Options{Workers: 4, TrackNUMA: true, PresortedPublic: true})
 	for name, res := range map[string]*result.Result{"without declaration": plain, "with declaration": pre} {
 		if res.Matches != wantCount || res.MaxSum != wantMax {
 			t.Fatalf("%s: got (%d, %d), want (%d, %d)", name, res.Matches, res.MaxSum, wantCount, wantMax)
@@ -158,13 +158,13 @@ func TestPresortedInputsSkipSorting(t *testing.T) {
 
 	// A false declaration must not break correctness: the chunks are
 	// verified and sorted anyway.
-	lying := PMPSM(r, s, Options{Workers: 4, PresortedPublic: true, PresortedPrivate: true})
+	lying := pmpsm(r, s, Options{Workers: 4, PresortedPublic: true, PresortedPrivate: true})
 	if lying.Matches != wantCount {
 		t.Fatalf("false presorted declaration broke the join: %d matches, want %d", lying.Matches, wantCount)
 	}
 
 	// B-MPSM can additionally skip the private sort.
-	bPre := BMPSM(r.Clone(), sSorted, Options{Workers: 4, PresortedPublic: true})
+	bPre := bmpsm(r.Clone(), sSorted, Options{Workers: 4, PresortedPublic: true})
 	if bPre.Matches != wantCount {
 		t.Fatalf("B-MPSM with presorted public input: %d matches, want %d", bPre.Matches, wantCount)
 	}
@@ -173,13 +173,13 @@ func TestPresortedInputsSkipSorting(t *testing.T) {
 func TestJoinKindsEmptyPublic(t *testing.T) {
 	r, _ := kindsDataset(500, 1, 41)
 	empty := relation.New("E", nil)
-	if got := PMPSM(r, empty, Options{Workers: 4, Kind: mergejoin.Anti}).Matches; got != uint64(r.Len()) {
+	if got := pmpsm(r, empty, Options{Workers: 4, Kind: mergejoin.Anti}).Matches; got != uint64(r.Len()) {
 		t.Fatalf("anti join with empty public = %d, want |R| = %d", got, r.Len())
 	}
-	if got := PMPSM(r, empty, Options{Workers: 4, Kind: mergejoin.Semi}).Matches; got != 0 {
+	if got := pmpsm(r, empty, Options{Workers: 4, Kind: mergejoin.Semi}).Matches; got != 0 {
 		t.Fatalf("semi join with empty public = %d, want 0", got)
 	}
-	if got := PMPSM(r, empty, Options{Workers: 4, Kind: mergejoin.LeftOuter}).Matches; got != uint64(r.Len()) {
+	if got := pmpsm(r, empty, Options{Workers: 4, Kind: mergejoin.LeftOuter}).Matches; got != uint64(r.Len()) {
 		t.Fatalf("outer join with empty public = %d, want |R| = %d", got, r.Len())
 	}
 }

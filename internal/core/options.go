@@ -12,11 +12,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
+	"repro/internal/sink"
 )
 
 // SplitterStrategy selects how P-MPSM determines the range-partition bounds of
@@ -96,6 +98,11 @@ type Options struct {
 	// CollectPerWorker records per-worker phase breakdowns (Figure 16).
 	CollectPerWorker bool
 
+	// Sink receives the joined tuple stream. A nil Sink selects the built-in
+	// max-sum aggregate of the paper's evaluation query, which preserves the
+	// legacy fire-and-forget Join semantics.
+	Sink sink.Sink
+
 	// TrackNUMA enables simulated NUMA access accounting.
 	TrackNUMA bool
 	// Topology is the simulated NUMA topology; the zero value selects the
@@ -131,6 +138,12 @@ func (o Options) normalize() Options {
 	}
 	return o
 }
+
+// canceled reports whether the context has been canceled without blocking.
+// The MPSM variants call it at phase boundaries and once per chunk of work
+// inside the sort and merge loops (per public run, per page), so a canceled
+// join stops within one chunk of processing per worker.
+func canceled(ctx context.Context) bool { return mergejoin.Canceled(ctx) }
 
 // log2ceil returns ceil(log2(n)) for n >= 1 and 0 otherwise.
 func log2ceil(n int) int {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/mergejoin"
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sink"
 	"repro/internal/sorting"
 )
 
@@ -24,12 +26,20 @@ import (
 //	         only (2.3);
 //	phase 3  sort each private range partition into a run;
 //	phase 4  every worker merge joins its private run with the relevant,
-//	         interpolation-searched fraction of every public run.
+//	         interpolation-searched fraction of every public run, streaming
+//	         every matching pair into the configured sink.
 //
 // The private input should be the smaller relation; see the role-reversal
 // experiment (Section 5.4).
-func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
+//
+// Cancellation is checked at every phase boundary and once per chunk inside
+// the sort and merge loops; a canceled context aborts the join and returns
+// ctx.Err().
+func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options) (*result.Result, error) {
 	opts = opts.normalize()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "P-MPSM", Workers: workers}
 	states := newWorkerStates(opts)
@@ -42,23 +52,35 @@ func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
 	// Phase 1: sort the public input chunks into local runs.
 	phase1 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			publicRuns[w] = sortChunkIntoRun(publicChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPublic, states[w], opts.Topology)
 			states[w].record("phase 1", time.Since(t0))
 		})
 	})
 	res.AddPhase("phase 1", phase1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: range partition the private input.
 	var privateRuns []*relation.Run
 	phase2 := result.StopwatchPhase(func() {
-		privateRuns = rangePartitionPrivate(privateChunks, publicRuns, states, opts)
+		privateRuns = rangePartitionPrivate(ctx, privateChunks, publicRuns, states, opts)
 	})
 	res.AddPhase("phase 2", phase2)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: sort each private range partition into a run.
 	phase3 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
+			if canceled(ctx) {
+				return
+			}
 			t0 := time.Now()
 			run := privateRuns[w]
 			sorting.Sort(run.Tuples)
@@ -71,19 +93,27 @@ func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
 		})
 	})
 	res.AddPhase("phase 3", phase3)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 4: merge join every private run with the relevant fraction of
-	// every public run, located via interpolation search.
-	aggregates := make([]mergejoin.MaxAggregate, workers)
+	// every public run, located via interpolation search. Matching pairs
+	// stream into the sink through per-worker writers (no synchronization).
+	out := sink.Bind(opts.Sink, workers)
 	scanned := make([]int, workers)
 	phase4 := result.StopwatchPhase(func() {
 		parallelFor(workers, func(w int) {
 			t0 := time.Now()
 			priv := privateRuns[w]
+			cons := out.Writer(w)
 			if opts.Band > 0 {
+				if canceled(ctx) {
+					return
+				}
 				// Non-equi band join: every private tuple matches a
 				// contiguous window of each public run.
-				n := mergejoin.JoinBandAgainstRuns(priv.Tuples, publicRuns, opts.Band, &aggregates[w])
+				n := mergejoin.JoinBandAgainstRunsCtx(ctx, priv.Tuples, publicRuns, opts.Band, cons)
 				scanned[w] += n
 				if states[w].tracker != nil {
 					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
@@ -93,7 +123,10 @@ func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
 				}
 			} else if opts.Kind == mergejoin.Inner {
 				for _, pub := range publicRuns {
-					n := mergejoin.JoinWithSkip(priv.Tuples, pub.Tuples, &aggregates[w])
+					if canceled(ctx) {
+						return
+					}
+					n := mergejoin.JoinWithSkip(priv.Tuples, pub.Tuples, cons)
 					scanned[w] += n
 					if states[w].tracker != nil {
 						states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
@@ -101,11 +134,14 @@ func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
 					}
 				}
 			} else {
+				if canceled(ctx) {
+					return
+				}
 				// Non-inner kinds track per-tuple match state across all
 				// public runs, so the kernel owns the whole loop. The NUMA
 				// accounting approximates the public scans as evenly spread
 				// over the runs.
-				n := mergejoin.JoinRunsKind(opts.Kind, priv.Tuples, publicRuns, &aggregates[w])
+				n := mergejoin.JoinRunsKindCtx(ctx, opts.Kind, priv.Tuples, publicRuns, cons)
 				scanned[w] += n
 				if states[w].tracker != nil {
 					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
@@ -118,34 +154,43 @@ func PMPSM(private, public *relation.Relation, opts Options) *result.Result {
 		})
 	})
 	res.AddPhase("phase 4", phase4)
+	// Close runs even on cancellation: the sink was opened and its writers
+	// consumed tuples, so it must learn the execution ended. The context
+	// error still wins as the join's outcome.
+	closeErr := out.Close()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
 
-	var agg mergejoin.MaxAggregate
 	for w := 0; w < workers; w++ {
-		agg.Merge(aggregates[w])
 		res.PublicScanned += scanned[w]
 	}
-	res.Matches = agg.Count
-	res.MaxSum = agg.Max
+	res.Matches = out.Matches()
+	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
 		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3", "phase 4"})
 		for w := range res.PerWorker {
 			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
 			res.PerWorker[w].PublicScanned = scanned[w]
-			res.PerWorker[w].Matches = aggregates[w].Count
+			res.PerWorker[w].Matches = out.WorkerMatches(w)
 		}
 	}
 	if opts.TrackNUMA {
 		res.NUMA = mergeTrackers(states)
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
-	return res
+	return res, nil
 }
 
 // rangePartitionPrivate implements phase 2 of P-MPSM: it returns one private
 // run (still unsorted) per worker, holding exactly the tuples of that worker's
-// key range.
-func rangePartitionPrivate(privateChunks []relation.Chunk, publicRuns []*relation.Run, states []*workerState, opts Options) []*relation.Run {
+// key range. On cancellation it returns early with whatever it has built; the
+// caller checks ctx after the phase and discards the partial state.
+func rangePartitionPrivate(ctx context.Context, privateChunks []relation.Chunk, publicRuns []*relation.Run, states []*workerState, opts Options) []*relation.Run {
 	workers := opts.Workers
 
 	// Phase 2.1: per-run equi-height bounds merged into the global S CDF.
@@ -160,6 +205,9 @@ func rangePartitionPrivate(privateChunks []relation.Chunk, publicRuns []*relatio
 		states[w].record("phase 2", time.Since(t0))
 	})
 	cdf := partition.BuildCDF(boundsPerRun, runLens)
+	if canceled(ctx) {
+		return nil
+	}
 
 	// Phase 2.2: fine-grained radix histograms on the private chunks. Each
 	// worker also determines the maximum key of its chunk so that the radix
@@ -189,6 +237,10 @@ func rangePartitionPrivate(privateChunks []relation.Chunk, publicRuns []*relatio
 
 	histograms := make([]partition.Histogram, workers)
 	parallelFor(workers, func(w int) {
+		if canceled(ctx) {
+			histograms[w] = partition.BuildHistogram(nil, cfg)
+			return
+		}
 		t0 := time.Now()
 		histograms[w] = partition.BuildHistogram(privateChunks[w].Tuples, cfg)
 		if states[w].tracker != nil {
@@ -225,6 +277,9 @@ func rangePartitionPrivate(privateChunks []relation.Chunk, publicRuns []*relatio
 	}
 
 	parallelFor(workers, func(w int) {
+		if canceled(ctx) {
+			return
+		}
 		t0 := time.Now()
 		cursors := append([]int(nil), ps.Offsets[w]...)
 		before := append([]int(nil), cursors...)

@@ -1,13 +1,20 @@
-// Package exec provides a minimal query-execution pipeline around the join
-// algorithms, mirroring the evaluation setup of the paper (Section 5.1): both
+// Package exec provides the query-execution pipeline around the join
+// algorithms. A query runs as four composable steps — scan, filter, join,
+// sink — mirroring the evaluation setup of the paper (Section 5.1): both
 // relations are scanned, a selection is applied, the surviving tuples are
-// joined, and a max aggregate over R.payload + S.payload is computed so that
-// all payload data flows through the join while only a single output tuple is
-// produced.
+// joined, and the joined pairs stream into a result sink (by default the
+// paper's max(R.payload + S.payload) aggregate, so that all payload data
+// flows through the join while only a single output tuple is produced).
+//
+// exec is also the dispatch layer of the public Engine API: it maps an
+// Algorithm onto the core and hashjoin implementations, threading the
+// caller's context and sink through every one of them.
 package exec
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -52,14 +59,20 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ParseAlgorithm converts a command-line name into an Algorithm.
+// ParseAlgorithm converts an algorithm name into an Algorithm. Matching is
+// case-insensitive and ignores spaces and hyphens, so both the command-line
+// short forms ("pmpsm", "radix") and the String() forms ("P-MPSM",
+// "Radix HJ") round-trip.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	switch name {
-	case "pmpsm", "p-mpsm", "mpsm":
+	n := strings.ToLower(name)
+	n = strings.ReplaceAll(n, " ", "")
+	n = strings.ReplaceAll(n, "-", "")
+	switch n {
+	case "pmpsm", "mpsm":
 		return AlgorithmPMPSM, nil
-	case "bmpsm", "b-mpsm":
+	case "bmpsm":
 		return AlgorithmBMPSM, nil
-	case "dmpsm", "d-mpsm":
+	case "dmpsm":
 		return AlgorithmDMPSM, nil
 	case "wisconsin", "nophj":
 		return AlgorithmWisconsin, nil
@@ -74,7 +87,11 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // tuple.
 type Predicate func(relation.Tuple) bool
 
-// Query describes one execution of the paper's evaluation query
+// Query describes one execution of the pipeline
+//
+//	scan(R), scan(S) → filter → join → sink
+//
+// With the default sink it computes the paper's evaluation query
 //
 //	SELECT max(R.payload + S.payload)
 //	FROM R, S
@@ -89,7 +106,9 @@ type Query struct {
 	// JoinOptions configures the MPSM variants and, where applicable, the
 	// hash-join baselines (worker count, NUMA tracking, splitters). Its Kind
 	// field selects inner/left-outer/semi/anti semantics; non-inner kinds
-	// are only supported by the B-MPSM and P-MPSM algorithms.
+	// are only supported by the B-MPSM and P-MPSM algorithms. Its Sink field
+	// receives the joined tuple stream (nil selects the built-in max-sum
+	// aggregate).
 	JoinOptions core.Options
 	// DiskOptions configures AlgorithmDMPSM.
 	DiskOptions core.DiskOptions
@@ -104,8 +123,8 @@ type QueryResult struct {
 	ScanTime time.Duration
 	// RSelected and SSelected are the input cardinalities after selection.
 	RSelected, SSelected int
-	// MaxSum is the query answer max(R.payload + S.payload); only
-	// meaningful if Matches > 0.
+	// MaxSum is the query answer max(R.payload + S.payload); only meaningful
+	// if Matches > 0 and the query ran with the default max-sum sink.
 	MaxSum uint64
 	// Matches is the join cardinality.
 	Matches uint64
@@ -113,32 +132,50 @@ type QueryResult struct {
 	DiskStats *core.DiskStats
 }
 
-// Run executes the query.
-func Run(q Query) (*QueryResult, error) {
+// validate rejects unsupported algorithm/kind/band combinations.
+func (q Query) validate() error {
 	if q.R == nil || q.S == nil {
-		return nil, fmt.Errorf("exec: query requires both inputs, got R=%v S=%v", q.R, q.S)
+		return fmt.Errorf("exec: query requires both inputs, got R=%v S=%v", q.R, q.S)
 	}
 	if !q.JoinOptions.Kind.Valid() {
-		return nil, fmt.Errorf("exec: unknown join kind %d", int(q.JoinOptions.Kind))
+		return fmt.Errorf("exec: unknown join kind %d", int(q.JoinOptions.Kind))
 	}
 	if q.JoinOptions.Kind != mergejoin.Inner &&
 		q.Algorithm != AlgorithmPMPSM && q.Algorithm != AlgorithmBMPSM {
-		return nil, fmt.Errorf("exec: join kind %v is only supported by the B-MPSM and P-MPSM algorithms, not %v",
+		return fmt.Errorf("exec: join kind %v is only supported by the B-MPSM and P-MPSM algorithms, not %v",
 			q.JoinOptions.Kind, q.Algorithm)
 	}
 	if q.JoinOptions.Band > 0 {
 		if q.JoinOptions.Kind != mergejoin.Inner {
-			return nil, fmt.Errorf("exec: band joins require an inner join kind, got %v", q.JoinOptions.Kind)
+			return fmt.Errorf("exec: band joins require an inner join kind, got %v", q.JoinOptions.Kind)
 		}
 		if q.Algorithm != AlgorithmPMPSM && q.Algorithm != AlgorithmBMPSM {
-			return nil, fmt.Errorf("exec: band joins are only supported by the B-MPSM and P-MPSM algorithms, not %v", q.Algorithm)
+			return fmt.Errorf("exec: band joins are only supported by the B-MPSM and P-MPSM algorithms, not %v", q.Algorithm)
 		}
+	}
+	switch q.Algorithm {
+	case AlgorithmPMPSM, AlgorithmBMPSM, AlgorithmDMPSM, AlgorithmWisconsin, AlgorithmRadix:
+		return nil
+	default:
+		return fmt.Errorf("exec: unknown algorithm %v", q.Algorithm)
+	}
+}
+
+// Run executes the query pipeline: scan+filter both inputs, run the selected
+// join with the caller's context and sink, and collect the result. A canceled
+// context aborts the execution and returns ctx.Err().
+func Run(ctx context.Context, q Query) (*QueryResult, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	qr := &QueryResult{}
 
-	// Scan + filter. The paper applies a selection so that neither indexes
-	// nor foreign keys can be exploited; an always-true filter degenerates
-	// to a plain scan without copying.
+	// Step 1+2, scan and filter: the paper applies a selection so that
+	// neither indexes nor foreign keys can be exploited; an always-true
+	// filter degenerates to a plain scan without copying.
 	var rIn, sIn *relation.Relation
 	qr.ScanTime = result.StopwatchPhase(func() {
 		rIn = applyFilter(q.R, q.RFilter)
@@ -146,39 +183,64 @@ func Run(q Query) (*QueryResult, error) {
 	})
 	qr.RSelected = rIn.Len()
 	qr.SSelected = sIn.Len()
-
-	switch q.Algorithm {
-	case AlgorithmPMPSM:
-		qr.Join = core.PMPSM(rIn, sIn, q.JoinOptions)
-	case AlgorithmBMPSM:
-		qr.Join = core.BMPSM(rIn, sIn, q.JoinOptions)
-	case AlgorithmDMPSM:
-		res, stats := core.DMPSM(rIn, sIn, q.JoinOptions, q.DiskOptions)
-		qr.Join = res
-		qr.DiskStats = &stats
-	case AlgorithmWisconsin:
-		qr.Join = hashjoin.Wisconsin(rIn, sIn, hashjoin.Options{
-			Workers:   q.JoinOptions.Workers,
-			Topology:  q.JoinOptions.Topology,
-			TrackNUMA: q.JoinOptions.TrackNUMA,
-			CostModel: q.JoinOptions.CostModel,
-		})
-	case AlgorithmRadix:
-		qr.Join = hashjoin.Radix(rIn, sIn, hashjoin.RadixOptions{
-			Options: hashjoin.Options{
-				Workers:   q.JoinOptions.Workers,
-				Topology:  q.JoinOptions.Topology,
-				TrackNUMA: q.JoinOptions.TrackNUMA,
-				CostModel: q.JoinOptions.CostModel,
-			},
-		})
-	default:
-		return nil, fmt.Errorf("exec: unknown algorithm %v", q.Algorithm)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
-	qr.Matches = qr.Join.Matches
-	qr.MaxSum = qr.Join.MaxSum
+	// Step 3+4, join into the sink: the sink is threaded through the join's
+	// match loops, so results stream out while the join runs.
+	res, diskStats, err := Join(ctx, q.Algorithm, rIn, sIn, q.JoinOptions, q.DiskOptions)
+	if err != nil {
+		return nil, err
+	}
+	qr.Join = res
+	qr.DiskStats = diskStats
+	qr.Matches = res.Matches
+	qr.MaxSum = res.MaxSum
 	return qr, nil
+}
+
+// Join dispatches one join execution to the selected algorithm, threading the
+// context and the sink carried in opts.Sink. It is the single entry point the
+// public Engine and the Query pipeline share. DiskStats is non-nil only for
+// AlgorithmDMPSM.
+func Join(ctx context.Context, alg Algorithm, r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) (*result.Result, *core.DiskStats, error) {
+	switch alg {
+	case AlgorithmPMPSM:
+		res, err := core.PMPSM(ctx, r, s, opts)
+		return res, nil, err
+	case AlgorithmBMPSM:
+		res, err := core.BMPSM(ctx, r, s, opts)
+		return res, nil, err
+	case AlgorithmDMPSM:
+		res, stats, err := core.DMPSM(ctx, r, s, opts, diskOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, &stats, nil
+	case AlgorithmWisconsin:
+		res, err := hashjoin.Wisconsin(ctx, r, s, hashjoin.Options{
+			Workers:   opts.Workers,
+			Topology:  opts.Topology,
+			TrackNUMA: opts.TrackNUMA,
+			CostModel: opts.CostModel,
+			Sink:      opts.Sink,
+		})
+		return res, nil, err
+	case AlgorithmRadix:
+		res, err := hashjoin.Radix(ctx, r, s, hashjoin.RadixOptions{
+			Options: hashjoin.Options{
+				Workers:   opts.Workers,
+				Topology:  opts.Topology,
+				TrackNUMA: opts.TrackNUMA,
+				CostModel: opts.CostModel,
+				Sink:      opts.Sink,
+			},
+		})
+		return res, nil, err
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown algorithm %v", alg)
+	}
 }
 
 // applyFilter returns the input unchanged for a nil predicate, and a filtered

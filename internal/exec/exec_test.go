@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -28,7 +29,7 @@ func TestRunAllAlgorithmsAgree(t *testing.T) {
 	mergejoin.ReferenceJoin(r.Tuples, s.Tuples, &agg)
 
 	for _, alg := range []Algorithm{AlgorithmPMPSM, AlgorithmBMPSM, AlgorithmDMPSM, AlgorithmWisconsin, AlgorithmRadix} {
-		res, err := Run(Query{
+		res, err := Run(context.Background(), Query{
 			R:           r,
 			S:           s,
 			Algorithm:   alg,
@@ -60,7 +61,7 @@ func TestRunWithSelection(t *testing.T) {
 	var agg mergejoin.MaxAggregate
 	mergejoin.ReferenceJoin(filteredR.Tuples, filteredS.Tuples, &agg)
 
-	res, err := Run(Query{
+	res, err := Run(context.Background(), Query{
 		R:           r,
 		S:           s,
 		RFilter:     KeyRangePredicate(low, high),
@@ -84,13 +85,13 @@ func TestRunWithSelection(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	r, s := dataset(10, 1, 3)
-	if _, err := Run(Query{R: nil, S: s}); err == nil {
+	if _, err := Run(context.Background(), Query{R: nil, S: s}); err == nil {
 		t.Fatal("nil R accepted")
 	}
-	if _, err := Run(Query{R: r, S: nil}); err == nil {
+	if _, err := Run(context.Background(), Query{R: r, S: nil}); err == nil {
 		t.Fatal("nil S accepted")
 	}
-	if _, err := Run(Query{R: r, S: s, Algorithm: Algorithm(42)}); err == nil {
+	if _, err := Run(context.Background(), Query{R: r, S: s, Algorithm: Algorithm(42)}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -100,7 +101,7 @@ func TestRunJoinKinds(t *testing.T) {
 	for _, kind := range []mergejoin.Kind{mergejoin.LeftOuter, mergejoin.Semi, mergejoin.Anti} {
 		var want mergejoin.MaxAggregate
 		mergejoin.ReferenceJoinKind(kind, r.Tuples, s.Tuples, &want)
-		res, err := Run(Query{
+		res, err := Run(context.Background(), Query{
 			R:           r,
 			S:           s,
 			Algorithm:   AlgorithmPMPSM,
@@ -118,7 +119,7 @@ func TestRunJoinKinds(t *testing.T) {
 func TestRunRejectsKindsForHashJoins(t *testing.T) {
 	r, s := dataset(100, 1, 10)
 	for _, alg := range []Algorithm{AlgorithmWisconsin, AlgorithmRadix, AlgorithmDMPSM} {
-		_, err := Run(Query{
+		_, err := Run(context.Background(), Query{
 			R:           r,
 			S:           s,
 			Algorithm:   alg,
@@ -128,7 +129,7 @@ func TestRunRejectsKindsForHashJoins(t *testing.T) {
 			t.Fatalf("%v should reject non-inner join kinds", alg)
 		}
 	}
-	if _, err := Run(Query{R: r, S: s, JoinOptions: core.Options{Kind: mergejoin.Kind(9)}}); err == nil {
+	if _, err := Run(context.Background(), Query{R: r, S: s, JoinOptions: core.Options{Kind: mergejoin.Kind(9)}}); err == nil {
 		t.Fatal("invalid join kind accepted")
 	}
 }
@@ -136,7 +137,7 @@ func TestRunRejectsKindsForHashJoins(t *testing.T) {
 func TestRunBandJoinValidation(t *testing.T) {
 	r, s := dataset(200, 1, 12)
 	// Valid: band join on P-MPSM.
-	res, err := Run(Query{R: r, S: s, Algorithm: AlgorithmPMPSM, JoinOptions: core.Options{Workers: 2, Band: 10}})
+	res, err := Run(context.Background(), Query{R: r, S: s, Algorithm: AlgorithmPMPSM, JoinOptions: core.Options{Workers: 2, Band: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,10 +145,10 @@ func TestRunBandJoinValidation(t *testing.T) {
 		t.Fatal("band join produced no matches on a foreign-key dataset")
 	}
 	// Invalid: band joins on hash joins or with non-inner kinds.
-	if _, err := Run(Query{R: r, S: s, Algorithm: AlgorithmRadix, JoinOptions: core.Options{Band: 10}}); err == nil {
+	if _, err := Run(context.Background(), Query{R: r, S: s, Algorithm: AlgorithmRadix, JoinOptions: core.Options{Band: 10}}); err == nil {
 		t.Fatal("band join on the radix hash join should be rejected")
 	}
-	if _, err := Run(Query{R: r, S: s, Algorithm: AlgorithmPMPSM, JoinOptions: core.Options{Band: 10, Kind: mergejoin.Semi}}); err == nil {
+	if _, err := Run(context.Background(), Query{R: r, S: s, Algorithm: AlgorithmPMPSM, JoinOptions: core.Options{Band: 10, Kind: mergejoin.Semi}}); err == nil {
 		t.Fatal("band join with a semi-join kind should be rejected")
 	}
 }

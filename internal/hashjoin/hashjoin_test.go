@@ -1,12 +1,33 @@
 package hashjoin
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
+	"repro/internal/result"
 	"repro/internal/workload"
 )
+
+// The correctness tests drive the joins on a background context, so the
+// cancellation error path cannot trigger; these wrappers keep them concise.
+
+func wisconsin(r, s *relation.Relation, opts Options) *result.Result {
+	res, err := Wisconsin(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
+	res, err := Radix(context.Background(), r, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // reference computes the expected join cardinality and max-sum with the
 // trusted oracle.
@@ -34,7 +55,7 @@ func TestWisconsinCorrectness(t *testing.T) {
 		for _, mult := range []int{1, 4} {
 			r, s := testDataset(2000, mult, uint64(workers*10+mult))
 			wantCount, wantMax := reference(r, s)
-			res := Wisconsin(r, s, Options{Workers: workers})
+			res := wisconsin(r, s, Options{Workers: workers})
 			if res.Matches != wantCount || res.MaxSum != wantMax {
 				t.Fatalf("workers=%d mult=%d: got (%d, %d), want (%d, %d)",
 					workers, mult, res.Matches, res.MaxSum, wantCount, wantMax)
@@ -55,10 +76,10 @@ func TestWisconsinCorrectness(t *testing.T) {
 func TestWisconsinEmptyInputs(t *testing.T) {
 	empty := relation.New("E", nil)
 	r, _ := testDataset(100, 1, 1)
-	if res := Wisconsin(empty, r, Options{Workers: 2}); res.Matches != 0 {
+	if res := wisconsin(empty, r, Options{Workers: 2}); res.Matches != 0 {
 		t.Fatalf("empty build side produced %d matches", res.Matches)
 	}
-	if res := Wisconsin(r, empty, Options{Workers: 2}); res.Matches != 0 {
+	if res := wisconsin(r, empty, Options{Workers: 2}); res.Matches != 0 {
 		t.Fatalf("empty probe side produced %d matches", res.Matches)
 	}
 }
@@ -72,7 +93,7 @@ func TestWisconsinDuplicateKeys(t *testing.T) {
 	}
 	r := relation.New("R", tuples)
 	s := r.Clone()
-	res := Wisconsin(r, s, Options{Workers: 4})
+	res := wisconsin(r, s, Options{Workers: 4})
 	if res.Matches != uint64(n*n) {
 		t.Fatalf("matches = %d, want %d", res.Matches, n*n)
 	}
@@ -83,7 +104,7 @@ func TestWisconsinDuplicateKeys(t *testing.T) {
 
 func TestWisconsinNUMAAccounting(t *testing.T) {
 	r, s := testDataset(5000, 4, 3)
-	res := Wisconsin(r, s, Options{Workers: 8, TrackNUMA: true})
+	res := wisconsin(r, s, Options{Workers: 8, TrackNUMA: true})
 	if res.NUMA.TotalAccesses() == 0 {
 		t.Fatal("NUMA accounting enabled but no accesses recorded")
 	}
@@ -103,7 +124,7 @@ func TestRadixCorrectness(t *testing.T) {
 		for _, mult := range []int{1, 4} {
 			r, s := testDataset(2000, mult, uint64(workers*100+mult))
 			wantCount, wantMax := reference(r, s)
-			res := Radix(r, s, RadixOptions{Options: Options{Workers: workers}})
+			res := radix(r, s, RadixOptions{Options: Options{Workers: workers}})
 			if res.Matches != wantCount || res.MaxSum != wantMax {
 				t.Fatalf("workers=%d mult=%d: got (%d, %d), want (%d, %d)",
 					workers, mult, res.Matches, res.MaxSum, wantCount, wantMax)
@@ -116,7 +137,7 @@ func TestRadixExplicitBits(t *testing.T) {
 	r, s := testDataset(3000, 2, 5)
 	wantCount, wantMax := reference(r, s)
 	for _, bitsUsed := range []int{1, 4, 8} {
-		res := Radix(r, s, RadixOptions{Options: Options{Workers: 4}, PartitionBits: bitsUsed})
+		res := radix(r, s, RadixOptions{Options: Options{Workers: 4}, PartitionBits: bitsUsed})
 		if res.Matches != wantCount || res.MaxSum != wantMax {
 			t.Fatalf("bits=%d: got (%d, %d), want (%d, %d)", bitsUsed, res.Matches, res.MaxSum, wantCount, wantMax)
 		}
@@ -127,7 +148,7 @@ func TestRadixPassCounts(t *testing.T) {
 	r, s := testDataset(4000, 4, 21)
 	wantCount, wantMax := reference(r, s)
 	for _, passes := range []int{1, 2} {
-		res := Radix(r, s, RadixOptions{Options: Options{Workers: 4}, PartitionBits: 8, Passes: passes})
+		res := radix(r, s, RadixOptions{Options: Options{Workers: 4}, PartitionBits: 8, Passes: passes})
 		if res.Matches != wantCount || res.MaxSum != wantMax {
 			t.Fatalf("passes=%d: got (%d, %d), want (%d, %d)", passes, res.Matches, res.MaxSum, wantCount, wantMax)
 		}
@@ -158,10 +179,10 @@ func TestRefinePartitionPreservesTuplesAndRanges(t *testing.T) {
 func TestRadixEmptyInputs(t *testing.T) {
 	empty := relation.New("E", nil)
 	r, _ := testDataset(100, 1, 7)
-	if res := Radix(empty, r, RadixOptions{Options: Options{Workers: 2}}); res.Matches != 0 {
+	if res := radix(empty, r, RadixOptions{Options: Options{Workers: 2}}); res.Matches != 0 {
 		t.Fatalf("empty build side produced %d matches", res.Matches)
 	}
-	if res := Radix(r, empty, RadixOptions{Options: Options{Workers: 2}}); res.Matches != 0 {
+	if res := radix(r, empty, RadixOptions{Options: Options{Workers: 2}}); res.Matches != 0 {
 		t.Fatalf("empty probe side produced %d matches", res.Matches)
 	}
 }
@@ -179,7 +200,7 @@ func TestRadixSkewedData(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantCount, wantMax := reference(r, s)
-	res := Radix(r, s, RadixOptions{Options: Options{Workers: 4}})
+	res := radix(r, s, RadixOptions{Options: Options{Workers: 4}})
 	if res.Matches != wantCount {
 		t.Fatalf("matches = %d, want %d", res.Matches, wantCount)
 	}
@@ -190,7 +211,7 @@ func TestRadixSkewedData(t *testing.T) {
 
 func TestRadixNUMAAccounting(t *testing.T) {
 	r, s := testDataset(5000, 4, 11)
-	res := Radix(r, s, RadixOptions{Options: Options{Workers: 8, TrackNUMA: true}})
+	res := radix(r, s, RadixOptions{Options: Options{Workers: 8, TrackNUMA: true}})
 	if res.NUMA.TotalAccesses() == 0 {
 		t.Fatal("NUMA accounting enabled but no accesses recorded")
 	}

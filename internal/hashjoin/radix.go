@@ -1,6 +1,7 @@
 package hashjoin
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sink"
 )
 
 // RadixOptions configures the radix-partitioned hash join baseline.
@@ -42,9 +44,16 @@ func choosePartitionBits(buildSize int) int {
 // MonetDB/Vectorwise lineage, the paper's second contender. Both inputs are
 // radix partitioned on their join keys in parallel using per-worker
 // histograms and prefix sums (one pass, writing across NUMA partitions), and
-// every partition pair is then joined with a private hash table.
-func Radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
+// every partition pair is then joined with a private hash table, streaming
+// matches into the configured sink.
+//
+// Cancellation is checked at phase boundaries and per partition inside the
+// join loop; a canceled context aborts the join and returns ctx.Err().
+func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*result.Result, error) {
 	o := opts.Options.normalize()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := o.Workers
 	res := &result.Result{Algorithm: "Radix HJ", Workers: workers}
 	start := time.Now()
@@ -71,16 +80,21 @@ func Radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
 
 	var rParts, sParts [][]relation.Tuple
 	partitionTime := result.StopwatchPhase(func() {
-		rParts = partitionMultiPass(r, bitsUsed, passes, maxKey, workers, trackers, o.Topology)
-		sParts = partitionMultiPass(s, bitsUsed, passes, maxKey, workers, trackers, o.Topology)
+		rParts = partitionMultiPass(ctx, r, bitsUsed, passes, maxKey, workers, trackers, o.Topology)
+		sParts = partitionMultiPass(ctx, s, bitsUsed, passes, maxKey, workers, trackers, o.Topology)
 	})
 	res.AddPhase("partition", partitionTime)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	parts := len(rParts)
 
 	// Join phase: partitions are processed in parallel; each worker builds
 	// a private hash table over its R partition and probes with the
-	// matching S partition.
-	aggregates := make([]mergejoin.MaxAggregate, workers)
+	// matching S partition, streaming matches into its sink writer.
+	// Cancellation is checked per claimed partition — the chunk unit of
+	// this loop.
+	out := sink.Bind(o.Sink, workers)
 	joinTime := result.StopwatchPhase(func() {
 		var next int64
 		var mu sync.Mutex
@@ -90,7 +104,11 @@ func Radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
 			go func(w int) {
 				defer wg.Done()
 				tracker := trackers[w]
+				cons := out.Writer(w)
 				for {
+					if canceled(ctx) {
+						return
+					}
 					mu.Lock()
 					p := int(next)
 					next++
@@ -98,7 +116,7 @@ func Radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
 					if p >= parts {
 						return
 					}
-					joinPartition(rParts[p], sParts[p], &aggregates[w])
+					joinPartition(rParts[p], sParts[p], cons)
 					if tracker != nil {
 						// Reading the partitions is sequential, but they
 						// live wherever the partitioning phase placed them
@@ -116,19 +134,24 @@ func Radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
 		wg.Wait()
 	})
 	res.AddPhase("build+probe", joinTime)
-
-	var agg mergejoin.MaxAggregate
-	for w := 0; w < workers; w++ {
-		agg.Merge(aggregates[w])
+	// Close runs even on cancellation (the sink lifecycle promises it); the
+	// context error still wins as the join's outcome.
+	closeErr := out.Close()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	res.Matches = agg.Count
-	res.MaxSum = agg.Max
+	if closeErr != nil {
+		return nil, closeErr
+	}
+
+	res.Matches = out.Matches()
+	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if o.TrackNUMA {
 		res.NUMA = numa.MergeStats(trackers)
 		res.SimulatedNUMACost = o.CostModel.Estimate(res.NUMA)
 	}
-	return res
+	return res, nil
 }
 
 // partitionMultiPass radix partitions a relation into 2^bits partitions using
@@ -138,19 +161,19 @@ func Radix(r, s *relation.Relation, opts RadixOptions) *result.Result {
 // criticizes. The optional second pass refines every coarse partition locally
 // on the next b2 = bits - b1 key bits, preserving TLB/cache locality exactly
 // like the MonetDB/Vectorwise radix join.
-func partitionMultiPass(rel *relation.Relation, bits, passes int, maxKey uint64,
+func partitionMultiPass(ctx context.Context, rel *relation.Relation, bits, passes int, maxKey uint64,
 	workers int, trackers []*numa.Tracker, topo numa.Topology) [][]relation.Tuple {
 
 	if passes <= 1 || bits < 2 {
 		cfg := partition.NewRadixConfig(bits, maxKey)
 		sp := identitySplitters(cfg.Clusters())
-		return partitionParallel(rel, cfg, sp, cfg.Clusters(), workers, trackers, topo)
+		return partitionParallel(ctx, rel, cfg, sp, cfg.Clusters(), workers, trackers, topo)
 	}
 
 	b1 := (bits + 1) / 2
 	b2 := bits - b1
 	cfg1 := partition.NewRadixConfig(b1, maxKey)
-	coarse := partitionParallel(rel, cfg1, identitySplitters(cfg1.Clusters()), cfg1.Clusters(), workers, trackers, topo)
+	coarse := partitionParallel(ctx, rel, cfg1, identitySplitters(cfg1.Clusters()), cfg1.Clusters(), workers, trackers, topo)
 
 	// Second pass: refine every coarse partition on the next b2 bits. The
 	// refinements are independent, so workers claim coarse partitions from a
@@ -169,6 +192,9 @@ func partitionMultiPass(rel *relation.Relation, bits, passes int, maxKey uint64,
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if canceled(ctx) {
+					return
+				}
 				mu.Lock()
 				p := int(next)
 				next++
@@ -226,7 +252,7 @@ func refinePartition(tuples []relation.Tuple, shift uint, b2 int) [][]relation.T
 // using the synchronization-free histogram/prefix-sum/scatter scheme. Unlike
 // P-MPSM's private-input partitioning, the radix join partitions both inputs,
 // which is the cross-NUMA traffic the paper criticizes.
-func partitionParallel(rel *relation.Relation, cfg partition.RadixConfig, sp partition.SplitterVector,
+func partitionParallel(ctx context.Context, rel *relation.Relation, cfg partition.RadixConfig, sp partition.SplitterVector,
 	parts, workers int, trackers []*numa.Tracker, topo numa.Topology) [][]relation.Tuple {
 
 	chunks := rel.Split(workers)
@@ -237,6 +263,10 @@ func partitionParallel(rel *relation.Relation, cfg partition.RadixConfig, sp par
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if canceled(ctx) {
+				histograms[w] = partition.BuildHistogram(nil, cfg)
+				return
+			}
 			histograms[w] = partition.BuildHistogram(chunks[w].Tuples, cfg)
 			if trackers[w] != nil {
 				trackers[w].SeqRead(trackers[w].Node(), uint64(len(chunks[w].Tuples)))
@@ -255,6 +285,9 @@ func partitionParallel(rel *relation.Relation, cfg partition.RadixConfig, sp par
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if canceled(ctx) {
+				return
+			}
 			cursors := append([]int(nil), ps.Offsets[w]...)
 			partition.Scatter(chunks[w].Tuples, cfg, sp, targets, cursors)
 			if trackers[w] != nil {

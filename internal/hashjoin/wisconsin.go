@@ -17,6 +17,7 @@
 package hashjoin
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/numa"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sink"
 )
 
 // Options configures the hash-join baselines.
@@ -40,7 +42,18 @@ type Options struct {
 	// CostModel converts access statistics into a simulated duration; only
 	// used when TrackNUMA is set. The zero value selects the default model.
 	CostModel numa.CostModel
+	// Sink receives the joined tuple stream. A nil Sink selects the built-in
+	// max-sum aggregate of the paper's evaluation query.
+	Sink sink.Sink
 }
+
+// cancelBlock is how many tuples a hash-join worker processes between two
+// cancellation checks; the build and probe loops have no natural chunk
+// boundary, so this is their chunk size.
+const cancelBlock = 8192
+
+// canceled reports whether the context has been canceled without blocking.
+func canceled(ctx context.Context) bool { return mergejoin.Canceled(ctx) }
 
 // normalize fills in defaults.
 func (o Options) normalize() Options {
@@ -136,8 +149,15 @@ func (t *sharedTable) probe(tup relation.Tuple, out mergejoin.Consumer) (inspect
 // Wisconsin executes the no-partitioning shared hash join: build a global
 // hash table over R in parallel, then probe it with S in parallel. R is the
 // build side; callers wanting role reversal swap the arguments.
-func Wisconsin(r, s *relation.Relation, opts Options) *result.Result {
+//
+// Matching pairs stream into the configured sink. Cancellation is checked at
+// the phase boundary and every cancelBlock tuples inside the build and probe
+// loops; a canceled context aborts the join and returns ctx.Err().
+func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*result.Result, error) {
 	opts = opts.normalize()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "Wisconsin", Workers: workers}
 	start := time.Now()
@@ -164,6 +184,9 @@ func Wisconsin(r, s *relation.Relation, opts Options) *result.Result {
 				tracker := trackers[w]
 				var retries uint64
 				for i, tup := range chunk.Tuples {
+					if i%cancelBlock == 0 && canceled(ctx) {
+						return
+					}
 					retries += table.insert(int32(chunk.Offset+i), tup)
 				}
 				if tracker != nil {
@@ -179,9 +202,13 @@ func Wisconsin(r, s *relation.Relation, opts Options) *result.Result {
 		wg.Wait()
 	})
 	res.AddPhase("build", buildTime)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	// Probe phase: every worker probes with its chunk of S.
-	aggregates := make([]mergejoin.MaxAggregate, workers)
+	// Probe phase: every worker probes with its chunk of S, streaming
+	// matches into its private sink writer.
+	out := sink.Bind(opts.Sink, workers)
 	probeTime := result.StopwatchPhase(func() {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -190,9 +217,13 @@ func Wisconsin(r, s *relation.Relation, opts Options) *result.Result {
 				defer wg.Done()
 				chunk := sChunks[w]
 				tracker := trackers[w]
+				cons := out.Writer(w)
 				var inspected uint64
-				for _, tup := range chunk.Tuples {
-					inspected += table.probe(tup, &aggregates[w])
+				for i, tup := range chunk.Tuples {
+					if i%cancelBlock == 0 && canceled(ctx) {
+						return
+					}
+					inspected += table.probe(tup, cons)
 				}
 				if tracker != nil {
 					// Probing reads the local S chunk sequentially and
@@ -205,19 +236,24 @@ func Wisconsin(r, s *relation.Relation, opts Options) *result.Result {
 		wg.Wait()
 	})
 	res.AddPhase("probe", probeTime)
-
-	var agg mergejoin.MaxAggregate
-	for w := 0; w < workers; w++ {
-		agg.Merge(aggregates[w])
+	// Close runs even on cancellation (the sink lifecycle promises it); the
+	// context error still wins as the join's outcome.
+	closeErr := out.Close()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	res.Matches = agg.Count
-	res.MaxSum = agg.Max
+	if closeErr != nil {
+		return nil, closeErr
+	}
+
+	res.Matches = out.Matches()
+	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.TrackNUMA {
 		res.NUMA = numa.MergeStats(trackers)
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
-	return res
+	return res, nil
 }
 
 // chargeInterleaved charges n random accesses against a hash table whose

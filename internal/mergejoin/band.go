@@ -1,6 +1,10 @@
 package mergejoin
 
-import "repro/internal/relation"
+import (
+	"context"
+
+	"repro/internal/relation"
+)
 
 // JoinBand performs a non-equi band join between two key-sorted inputs: it
 // emits every pair (r, s) with |r.Key − s.Key| <= band. With band = 0 it
@@ -42,10 +46,21 @@ func JoinBand(private, public []relation.Tuple, band uint64, out Consumer) {
 // public run in turn. It returns the number of public tuples that fell inside
 // the private run's extended key range and were therefore scanned.
 func JoinBandAgainstRuns(private []relation.Tuple, publicRuns []*relation.Run, band uint64, out Consumer) (publicScanned int) {
+	return JoinBandAgainstRunsCtx(context.Background(), private, publicRuns, band, out)
+}
+
+// JoinBandAgainstRunsCtx is JoinBandAgainstRuns with a cancellation check
+// between public runs — the chunk unit of the band-join merge loop. It
+// returns early (with a partial scan count) when ctx is canceled; the caller
+// is expected to discard the partial result.
+func JoinBandAgainstRunsCtx(ctx context.Context, private []relation.Tuple, publicRuns []*relation.Run, band uint64, out Consumer) (publicScanned int) {
 	if len(private) == 0 {
 		return 0
 	}
 	for _, pub := range publicRuns {
+		if Canceled(ctx) {
+			return publicScanned
+		}
 		if pub.Len() == 0 {
 			continue
 		}

@@ -1,6 +1,7 @@
 package mergejoin
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -58,9 +59,18 @@ func (k Kind) Valid() bool { return k >= Inner && k <= Anti }
 // a tuple matching only in the final run is classified correctly. Non-inner
 // results carry the zero relation.Tuple on the public side.
 func JoinRunsKind(kind Kind, private []relation.Tuple, publicRuns []*relation.Run, out Consumer) (publicScanned int) {
+	return JoinRunsKindCtx(context.Background(), kind, private, publicRuns, out)
+}
+
+// JoinRunsKindCtx is JoinRunsKind with a cancellation check between public
+// runs — the chunk unit of the merge loop. On cancellation it returns early
+// with a partial scan count and emits nothing further (the per-tuple match
+// state would be incomplete); the caller is expected to discard the partial
+// result.
+func JoinRunsKindCtx(ctx context.Context, kind Kind, private []relation.Tuple, publicRuns []*relation.Run, out Consumer) (publicScanned int) {
 	switch kind {
 	case Inner:
-		return JoinAgainstRuns(private, publicRuns, out)
+		return joinAgainstRunsCtx(ctx, private, publicRuns, out)
 	case LeftOuter, Semi, Anti:
 		// Handled below.
 	default:
@@ -72,7 +82,13 @@ func JoinRunsKind(kind Kind, private []relation.Tuple, publicRuns []*relation.Ru
 
 	matched := make([]bool, len(private))
 	for _, pub := range publicRuns {
+		if Canceled(ctx) {
+			return publicScanned
+		}
 		publicScanned += markAndEmit(kind, private, matched, pub.Tuples, out)
+	}
+	if Canceled(ctx) {
+		return publicScanned
 	}
 	for i, t := range private {
 		switch kind {

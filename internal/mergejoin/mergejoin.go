@@ -9,9 +9,24 @@
 package mergejoin
 
 import (
+	"context"
+
 	"repro/internal/relation"
 	"repro/internal/search"
 )
+
+// Canceled reports whether the context has been canceled, without blocking.
+// It is the cancellation poll the join loops of this repository share: the
+// MPSM merge loops, the hash-join build/probe loops and the phase
+// orchestration all call it at chunk boundaries.
+func Canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
 
 // Consumer receives every joined tuple pair. Implementations decide whether
 // to aggregate, count, or materialize. Consumers are not required to be safe
@@ -141,7 +156,16 @@ func JoinWithSkip(private, public []relation.Tuple, out Consumer) (publicScanned
 // turn, using JoinWithSkip for each. It returns the total number of public
 // tuples scanned across all runs.
 func JoinAgainstRuns(private []relation.Tuple, publicRuns []*relation.Run, out Consumer) (publicScanned int) {
+	return joinAgainstRunsCtx(context.Background(), private, publicRuns, out)
+}
+
+// joinAgainstRunsCtx is JoinAgainstRuns with a cancellation check between
+// public runs.
+func joinAgainstRunsCtx(ctx context.Context, private []relation.Tuple, publicRuns []*relation.Run, out Consumer) (publicScanned int) {
 	for _, s := range publicRuns {
+		if Canceled(ctx) {
+			return publicScanned
+		}
 		publicScanned += JoinWithSkip(private, s.Tuples, out)
 	}
 	return publicScanned

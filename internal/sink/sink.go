@@ -1,0 +1,365 @@
+// Package sink defines the streaming result interface of the join engine and
+// the built-in result consumers.
+//
+// A Sink receives the output stream of a parallel join. Mirroring the MPSM
+// execution model — workers meet only at phase barriers, never per tuple —
+// a sink hands out one mergejoin.Consumer per worker before the join phase
+// and merges the per-worker state once, after all workers have finished.
+// The hot path therefore needs no locking unless the sink itself chooses to
+// serialize (see Func).
+//
+// The paper's evaluation query max(R.payload + S.payload) is just one sink
+// (MaxSum); Count, Materialize and TopK cover the other common result shapes,
+// and Func adapts any callback.
+package sink
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+)
+
+// Sink consumes the output stream of a parallel join execution.
+//
+// The engine drives the life cycle as Open → Writer (once per worker) →
+// Close. Writers are used from exactly one goroutine each; Open and Close are
+// called from the coordinating goroutine outside the join phase. Open resets
+// any state left by a previous execution, so a sink may be reused across
+// sequential joins — but never across concurrent ones.
+type Sink interface {
+	// Open prepares the sink for one join execution with the given degree of
+	// parallelism.
+	Open(workers int)
+	// Writer returns the consumer for worker w, 0 <= w < workers.
+	Writer(w int) mergejoin.Consumer
+	// Close merges the per-worker state after all workers have finished.
+	Close() error
+}
+
+// Pair is one joined (r, s) tuple pair.
+type Pair struct {
+	R, S relation.Tuple
+}
+
+// Sum returns R.Payload + S.Payload, the paper's aggregation input.
+func (p Pair) Sum() uint64 { return p.R.Payload + p.S.Payload }
+
+// Bound wraps a sink for one join execution, interposing a per-worker match
+// counter so that every algorithm reports its join cardinality regardless of
+// what the sink does with the tuples. Bind with a nil sink selects the
+// built-in MaxSum aggregate, which preserves the legacy Join semantics.
+type Bound struct {
+	sink    Sink
+	writers []*countingWriter
+}
+
+// Bind opens the sink for a join with the given worker count. A nil sink
+// selects a fresh MaxSum aggregate.
+func Bind(s Sink, workers int) *Bound {
+	if s == nil {
+		s = NewMaxSum()
+	}
+	s.Open(workers)
+	b := &Bound{sink: s, writers: make([]*countingWriter, workers)}
+	for w := range b.writers {
+		b.writers[w] = &countingWriter{inner: s.Writer(w)}
+	}
+	return b
+}
+
+// Writer returns worker w's counting consumer.
+func (b *Bound) Writer(w int) mergejoin.Consumer { return b.writers[w] }
+
+// Close closes the underlying sink.
+func (b *Bound) Close() error { return b.sink.Close() }
+
+// Matches is the total number of pairs emitted across all workers. Call only
+// after the join phase barrier.
+func (b *Bound) Matches() uint64 {
+	var n uint64
+	for _, w := range b.writers {
+		n += w.count
+	}
+	return n
+}
+
+// WorkerMatches is the number of pairs worker w emitted.
+func (b *Bound) WorkerMatches(w int) uint64 { return b.writers[w].count }
+
+// MaxSum reports the max(R.payload + S.payload) aggregate if the underlying
+// sink computes it (the MaxSum sink does), and 0 otherwise. Call after Close.
+func (b *Bound) MaxSum() uint64 {
+	if m, ok := b.sink.(interface{ Max() uint64 }); ok {
+		return m.Max()
+	}
+	return 0
+}
+
+// countingWriter counts pairs before forwarding them to the sink's writer.
+type countingWriter struct {
+	inner mergejoin.Consumer
+	count uint64
+}
+
+// Consume implements mergejoin.Consumer.
+func (c *countingWriter) Consume(r, s relation.Tuple) {
+	c.count++
+	c.inner.Consume(r, s)
+}
+
+// MaxSum implements the paper's evaluation query
+//
+//	SELECT max(R.payload + S.payload) FROM R, S WHERE R.joinkey = S.joinkey
+//
+// as a Sink: every worker aggregates locally, Close merges.
+type MaxSum struct {
+	aggs []mergejoin.MaxAggregate
+	agg  mergejoin.MaxAggregate
+}
+
+// NewMaxSum returns an empty max-sum aggregate sink.
+func NewMaxSum() *MaxSum { return &MaxSum{} }
+
+// Open implements Sink.
+func (m *MaxSum) Open(workers int) {
+	m.aggs = make([]mergejoin.MaxAggregate, workers)
+	m.agg = mergejoin.MaxAggregate{}
+}
+
+// Writer implements Sink.
+func (m *MaxSum) Writer(w int) mergejoin.Consumer { return &m.aggs[w] }
+
+// Close implements Sink.
+func (m *MaxSum) Close() error {
+	for _, a := range m.aggs {
+		m.agg.Merge(a)
+	}
+	return nil
+}
+
+// Matches is the number of joined pairs. Call after Close.
+func (m *MaxSum) Matches() uint64 { return m.agg.Count }
+
+// Max is the largest payload sum seen; only meaningful if Matches() > 0.
+func (m *MaxSum) Max() uint64 { return m.agg.Max }
+
+// Count counts joined pairs without retaining them.
+type Count struct {
+	counters []mergejoin.Counter
+	total    uint64
+}
+
+// NewCount returns a counting sink.
+func NewCount() *Count { return &Count{} }
+
+// Open implements Sink.
+func (c *Count) Open(workers int) {
+	c.counters = make([]mergejoin.Counter, workers)
+	c.total = 0
+}
+
+// Writer implements Sink.
+func (c *Count) Writer(w int) mergejoin.Consumer { return &c.counters[w] }
+
+// Close implements Sink.
+func (c *Count) Close() error {
+	for _, ctr := range c.counters {
+		c.total += ctr.Count
+	}
+	return nil
+}
+
+// Total is the number of joined pairs. Call after Close.
+func (c *Count) Total() uint64 { return c.total }
+
+// Materialize collects every joined pair. Workers buffer locally; Close
+// concatenates the buffers in worker order, so the result is deterministic
+// for a fixed input and worker count.
+type Materialize struct {
+	parts []*pairBuffer
+	pairs []Pair
+}
+
+// NewMaterialize returns a materializing sink.
+func NewMaterialize() *Materialize { return &Materialize{} }
+
+// Open implements Sink.
+func (m *Materialize) Open(workers int) {
+	m.parts = make([]*pairBuffer, workers)
+	for w := range m.parts {
+		m.parts[w] = &pairBuffer{}
+	}
+	m.pairs = nil
+}
+
+// Writer implements Sink.
+func (m *Materialize) Writer(w int) mergejoin.Consumer { return m.parts[w] }
+
+// Close implements Sink.
+func (m *Materialize) Close() error {
+	total := 0
+	for _, p := range m.parts {
+		total += len(p.pairs)
+	}
+	m.pairs = make([]Pair, 0, total)
+	for _, p := range m.parts {
+		m.pairs = append(m.pairs, p.pairs...)
+	}
+	return nil
+}
+
+// Pairs returns all joined pairs. Call after Close. The slice is owned by the
+// sink and valid until the next Open.
+func (m *Materialize) Pairs() []Pair { return m.pairs }
+
+// Relation materializes the result as a relation with one tuple per pair:
+// the join key and the payload sum R.payload + S.payload. Call after Close.
+func (m *Materialize) Relation(name string) *relation.Relation {
+	tuples := make([]relation.Tuple, len(m.pairs))
+	for i, p := range m.pairs {
+		tuples[i] = relation.Tuple{Key: p.R.Key, Payload: p.Sum()}
+	}
+	return relation.New(name, tuples)
+}
+
+// pairBuffer is one worker's materialization buffer.
+type pairBuffer struct {
+	pairs []Pair
+}
+
+// Consume implements mergejoin.Consumer.
+func (b *pairBuffer) Consume(r, s relation.Tuple) {
+	b.pairs = append(b.pairs, Pair{R: r, S: s})
+}
+
+// TopK keeps the k joined pairs with the largest payload sum, generalizing
+// the MaxSum evaluation query (which is TopK with k = 1) while staying
+// bounded in memory: every worker maintains a k-element min-heap, Close
+// merges them.
+type TopK struct {
+	k     int
+	heaps []*pairHeap
+	top   []Pair
+}
+
+// NewTopK returns a top-k sink; k <= 0 keeps nothing.
+func NewTopK(k int) *TopK { return &TopK{k: k} }
+
+// Open implements Sink.
+func (t *TopK) Open(workers int) {
+	t.heaps = make([]*pairHeap, workers)
+	for w := range t.heaps {
+		t.heaps[w] = &pairHeap{k: t.k}
+	}
+	t.top = nil
+}
+
+// Writer implements Sink.
+func (t *TopK) Writer(w int) mergejoin.Consumer { return t.heaps[w] }
+
+// Close implements Sink.
+func (t *TopK) Close() error {
+	merged := &pairHeap{k: t.k}
+	for _, h := range t.heaps {
+		for _, p := range h.pairs {
+			merged.push(p)
+		}
+	}
+	t.top = merged.pairs
+	sort.Slice(t.top, func(i, j int) bool { return t.top[i].Sum() > t.top[j].Sum() })
+	return nil
+}
+
+// Top returns the k best pairs in descending payload-sum order. Call after
+// Close.
+func (t *TopK) Top() []Pair { return t.top }
+
+// pairHeap is a bounded min-heap of pairs ordered by payload sum: the root is
+// the worst retained pair, so a new pair only displaces it when strictly
+// better.
+type pairHeap struct {
+	k     int
+	pairs []Pair
+}
+
+// Consume implements mergejoin.Consumer.
+func (h *pairHeap) Consume(r, s relation.Tuple) { h.push(Pair{R: r, S: s}) }
+
+func (h *pairHeap) push(p Pair) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.pairs) < h.k {
+		h.pairs = append(h.pairs, p)
+		h.up(len(h.pairs) - 1)
+		return
+	}
+	if p.Sum() <= h.pairs[0].Sum() {
+		return
+	}
+	h.pairs[0] = p
+	h.down(0)
+}
+
+func (h *pairHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.pairs[i].Sum() >= h.pairs[parent].Sum() {
+			return
+		}
+		h.pairs[i], h.pairs[parent] = h.pairs[parent], h.pairs[i]
+		i = parent
+	}
+}
+
+func (h *pairHeap) down(i int) {
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h.pairs) && h.pairs[left].Sum() < h.pairs[smallest].Sum() {
+			smallest = left
+		}
+		if right < len(h.pairs) && h.pairs[right].Sum() < h.pairs[smallest].Sum() {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.pairs[i], h.pairs[smallest] = h.pairs[smallest], h.pairs[i]
+		i = smallest
+	}
+}
+
+// Func adapts a callback into a Sink. Because the same callback observes the
+// pairs of every worker, all writers share one mutex — this serializes the
+// emission hot path and is therefore meant for streaming consumers (the
+// engine's JoinStream) and tests, not for throughput-critical aggregation.
+type Func struct {
+	fn func(r, s relation.Tuple)
+	mu sync.Mutex
+}
+
+// NewFunc returns a sink that invokes fn for every joined pair, serialized
+// across workers.
+func NewFunc(fn func(r, s relation.Tuple)) *Func { return &Func{fn: fn} }
+
+// Open implements Sink.
+func (f *Func) Open(workers int) {}
+
+// Writer implements Sink.
+func (f *Func) Writer(w int) mergejoin.Consumer { return (*funcWriter)(f) }
+
+// Close implements Sink.
+func (f *Func) Close() error { return nil }
+
+// funcWriter locks the shared mutex around every callback invocation.
+type funcWriter Func
+
+// Consume implements mergejoin.Consumer.
+func (f *funcWriter) Consume(r, s relation.Tuple) {
+	f.mu.Lock()
+	f.fn(r, s)
+	f.mu.Unlock()
+}

@@ -20,20 +20,44 @@
 //     with a calibrated cost model, substituting for hardware NUMA control
 //     that Go does not expose.
 //
-// # Quick start
+// # The Engine API
 //
-//	r := mpsm.GenerateUniform("R", 1_000_000, 42)
-//	s := mpsm.GenerateForeignKey("S", r, 4_000_000, 43)
-//	res, err := mpsm.Join(r, s, mpsm.Config{Workers: 8})
-//	if err != nil { ... }
-//	fmt.Println(res.Matches, res.MaxSum, res.Total)
+// An Engine is constructed once with functional options and then runs any
+// number of joins; it is safe for concurrent use:
 //
-// See the examples directory and EXPERIMENTS.md for the full evaluation
-// harness that regenerates every figure of the paper.
+//	engine := mpsm.New(mpsm.WithWorkers(8), mpsm.WithNUMATracking())
+//	res, err := engine.Join(ctx, r, s)                      // max-sum aggregate
+//	res, err = engine.Join(ctx, r, s, mpsm.WithAlgorithm(mpsm.BMPSM))
+//
+// Every join streams its matching (r, s) pairs into a Sink. The default sink
+// reproduces the paper's evaluation query max(R.payload + S.payload); the
+// other built-ins materialize, count, or keep the top-k pairs:
+//
+//	top := mpsm.NewTopKSink(10)
+//	_, err := engine.Join(ctx, r, s, mpsm.WithSink(top))
+//	for _, p := range top.Top() { ... }
+//
+// JoinStream exposes the same stream as a range-over-func iterator:
+//
+//	seq, errf := engine.JoinStream(ctx, r, s)
+//	for rt, st := range seq { ... }  // breaking out cancels the join
+//	if err := errf(); err != nil { ... }
+//
+// All joins honour context cancellation: the context is checked at phase
+// boundaries and once per chunk inside the sort and merge loops, so a
+// canceled context aborts a long join promptly with ctx.Err().
+//
+// The legacy one-shot Join and JoinWithDiskStats functions remain as thin
+// deprecated wrappers over an implicit engine.
+//
+// See the examples directory for runnable scenarios, including the
+// experiment harness in cmd/mpsmbench that regenerates the figures of the
+// paper's evaluation section.
 package mpsm
 
 import (
-	"fmt"
+	"context"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -82,6 +106,12 @@ const (
 	RadixHash = exec.AlgorithmRadix
 )
 
+// ParseAlgorithm converts an algorithm name into an Algorithm. Matching is
+// case-insensitive and ignores spaces and hyphens, so the String() forms
+// ("P-MPSM", "Radix HJ") round-trip alongside the command-line short forms
+// ("pmpsm", "radix").
+func ParseAlgorithm(name string) (Algorithm, error) { return exec.ParseAlgorithm(name) }
+
 // SplitterStrategy selects how P-MPSM balances its range partitions.
 type SplitterStrategy = core.SplitterStrategy
 
@@ -113,7 +143,8 @@ const (
 	AntiJoin = mergejoin.Anti
 )
 
-// Config configures a join execution through the public API.
+// Config configures a join execution through the deprecated one-shot API.
+// New code should construct an Engine with functional options instead.
 type Config struct {
 	// Algorithm selects the join implementation; the zero value is P-MPSM.
 	Algorithm Algorithm
@@ -158,71 +189,56 @@ type DiskConfig struct {
 	PageBudget int
 	// PrefetchDistance is the prefetcher lookahead in pages.
 	PrefetchDistance int
+	// ReadLatency and WriteLatency simulate per-page disk access latency.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
 }
 
-// toCoreOptions converts the public configuration into internal options.
-func (c Config) toCoreOptions() core.Options {
-	return core.Options{
-		Workers:          c.Workers,
-		Kind:             c.Kind,
-		Band:             c.BandWidth,
-		HistogramBits:    c.HistogramBits,
-		Splitters:        c.Splitters,
-		CollectPerWorker: c.CollectPerWorker,
-		PresortedPublic:  c.PresortedPublic,
-		PresortedPrivate: c.PresortedPrivate,
-		TrackNUMA:        c.TrackNUMA,
-		Topology:         c.Topology,
+// options converts the legacy configuration into engine options.
+func (c Config) options() []Option {
+	opts := []Option{
+		WithAlgorithm(c.Algorithm),
+		WithKind(c.Kind),
+		WithWorkers(c.Workers),
+		WithSplitters(c.Splitters),
+		WithHistogramBits(c.HistogramBits),
+		WithDisk(c.Disk),
 	}
+	if c.BandWidth > 0 {
+		opts = append(opts, WithBandWidth(c.BandWidth))
+	}
+	if c.CollectPerWorker {
+		opts = append(opts, WithPerWorkerStats())
+	}
+	if c.PresortedPublic {
+		opts = append(opts, WithPresortedPublic())
+	}
+	if c.PresortedPrivate {
+		opts = append(opts, WithPresortedPrivate())
+	}
+	if c.TrackNUMA {
+		opts = append(opts, WithNUMATracking(c.Topology))
+	}
+	return opts
 }
 
 // Join executes an equi-join between the private input r and the public input
-// s with the configured algorithm and returns the result. For P-MPSM the
-// private input should be the smaller relation (see the paper's role-reversal
-// discussion); Join does not reverse roles automatically.
+// s with the configured algorithm and returns the result.
+//
+// Deprecated: construct a reusable Engine with New and call Engine.Join,
+// which adds context cancellation and streaming sinks. Join remains for
+// compatibility and is equivalent to
+// New(cfg...).Join(context.Background(), r, s).
 func Join(r, s *Relation, cfg Config) (*Result, error) {
-	if r == nil || s == nil {
-		return nil, fmt.Errorf("mpsm: Join requires non-nil relations")
-	}
-	qr, err := exec.Run(exec.Query{
-		R:           r,
-		S:           s,
-		Algorithm:   cfg.Algorithm,
-		JoinOptions: cfg.toCoreOptions(),
-		DiskOptions: core.DiskOptions{
-			PageSize:         cfg.Disk.PageSize,
-			PageBudget:       cfg.Disk.PageBudget,
-			PrefetchDistance: cfg.Disk.PrefetchDistance,
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return qr.Join, nil
+	return New(cfg.options()...).Join(context.Background(), r, s)
 }
 
 // JoinWithDiskStats is Join for the D-MPSM algorithm, additionally returning
 // the buffer pool and disk statistics of the execution.
+//
+// Deprecated: use Engine.JoinWithDiskStats.
 func JoinWithDiskStats(r, s *Relation, cfg Config) (*Result, *DiskStats, error) {
-	cfg.Algorithm = DMPSM
-	if r == nil || s == nil {
-		return nil, nil, fmt.Errorf("mpsm: JoinWithDiskStats requires non-nil relations")
-	}
-	qr, err := exec.Run(exec.Query{
-		R:           r,
-		S:           s,
-		Algorithm:   DMPSM,
-		JoinOptions: cfg.toCoreOptions(),
-		DiskOptions: core.DiskOptions{
-			PageSize:         cfg.Disk.PageSize,
-			PageBudget:       cfg.Disk.PageBudget,
-			PrefetchDistance: cfg.Disk.PrefetchDistance,
-		},
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return qr.Join, qr.DiskStats, nil
+	return New(cfg.options()...).JoinWithDiskStats(context.Background(), r, s)
 }
 
 // Skew describes the key-value distribution of a generated relation.

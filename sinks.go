@@ -1,0 +1,49 @@
+package mpsm
+
+import "repro/internal/sink"
+
+// Sink receives the result stream of a join execution. A sink hands out one
+// tuple consumer per worker before the join phase (so the hot path needs no
+// locking) and merges the per-worker state in Close, mirroring the MPSM rule
+// that workers only meet at phase barriers.
+//
+// The built-in sinks cover the common result shapes: NewMaxSumSink (the
+// paper's evaluation aggregate and the default), NewCountSink,
+// NewMaterializeSink, and NewTopKSink. Custom implementations can be passed
+// through WithSink just the same.
+//
+// A sink may be reused across sequential joins — Open resets its state — but
+// never across concurrent ones.
+type Sink = sink.Sink
+
+// Pair is one joined (r, s) tuple pair emitted by a join.
+type Pair = sink.Pair
+
+// MaxSumSink computes the paper's evaluation query
+// max(R.payload + S.payload) together with the join cardinality. It is the
+// sink every join runs with unless WithSink overrides it.
+type MaxSumSink = sink.MaxSum
+
+// NewMaxSumSink returns an empty max-sum aggregate sink.
+func NewMaxSumSink() *MaxSumSink { return sink.NewMaxSum() }
+
+// CountSink counts joined pairs without retaining them.
+type CountSink = sink.Count
+
+// NewCountSink returns a counting sink.
+func NewCountSink() *CountSink { return sink.NewCount() }
+
+// MaterializeSink collects every joined pair; Pairs returns them after the
+// join, and Relation converts them into a relation of (join key, payload
+// sum) tuples for further processing.
+type MaterializeSink = sink.Materialize
+
+// NewMaterializeSink returns a materializing sink.
+func NewMaterializeSink() *MaterializeSink { return sink.NewMaterialize() }
+
+// TopKSink keeps the k joined pairs with the largest payload sum in bounded
+// memory (a per-worker k-element heap).
+type TopKSink = sink.TopK
+
+// NewTopKSink returns a top-k sink; k <= 0 keeps nothing.
+func NewTopKSink(k int) *TopKSink { return sink.NewTopK(k) }
