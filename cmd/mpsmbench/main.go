@@ -6,6 +6,7 @@
 //	mpsmbench -list
 //	mpsmbench -experiment figure12 -scale 0.1 -workers 8
 //	mpsmbench -all -scale 0.05
+//	mpsmbench -json BENCH_$(date +%Y%m%d).json -scale 0.1
 //
 // The scale factor multiplies the base dataset size (|R| = 262144 tuples at
 // scale 1.0). The paper's 1600M-tuple datasets correspond to a scale of
@@ -28,6 +29,7 @@ func main() {
 		scale      = flag.Float64("scale", 0, "dataset scale factor (default from MPSM_SCALE or 1.0)")
 		workers    = flag.Int("workers", 0, "maximum worker count (default from MPSM_WORKERS or GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "add explanatory notes to the output")
+		jsonPath   = flag.String("json", "", "write a machine-readable per-algorithm timing report to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,33 @@ func main() {
 	cfg.Verbose = *verbose
 
 	switch {
+	case *jsonPath != "":
+		// The JSON report is its own mode (fixed dataset, every algorithm
+		// under both schedulers); combining it with an experiment selection
+		// would silently ignore the selection, so reject that outright.
+		if *list || *all || *experiment != "" {
+			fmt.Fprintln(os.Stderr, "mpsmbench: -json is a standalone mode and cannot be combined with -list, -all or -experiment")
+			os.Exit(2)
+		}
+		rep, err := bench.RunReport(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsmbench:", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpsmbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsmbench:", err)
+			os.Exit(1)
+		}
 	case *list:
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-22s %s\n", e.Name, e.Title)

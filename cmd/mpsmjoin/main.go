@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	mpsm "repro"
+	"repro/internal/bench"
 	"repro/internal/workload"
 )
 
@@ -38,10 +40,12 @@ func main() {
 		trackNUMA     = flag.Bool("numa", false, "enable simulated NUMA access accounting")
 		perWorker     = flag.Bool("per-worker", false, "print per-worker phase breakdowns")
 		splitters     = flag.String("splitters", "equi-cost", "P-MPSM splitter strategy: equi-cost, equi-height, uniform")
+		schedMode     = flag.String("sched", "static", "match-phase scheduling: static (paper-faithful barriers) or morsel (work stealing)")
 		pageBudget    = flag.Int("page-budget", 0, "D-MPSM: buffer pool budget in pages (0 = unlimited)")
 		pageSize      = flag.Int("page-size", 1024, "D-MPSM: tuples per page")
 		readLatency   = flag.Duration("read-latency", 0, "D-MPSM: simulated per-page read latency")
 		timeout       = flag.Duration("timeout", 0, "abort the join after this duration (0 = no limit)")
+		jsonOut       = flag.Bool("json", false, "print the result as machine-readable JSON instead of text")
 	)
 	flag.Parse()
 
@@ -55,6 +59,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
 		os.Exit(2)
 	}
+	scheduler, err := mpsm.ParseScheduler(*schedMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+		os.Exit(2)
+	}
 
 	spec := workload.Spec{
 		RSize:        *rSize,
@@ -64,15 +73,19 @@ func main() {
 		ForeignKey:   *foreignKey && parseSkew(*sSkew) == workload.SkewNone,
 		Seed:         *seed,
 	}
-	fmt.Printf("generating |R|=%d |S|=%d (%s / %s keys, foreign-key=%v, seed=%d)\n",
-		spec.RSize, spec.RSize*spec.Multiplicity, spec.RSkew, spec.SSkew, spec.ForeignKey, spec.Seed)
+	if !*jsonOut {
+		fmt.Printf("generating |R|=%d |S|=%d (%s / %s keys, foreign-key=%v, seed=%d)\n",
+			spec.RSize, spec.RSize*spec.Multiplicity, spec.RSkew, spec.SSkew, spec.ForeignKey, spec.Seed)
+	}
 	genStart := time.Now()
 	r, s, err := workload.Generate(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("generated in %s\n\n", time.Since(genStart).Round(time.Millisecond))
+	if !*jsonOut {
+		fmt.Printf("generated in %s\n\n", time.Since(genStart).Round(time.Millisecond))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -86,6 +99,7 @@ func main() {
 		mpsm.WithAlgorithm(algorithm),
 		mpsm.WithWorkers(*workers),
 		mpsm.WithSplitters(strategy),
+		mpsm.WithScheduler(scheduler),
 		mpsm.WithDisk(mpsm.DiskConfig{PageSize: *pageSize, PageBudget: *pageBudget, ReadLatency: *readLatency}),
 	)
 	var opts []mpsm.Option
@@ -108,7 +122,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("algorithm:       %s (T=%d)\n", res.Algorithm, res.Workers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(bench.ResultJSON(res, scheduler.String())); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("algorithm:       %s (T=%d, %s scheduling)\n", res.Algorithm, res.Workers, scheduler)
 	fmt.Printf("total time:      %s\n", res.Total.Round(time.Microsecond))
 	for _, p := range res.Phases {
 		fmt.Printf("  %-12s %s\n", p.Name+":", p.Duration.Round(time.Microsecond))

@@ -27,6 +27,8 @@ type settings struct {
 	topology         Topology
 	disk             DiskConfig
 	sink             Sink
+	scheduler        Scheduler
+	morselSize       int
 }
 
 // Option configures an Engine at construction time or overrides the engine's
@@ -102,6 +104,27 @@ func WithDisk(cfg DiskConfig) Option {
 	return func(s *settings) { s.disk = cfg }
 }
 
+// WithScheduler selects how the match phase is scheduled onto workers.
+// Static (the default) is the paper-faithful barrier-only mode: every worker
+// joins exactly its own private run, and load balance rests on the
+// histogram/CDF splitters. Morsel splits the match phase into small morsels
+// that idle workers steal with a NUMA-locality preference, closing the
+// per-worker straggler gap that splitter estimation errors or value skew
+// leave open. Both modes produce identical results.
+func WithScheduler(mode Scheduler) Option {
+	return func(s *settings) { s.scheduler = mode }
+}
+
+// WithMorselSize sets the number of private-run tuples per morsel used by
+// the Morsel scheduler in the in-memory match phases (B-MPSM, P-MPSM and
+// the hash-join baselines); 0 selects the default (8192). Smaller morsels
+// balance better but pay more dispatch overhead. D-MPSM's disk-paged match
+// phase always uses whole (private-run, public-run) pairs as its morsels
+// and ignores this setting.
+func WithMorselSize(tuples int) Option {
+	return func(s *settings) { s.morselSize = tuples }
+}
+
 // WithSink directs the joined tuple stream into the given sink instead of the
 // default max-sum aggregate. Sinks are stateful: pass a fresh (or reusable,
 // see Sink) sink per Join call, not to New, when the engine runs joins
@@ -154,6 +177,8 @@ func (cfg settings) query(r, s *Relation) exec.Query {
 			PresortedPrivate: cfg.presortedPrivate,
 			TrackNUMA:        cfg.trackNUMA,
 			Topology:         cfg.topology,
+			Scheduler:        cfg.scheduler,
+			MorselSize:       cfg.morselSize,
 		},
 		DiskOptions: core.DiskOptions{
 			PageSize:         cfg.disk.PageSize,

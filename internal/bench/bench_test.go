@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func tinyConfig() Config {
 
 func TestRegistryContainsAllPaperFigures(t *testing.T) {
 	want := []string{"figure1", "figure9", "figure12", "figure13", "figure14", "figure15", "figure16",
-		"sort", "ablation-partitioning", "dmpsm"}
+		"sort", "ablation-partitioning", "dmpsm", "morsel"}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("experiment %q not registered", name)
@@ -109,6 +110,52 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 		}
 	}()
 	register(Experiment{Name: "figure12", Title: "dup", Run: nil})
+}
+
+// TestRunReportJSON locks in the machine-readable report: every algorithm
+// appears once per scheduling mode, the JSON round-trips, and the scheduler
+// modes agree on every algorithm's match count.
+func TestRunReportJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the report runs every algorithm twice")
+	}
+	rep, err := RunReport(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 10 {
+		t.Fatalf("report has %d results, want 10 (5 algorithms x 2 schedulers)", len(rep.Results))
+	}
+	matchesByAlg := map[string]map[string]uint64{}
+	for _, r := range rep.Results {
+		if r.TotalMillis <= 0 || len(r.Phases) == 0 {
+			t.Fatalf("result %s/%s missing timings: %+v", r.Algorithm, r.Scheduler, r)
+		}
+		if matchesByAlg[r.Algorithm] == nil {
+			matchesByAlg[r.Algorithm] = map[string]uint64{}
+		}
+		matchesByAlg[r.Algorithm][r.Scheduler] = r.Matches
+	}
+	for alg, bySched := range matchesByAlg {
+		if len(bySched) != 2 {
+			t.Fatalf("algorithm %s ran under %d schedulers, want 2", alg, len(bySched))
+		}
+		if bySched["static"] != bySched["morsel"] {
+			t.Fatalf("algorithm %s: static %d matches, morsel %d", alg, bySched["static"], bySched["morsel"])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(decoded.Results) != len(rep.Results) {
+		t.Fatalf("decoded %d results, want %d", len(decoded.Results), len(rep.Results))
+	}
 }
 
 func TestMsFormatting(t *testing.T) {

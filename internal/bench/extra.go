@@ -82,17 +82,28 @@ func runSortComparison(cfg Config, w io.Writer) error {
 // reports totals, join-phase times and public tuples scanned for B-MPSM and
 // P-MPSM across multiplicities.
 func runAblationPartitioning(cfg Config, w io.Writer) error {
-	warmUp(cfg)
+	if err := warmUp(cfg); err != nil {
+		return err
+	}
 	workers := cfg.workers()
 	tbl := newTable(w)
 	tbl.row("multiplicity", "algorithm", "total [ms]", "join phase [ms]", "S tuples scanned")
 	for _, mult := range []int{1, 4, 8} {
-		r, s := makeUniformDataset(cfg, mult, uint64(1800+mult))
+		r, s, err := makeUniformDataset(cfg, mult, uint64(1800+mult))
+		if err != nil {
+			return err
+		}
 
-		b := bestOf(func() *result.Result { return bmpsm(r, s, core.Options{Workers: workers}) })
+		b, err := bestOf(func() (*result.Result, error) { return bmpsm(r, s, core.Options{Workers: workers}) })
+		if err != nil {
+			return err
+		}
 		tbl.row(mult, "B-MPSM", ms(b.Total), ms(b.PhaseDuration("phase 3")), b.PublicScanned)
 
-		p := bestOf(func() *result.Result { return pmpsm(r, s, core.Options{Workers: workers}) })
+		p, err := bestOf(func() (*result.Result, error) { return pmpsm(r, s, core.Options{Workers: workers}) })
+		if err != nil {
+			return err
+		}
 		tbl.row(mult, "P-MPSM", ms(p.Total), ms(p.PhaseDuration("phase 4")), p.PublicScanned)
 	}
 	tbl.flush()
@@ -107,18 +118,24 @@ func runAblationPartitioning(cfg Config, w io.Writer) error {
 // "only the active parts of the runs are in RAM").
 func runDMPSMBudgets(cfg Config, w io.Writer) error {
 	workers := cfg.workers()
-	r, s := makeUniformDataset(cfg, 4, 1900)
+	r, s, err := makeUniformDataset(cfg, 4, 1900)
+	if err != nil {
+		return err
+	}
 	pageSize := 1024
 	tbl := newTable(w)
 	tbl.row("page budget", "read latency", "total [ms]", "max resident pages", "pool loads", "pool hits", "evictions", "matches")
 
 	for _, budget := range []int{0, 16, 64} {
 		for _, latency := range []time.Duration{0, 20 * time.Microsecond} {
-			res, stats := dmpsm(r, s, core.Options{Workers: workers}, core.DiskOptions{
+			res, stats, err := dmpsm(r, s, core.Options{Workers: workers}, core.DiskOptions{
 				PageSize:    pageSize,
 				PageBudget:  budget,
 				ReadLatency: latency,
 			})
+			if err != nil {
+				return err
+			}
 			budgetLabel := fmt.Sprintf("%d", budget)
 			if budget == 0 {
 				budgetLabel = "unlimited"

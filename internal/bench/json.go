@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashjoin"
+	"repro/internal/result"
+	"repro/internal/sched"
+)
+
+// PhaseJSON is one timed phase in the machine-readable report.
+type PhaseJSON struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// AlgorithmTiming is the machine-readable timing record of one join
+// execution: what the human-readable experiment tables print, as JSON, so
+// that successive benchmark runs (BENCH_*.json) can accumulate a performance
+// trajectory.
+type AlgorithmTiming struct {
+	Algorithm     string      `json:"algorithm"`
+	Scheduler     string      `json:"scheduler"`
+	Workers       int         `json:"workers"`
+	TotalMillis   float64     `json:"total_millis"`
+	Phases        []PhaseJSON `json:"phases"`
+	Matches       uint64      `json:"matches"`
+	MaxSum        uint64      `json:"max_sum"`
+	PublicScanned int         `json:"public_scanned,omitempty"`
+	NUMAModelMs   float64     `json:"numa_model_millis,omitempty"`
+	SyncOps       uint64      `json:"sync_ops,omitempty"`
+}
+
+// ResultJSON converts a join result into its machine-readable record.
+func ResultJSON(res *result.Result, scheduler string) AlgorithmTiming {
+	t := AlgorithmTiming{
+		Algorithm:     res.Algorithm,
+		Scheduler:     scheduler,
+		Workers:       res.Workers,
+		TotalMillis:   millis(res.Total),
+		Matches:       res.Matches,
+		MaxSum:        res.MaxSum,
+		PublicScanned: res.PublicScanned,
+		NUMAModelMs:   millis(res.SimulatedNUMACost),
+		SyncOps:       res.NUMA.SyncOps,
+	}
+	for _, p := range res.Phases {
+		t.Phases = append(t.Phases, PhaseJSON{Name: p.Name, Millis: millis(p.Duration)})
+	}
+	return t
+}
+
+// Report is the machine-readable benchmark report: every algorithm under
+// both scheduling modes on the standard Section 5 dataset.
+type Report struct {
+	GeneratedAt  string            `json:"generated_at"`
+	GoMaxProcs   int               `json:"gomaxprocs"`
+	Scale        float64           `json:"scale"`
+	Workers      int               `json:"workers"`
+	RSize        int               `json:"r_size"`
+	SSize        int               `json:"s_size"`
+	Multiplicity int               `json:"multiplicity"`
+	Results      []AlgorithmTiming `json:"results"`
+}
+
+// RunReport executes every algorithm once per scheduling mode (best of the
+// usual repetitions) on the standard uniform foreign-key dataset and returns
+// the machine-readable report.
+func RunReport(cfg Config) (*Report, error) {
+	if err := warmUp(cfg); err != nil {
+		return nil, err
+	}
+	const multiplicity = 4
+	workers := cfg.workers()
+	r, s, err := makeUniformDataset(cfg, multiplicity, 2200)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Scale:        cfg.Scale,
+		Workers:      workers,
+		RSize:        r.Len(),
+		SSize:        s.Len(),
+		Multiplicity: multiplicity,
+	}
+
+	for _, mode := range []sched.Mode{sched.Static, sched.Morsel} {
+		coreOpts := core.Options{Workers: workers, TrackNUMA: true, Scheduler: mode}
+		hashOpts := hashjoin.Options{Workers: workers, TrackNUMA: true, Scheduler: mode}
+
+		runs := []func() (*result.Result, error){
+			func() (*result.Result, error) { return pmpsm(r, s, coreOpts) },
+			func() (*result.Result, error) { return bmpsm(r, s, coreOpts) },
+			func() (*result.Result, error) {
+				res, _, err := dmpsm(r, s, coreOpts, core.DiskOptions{})
+				return res, err
+			},
+			func() (*result.Result, error) { return wisconsin(r, s, hashOpts) },
+			func() (*result.Result, error) { return radix(r, s, hashjoin.RadixOptions{Options: hashOpts}) },
+		}
+		for _, run := range runs {
+			res, err := bestOf(run)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, ResultJSON(res, mode.String()))
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// millis converts a duration to fractional milliseconds.
+func millis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000.0
+}

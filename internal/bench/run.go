@@ -10,46 +10,26 @@ import (
 )
 
 // The experiment harness always runs joins to completion on a background
-// context, so the context-cancellation error paths of the algorithms cannot
-// trigger here; these wrappers keep the measurement code free of error
-// plumbing.
+// context; these wrappers keep the measurement code free of context
+// plumbing while still propagating failures, so a broken configuration
+// reports as an experiment error instead of crashing the harness.
 
-func pmpsm(r, s *relation.Relation, opts core.Options) *result.Result {
-	res, err := core.PMPSM(context.Background(), r, s, opts)
-	if err != nil {
-		panic(err)
-	}
-	return res
+func pmpsm(r, s *relation.Relation, opts core.Options) (*result.Result, error) {
+	return core.PMPSM(context.Background(), r, s, opts)
 }
 
-func bmpsm(r, s *relation.Relation, opts core.Options) *result.Result {
-	res, err := core.BMPSM(context.Background(), r, s, opts)
-	if err != nil {
-		panic(err)
-	}
-	return res
+func bmpsm(r, s *relation.Relation, opts core.Options) (*result.Result, error) {
+	return core.BMPSM(context.Background(), r, s, opts)
 }
 
-func dmpsm(r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) (*result.Result, core.DiskStats) {
-	res, stats, err := core.DMPSM(context.Background(), r, s, opts, diskOpts)
-	if err != nil {
-		panic(err)
-	}
-	return res, stats
+func dmpsm(r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) (*result.Result, core.DiskStats, error) {
+	return core.DMPSM(context.Background(), r, s, opts, diskOpts)
 }
 
-func wisconsin(r, s *relation.Relation, opts hashjoin.Options) *result.Result {
-	res, err := hashjoin.Wisconsin(context.Background(), r, s, opts)
-	if err != nil {
-		panic(err)
-	}
-	return res
+func wisconsin(r, s *relation.Relation, opts hashjoin.Options) (*result.Result, error) {
+	return hashjoin.Wisconsin(context.Background(), r, s, opts)
 }
 
-func radix(r, s *relation.Relation, opts hashjoin.RadixOptions) *result.Result {
-	res, err := hashjoin.Radix(context.Background(), r, s, opts)
-	if err != nil {
-		panic(err)
-	}
-	return res
+func radix(r, s *relation.Relation, opts hashjoin.RadixOptions) (*result.Result, error) {
+	return hashjoin.Radix(context.Background(), r, s, opts)
 }

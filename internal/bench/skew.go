@@ -35,7 +35,9 @@ func init() {
 // time, the number of public tuples actually scanned and the simulated NUMA
 // cost expose the effect the paper measures.
 func runFigure15(cfg Config, w io.Writer) error {
-	warmUp(cfg)
+	if err := warmUp(cfg); err != nil {
+		return err
+	}
 	// Load balance and locality effects only become visible with a worker
 	// per simulated core, so the experiment uses at least 8 workers and a
 	// topology in which the workers actually spread over the NUMA nodes
@@ -76,7 +78,10 @@ func runFigure15(cfg Config, w io.Writer) error {
 	tbl.row("arrangement of S", "total [ms]", "join phase [ms]", "S tuples scanned", "simulated NUMA cost [ms]", "remote access fraction")
 	for _, arr := range arrangements {
 		sArranged := arr.mutate(s)
-		res := pmpsm(r, sArranged, core.Options{Workers: workers, TrackNUMA: true, Topology: topo})
+		res, err := pmpsm(r, sArranged, core.Options{Workers: workers, TrackNUMA: true, Topology: topo})
+		if err != nil {
+			return err
+		}
 		tbl.row(arr.name, ms(res.Total), ms(res.PhaseDuration("phase 4")), res.PublicScanned,
 			ms(res.SimulatedNUMACost), fmt.Sprintf("%.2f", res.NUMA.RemoteFraction()))
 	}
@@ -107,7 +112,9 @@ func rotateChunks(rel *relation.Relation, workers, shift int) {
 // shows the per-worker completion times whose spread the splitters are
 // supposed to flatten.
 func runFigure16(cfg Config, w io.Writer) error {
-	warmUp(cfg)
+	if err := warmUp(cfg); err != nil {
+		return err
+	}
 	// Per-worker imbalance needs enough workers to be visible; the paper
 	// uses 32. A key domain of 4·|R| keeps the join selective but non-empty
 	// at laptop scale (the paper's 1600M tuples over a 2^32 domain have a
@@ -134,12 +141,15 @@ func runFigure16(cfg Config, w io.Writer) error {
 	}
 
 	for _, st := range strategies {
-		res := pmpsm(r, s, core.Options{
+		res, err := pmpsm(r, s, core.Options{
 			Workers:          workers,
 			Splitters:        st.strategy,
 			CollectPerWorker: true,
 			HistogramBits:    10, // B = 10 as in the paper's experiment
 		})
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "-- %s (total %s ms, matches %d)\n", st.name, ms(res.Total), res.Matches)
 		tbl := newTable(w)
 		tbl.row("worker", "|Ri|", "S scanned", "matches", "split cost", "phase 3 [ms]", "phase 4 [ms]", "worker total [ms]")

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/sink"
 )
 
@@ -21,6 +22,12 @@ import (
 // B-MPSM absolutely insensitive to skew at the price of O(|S|) join work per
 // worker.
 //
+// With Options.Scheduler == sched.Morsel, phase 3 runs as stolen
+// (private-segment, public-run) morsels instead of one static loop per
+// worker; results are identical, but per-worker load follows demand rather
+// than ownership (and the segment-level interpolation skip means
+// PublicScanned reports tuples actually scanned rather than T·|S|).
+//
 // Cancellation is checked at phase boundaries and per chunk inside the sort
 // and merge loops; a canceled context aborts the join and returns ctx.Err().
 func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options) (*result.Result, error) {
@@ -30,7 +37,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "B-MPSM", Workers: workers}
-	states := newWorkerStates(opts)
+	rt := runtimeFor(opts)
 	start := time.Now()
 
 	publicChunks := public.Split(workers)
@@ -39,15 +46,8 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	privateRuns := make([]*relation.Run, workers)
 
 	// Phase 1: sort the public input chunks into runs, locally per worker.
-	phase1 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			publicRuns[w] = sortChunkIntoRun(publicChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPublic, states[w], opts.Topology)
-			states[w].record("phase 1", time.Since(t0))
-		})
+	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
+		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w)
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -55,15 +55,8 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 
 	// Phase 2: sort the private input chunks into runs, locally per worker.
-	phase2 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			privateRuns[w] = sortChunkIntoRun(privateChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPrivate, states[w], opts.Topology)
-			states[w].record("phase 2", time.Since(t0))
-		})
+	phase2 := rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
+		privateRuns[w.ID()] = sortChunkIntoRun(privateChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPrivate, w)
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -74,23 +67,23 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// runs. Remote runs are only read sequentially (commandment C2); the
 	// single synchronization point required by the algorithm — all public
 	// runs must be sorted before the join starts — is the phase barrier
-	// above.
+	// above. In morsel mode the same pairings run as stolen tasks instead.
 	out := sink.Bind(opts.Sink, workers)
 	scanned := make([]int, workers)
-	phase3 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			t0 := time.Now()
-			priv := privateRuns[w]
-			cons := out.Writer(w)
+	var phase3 time.Duration
+	if opts.Scheduler == sched.Morsel {
+		phase3 = rt.RunTasks(ctx, "phase 3", matchTasks(ctx, privateRuns, publicRuns, scanned, out, opts))
+	} else {
+		phase3 = rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
+			priv := privateRuns[w.ID()]
+			cons := out.Writer(w.ID())
+			tracker := w.Tracker()
 			if opts.Band > 0 {
-				if canceled(ctx) {
-					return
-				}
-				scanned[w] += mergejoin.JoinBandAgainstRunsCtx(ctx, priv.Tuples, publicRuns, opts.Band, cons)
-				if states[w].tracker != nil {
-					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+				scanned[w.ID()] += mergejoin.JoinBandAgainstRunsCtx(ctx, priv.Tuples, publicRuns, opts.Band, cons)
+				if tracker != nil {
+					tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
 					for _, pub := range publicRuns {
-						states[w].tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
+						tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
 					}
 				}
 			} else if opts.Kind == mergejoin.Inner {
@@ -99,30 +92,26 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 						return
 					}
 					mergejoin.Join(priv.Tuples, pub.Tuples, cons)
-					scanned[w] += len(pub.Tuples)
-					if states[w].tracker != nil {
+					scanned[w.ID()] += len(pub.Tuples)
+					if tracker != nil {
 						// The private run is re-scanned once per public run
 						// (locally); the public run is scanned sequentially
 						// on whichever node it lives.
-						states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
-						states[w].tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
+						tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
+						tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
 					}
 				}
 			} else {
-				if canceled(ctx) {
-					return
-				}
-				scanned[w] += mergejoin.JoinRunsKindCtx(ctx, opts.Kind, priv.Tuples, publicRuns, cons)
-				if states[w].tracker != nil {
-					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+				scanned[w.ID()] += mergejoin.JoinRunsKindCtx(ctx, opts.Kind, priv.Tuples, publicRuns, cons)
+				if tracker != nil {
+					tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
 					for _, pub := range publicRuns {
-						states[w].tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
+						tracker.SeqRead(pub.Node, uint64(len(pub.Tuples)))
 					}
 				}
 			}
-			states[w].record("phase 3", time.Since(t0))
 		})
-	})
+	}
 	res.AddPhase("phase 3", phase3)
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
@@ -141,7 +130,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
-		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
+		res.PerWorker = rt.Breakdowns([]string{"phase 1", "phase 2", "phase 3"})
 		for w := range res.PerWorker {
 			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
 			res.PerWorker[w].PublicScanned = scanned[w]
@@ -149,7 +138,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		}
 	}
 	if opts.TrackNUMA {
-		res.NUMA = mergeTrackers(states)
+		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
 	return res, nil

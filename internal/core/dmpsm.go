@@ -8,6 +8,7 @@ import (
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/sink"
 	"repro/internal/sorting"
@@ -66,6 +67,14 @@ type DiskStats struct {
 // public input — the dominant data volume — is strictly paged through the
 // buffer pool under the configured budget.
 //
+// With Options.Scheduler == sched.Morsel, phase 3 runs as stolen
+// (private-run, public-run) morsels: each task walks one public run's pages
+// in key order against one private run, so an oversized private run is
+// processed by several workers concurrently. The global key-ordered
+// prefetcher assumes lock-step progress through the page index and is
+// therefore disabled in this mode; pages load on demand through the buffer
+// pool, which still enforces the budget.
+//
 // Cancellation is checked at phase boundaries, per chunk during run
 // generation, and per page during the join; a canceled context aborts the
 // join and returns ctx.Err().
@@ -77,7 +86,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "D-MPSM", Workers: workers}
-	states := newWorkerStates(opts)
+	rt := runtimeFor(opts)
 	start := time.Now()
 
 	disk := storage.NewDisk(diskOpts.ReadLatency, diskOpts.WriteLatency)
@@ -87,22 +96,15 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	privateRuns := make([]*storage.PagedRun, workers)
 
 	// Phase 1: sort the public chunks locally and spill them as paged runs.
-	phase1 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			tuples := make([]relation.Tuple, len(publicChunks[w].Tuples))
-			copy(tuples, publicChunks[w].Tuples)
-			sorting.Sort(tuples)
-			run, err := storage.WriteRun(disk, w, tuples, diskOpts.PageSize)
-			if err != nil {
-				panic(fmt.Sprintf("core: spilling public run %d: %v", w, err))
-			}
-			publicRuns[w] = run
-			states[w].record("phase 1", time.Since(t0))
-		})
+	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
+		tuples := make([]relation.Tuple, len(publicChunks[w.ID()].Tuples))
+		copy(tuples, publicChunks[w.ID()].Tuples)
+		sorting.Sort(tuples)
+		run, err := storage.WriteRun(disk, w.ID(), tuples, diskOpts.PageSize)
+		if err != nil {
+			panic(fmt.Sprintf("core: spilling public run %d: %v", w.ID(), err))
+		}
+		publicRuns[w.ID()] = run
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -110,22 +112,15 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 
 	// Phase 2: sort the private chunks locally and spill them as paged runs.
-	phase2 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			tuples := make([]relation.Tuple, len(privateChunks[w].Tuples))
-			copy(tuples, privateChunks[w].Tuples)
-			sorting.Sort(tuples)
-			run, err := storage.WriteRun(disk, w, tuples, diskOpts.PageSize)
-			if err != nil {
-				panic(fmt.Sprintf("core: spilling private run %d: %v", w, err))
-			}
-			privateRuns[w] = run
-			states[w].record("phase 2", time.Since(t0))
-		})
+	phase2 := rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
+		tuples := make([]relation.Tuple, len(privateChunks[w.ID()].Tuples))
+		copy(tuples, privateChunks[w.ID()].Tuples)
+		sorting.Sort(tuples)
+		run, err := storage.WriteRun(disk, w.ID(), tuples, diskOpts.PageSize)
+		if err != nil {
+			panic(fmt.Sprintf("core: spilling private run %d: %v", w.ID(), err))
+		}
+		privateRuns[w.ID()] = run
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -137,46 +132,15 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// here on, so it needs no synchronization.
 	index := storage.BuildPageIndex(publicRuns)
 	pool := storage.NewBufferPool(disk, diskOpts.PageBudget)
-	prefetcher := storage.NewPrefetcher(pool, index, diskOpts.PrefetchDistance)
-	prefetcher.Start()
 
-	// Phase 3: every worker walks the page index in key order, joining each
-	// public page against its private run. Per public run, a cursor into
-	// the private run only ever moves forward, so both inputs are consumed
-	// in ascending key order and processed pages can be released.
-	// Cancellation is checked before every page — the page is the chunk unit
-	// of the disk-enabled merge loop.
 	out := sink.Bind(opts.Sink, workers)
 	scanned := make([]int, workers)
-	phase3 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			priv, err := storage.ReadRunTuples(disk, privateRuns[w])
-			if err != nil {
-				panic(fmt.Sprintf("core: reading private run %d: %v", w, err))
-			}
-			cons := out.Writer(w)
-			cursors := make([]int, len(index.Runs))
-			for pos, entry := range index.Entries {
-				if canceled(ctx) {
-					break
-				}
-				page, err := pool.Pin(entry.Page)
-				if err != nil {
-					panic(fmt.Sprintf("core: pinning page %+v: %v", entry.Page, err))
-				}
-				cursors[entry.RunOrdinal] = joinPagedRun(priv, cursors[entry.RunOrdinal], page, cons)
-				scanned[w] += len(page)
-				pool.Unpin(entry.Page)
-				prefetcher.ReportProgress(pos + 1)
-			}
-			states[w].record("phase 3", time.Since(t0))
-		})
-	})
-	prefetcher.Stop()
+	var phase3 time.Duration
+	if opts.Scheduler == sched.Morsel {
+		phase3 = dmpsmJoinMorsel(ctx, rt, disk, pool, index, privateRuns, scanned, out, opts)
+	} else {
+		phase3 = dmpsmJoinStatic(ctx, rt, disk, pool, index, privateRuns, scanned, out, diskOpts)
+	}
 	res.AddPhase("phase 3", phase3)
 	stats := DiskStats{
 		Pool:        pool.Stats(),
@@ -201,9 +165,102 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
-		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3"})
+		res.PerWorker = rt.Breakdowns([]string{"phase 1", "phase 2", "phase 3"})
 	}
 	return res, stats, nil
+}
+
+// dmpsmJoinStatic is the paper's phase 3: every worker walks the global page
+// index in key order, joining each public page against its private run. Per
+// public run, a cursor into the private run only ever moves forward, so both
+// inputs are consumed in ascending key order and processed pages can be
+// released. Cancellation is checked before every page — the page is the
+// chunk unit of the disk-enabled merge loop.
+func dmpsmJoinStatic(ctx context.Context, rt *sched.Runtime, disk *storage.Disk, pool *storage.BufferPool,
+	index *storage.PageIndex, privateRuns []*storage.PagedRun, scanned []int, out *sink.Bound, diskOpts DiskOptions) time.Duration {
+
+	prefetcher := storage.NewPrefetcher(pool, index, diskOpts.PrefetchDistance)
+	prefetcher.Start()
+	defer prefetcher.Stop()
+
+	return rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
+		priv, err := storage.ReadRunTuples(disk, privateRuns[w.ID()])
+		if err != nil {
+			panic(fmt.Sprintf("core: reading private run %d: %v", w.ID(), err))
+		}
+		cons := out.Writer(w.ID())
+		cursors := make([]int, len(index.Runs))
+		for pos, entry := range index.Entries {
+			if canceled(ctx) {
+				break
+			}
+			page, err := pool.Pin(entry.Page)
+			if err != nil {
+				panic(fmt.Sprintf("core: pinning page %+v: %v", entry.Page, err))
+			}
+			cursors[entry.RunOrdinal] = joinPagedRun(priv, cursors[entry.RunOrdinal], page, cons)
+			scanned[w.ID()] += len(page)
+			pool.Unpin(entry.Page)
+			prefetcher.ReportProgress(pos + 1)
+		}
+	})
+}
+
+// dmpsmJoinMorsel is the morsel-driven phase 3: the private runs are read
+// into memory once, and every (private run, public run) pair becomes a task
+// that walks the public run's pages in key order with its own private
+// cursor. Tasks prefer workers on the private run's owner node.
+func dmpsmJoinMorsel(ctx context.Context, rt *sched.Runtime, disk *storage.Disk, pool *storage.BufferPool,
+	index *storage.PageIndex, privateRuns []*storage.PagedRun, scanned []int, out *sink.Bound, opts Options) time.Duration {
+
+	workers := rt.Workers()
+	privTuples := make([][]relation.Tuple, workers)
+	readDuration := rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
+		priv, err := storage.ReadRunTuples(disk, privateRuns[w.ID()])
+		if err != nil {
+			panic(fmt.Sprintf("core: reading private run %d: %v", w.ID(), err))
+		}
+		privTuples[w.ID()] = priv
+	})
+	if canceled(ctx) {
+		return readDuration
+	}
+
+	var tasks []sched.Task
+	for w := 0; w < workers; w++ {
+		priv := privTuples[w]
+		if len(priv) == 0 {
+			continue
+		}
+		node := opts.Topology.NodeOfWorker(w)
+		for _, run := range index.Runs {
+			if run.Pages == 0 {
+				continue
+			}
+			run := run
+			tasks = append(tasks, sched.Task{Node: node, Run: func(exec *sched.Worker) {
+				cons := out.Writer(exec.ID())
+				cursor := 0
+				// Pages of one run are in ascending key order, so the
+				// private cursor only moves forward, exactly as in the
+				// static index walk.
+				for pageNo := 0; pageNo < run.Pages; pageNo++ {
+					if canceled(ctx) {
+						return
+					}
+					ref := storage.PageRef{RunID: run.RunID, PageNo: pageNo}
+					page, err := pool.Pin(ref)
+					if err != nil {
+						panic(fmt.Sprintf("core: pinning page %+v: %v", ref, err))
+					}
+					cursor = joinPagedRun(priv, cursor, page, cons)
+					scanned[exec.ID()] += len(page)
+					pool.Unpin(ref)
+				}
+			}})
+		}
+	}
+	return readDuration + rt.RunTasks(ctx, "phase 3", tasks)
 }
 
 // joinPagedRun merge joins one public page (sorted) against the private run,

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
+	"repro/internal/sched"
 	"repro/internal/sink"
 )
 
@@ -98,6 +99,21 @@ type Options struct {
 	// CollectPerWorker records per-worker phase breakdowns (Figure 16).
 	CollectPerWorker bool
 
+	// Scheduler selects how the match phase is mapped onto workers.
+	// sched.Static (the default) is the paper-faithful barrier-only mode:
+	// worker w joins exactly its own private run, and load balance rests on
+	// the splitters. sched.Morsel splits the match phase into small
+	// (private-segment, public-run) morsels that idle workers steal with a
+	// NUMA-locality preference, closing the straggler gap that splitter
+	// estimation errors or value skew leave open.
+	Scheduler sched.Mode
+	// MorselSize is the number of private-run tuples per morsel in the
+	// morsel-driven in-memory match phases (B-MPSM, P-MPSM); 0 selects
+	// 8192. Smaller morsels balance better but pay more dispatch overhead.
+	// D-MPSM's disk-paged match phase always uses whole (private-run,
+	// public-run) pairs as its morsels and ignores this setting.
+	MorselSize int
+
 	// Sink receives the joined tuple stream. A nil Sink selects the built-in
 	// max-sum aggregate of the paper's evaluation query, which preserves the
 	// legacy fire-and-forget Join semantics.
@@ -129,6 +145,9 @@ func (o Options) normalize() Options {
 	}
 	if o.CDFBoundsPerRun <= 0 {
 		o.CDFBoundsPerRun = 4 * o.Workers
+	}
+	if o.MorselSize <= 0 {
+		o.MorselSize = sched.DefaultMorselSize
 	}
 	if o.Topology.Nodes == 0 {
 		o.Topology = numa.DefaultTopology()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/sink"
 	"repro/internal/sorting"
 )
@@ -32,6 +33,12 @@ import (
 // The private input should be the smaller relation; see the role-reversal
 // experiment (Section 5.4).
 //
+// With Options.Scheduler == sched.Morsel, phase 4 runs as stolen
+// (private-segment, public-run) morsels: when the splitters misjudge the
+// distribution (estimation error, value skew), the overloaded worker's run
+// is processed by whoever is idle, with a preference for NUMA-local morsels.
+// Results are identical to the static mode.
+//
 // Cancellation is checked at every phase boundary and once per chunk inside
 // the sort and merge loops; a canceled context aborts the join and returns
 // ctx.Err().
@@ -42,7 +49,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "P-MPSM", Workers: workers}
-	states := newWorkerStates(opts)
+	rt := runtimeFor(opts)
 	start := time.Now()
 
 	publicChunks := public.Split(workers)
@@ -50,15 +57,8 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	publicRuns := make([]*relation.Run, workers)
 
 	// Phase 1: sort the public input chunks into local runs.
-	phase1 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			publicRuns[w] = sortChunkIntoRun(publicChunks[w], w, chunkSourceNode(w, workers, opts.Topology), opts.PresortedPublic, states[w], opts.Topology)
-			states[w].record("phase 1", time.Since(t0))
-		})
+	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
+		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w)
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -68,7 +68,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// Phase 2: range partition the private input.
 	var privateRuns []*relation.Run
 	phase2 := result.StopwatchPhase(func() {
-		privateRuns = rangePartitionPrivate(ctx, privateChunks, publicRuns, states, opts)
+		privateRuns = rangePartitionPrivate(ctx, rt, privateChunks, publicRuns, opts)
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -76,21 +76,14 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 
 	// Phase 3: sort each private range partition into a run.
-	phase3 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			if canceled(ctx) {
-				return
-			}
-			t0 := time.Now()
-			run := privateRuns[w]
-			sorting.Sort(run.Tuples)
-			if states[w].tracker != nil {
-				n := uint64(len(run.Tuples))
-				states[w].tracker.RandRead(run.Node, 2*n)
-				states[w].tracker.RandWrite(run.Node, 2*n)
-			}
-			states[w].record("phase 3", time.Since(t0))
-		})
+	phase3 := rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
+		run := privateRuns[w.ID()]
+		sorting.Sort(run.Tuples)
+		if tracker := w.Tracker(); tracker != nil {
+			n := uint64(len(run.Tuples))
+			tracker.RandRead(run.Node, 2*n)
+			tracker.RandWrite(run.Node, 2*n)
+		}
 	})
 	res.AddPhase("phase 3", phase3)
 	if err := ctx.Err(); err != nil {
@@ -100,25 +93,26 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// Phase 4: merge join every private run with the relevant fraction of
 	// every public run, located via interpolation search. Matching pairs
 	// stream into the sink through per-worker writers (no synchronization).
+	// In morsel mode the same work runs as stolen segment morsels instead.
 	out := sink.Bind(opts.Sink, workers)
 	scanned := make([]int, workers)
-	phase4 := result.StopwatchPhase(func() {
-		parallelFor(workers, func(w int) {
-			t0 := time.Now()
-			priv := privateRuns[w]
-			cons := out.Writer(w)
+	var phase4 time.Duration
+	if opts.Scheduler == sched.Morsel {
+		phase4 = rt.RunTasks(ctx, "phase 4", matchTasks(ctx, privateRuns, publicRuns, scanned, out, opts))
+	} else {
+		phase4 = rt.Phase(ctx, "phase 4", func(ctx context.Context, w *sched.Worker) {
+			priv := privateRuns[w.ID()]
+			cons := out.Writer(w.ID())
+			tracker := w.Tracker()
 			if opts.Band > 0 {
-				if canceled(ctx) {
-					return
-				}
 				// Non-equi band join: every private tuple matches a
 				// contiguous window of each public run.
 				n := mergejoin.JoinBandAgainstRunsCtx(ctx, priv.Tuples, publicRuns, opts.Band, cons)
-				scanned[w] += n
-				if states[w].tracker != nil {
-					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+				scanned[w.ID()] += n
+				if tracker != nil {
+					tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
 					for _, pub := range publicRuns {
-						states[w].tracker.SeqRead(pub.Node, uint64(n/len(publicRuns)))
+						tracker.SeqRead(pub.Node, uint64(n/len(publicRuns)))
 					}
 				}
 			} else if opts.Kind == mergejoin.Inner {
@@ -127,32 +121,28 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 						return
 					}
 					n := mergejoin.JoinWithSkip(priv.Tuples, pub.Tuples, cons)
-					scanned[w] += n
-					if states[w].tracker != nil {
-						states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
-						states[w].tracker.SeqRead(pub.Node, uint64(n))
+					scanned[w.ID()] += n
+					if tracker != nil {
+						tracker.SeqRead(priv.Node, uint64(len(priv.Tuples)))
+						tracker.SeqRead(pub.Node, uint64(n))
 					}
 				}
 			} else {
-				if canceled(ctx) {
-					return
-				}
 				// Non-inner kinds track per-tuple match state across all
 				// public runs, so the kernel owns the whole loop. The NUMA
 				// accounting approximates the public scans as evenly spread
 				// over the runs.
 				n := mergejoin.JoinRunsKindCtx(ctx, opts.Kind, priv.Tuples, publicRuns, cons)
-				scanned[w] += n
-				if states[w].tracker != nil {
-					states[w].tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
+				scanned[w.ID()] += n
+				if tracker != nil {
+					tracker.SeqRead(priv.Node, uint64(len(priv.Tuples))*uint64(len(publicRuns)))
 					for _, pub := range publicRuns {
-						states[w].tracker.SeqRead(pub.Node, uint64(n/len(publicRuns)))
+						tracker.SeqRead(pub.Node, uint64(n/len(publicRuns)))
 					}
 				}
 			}
-			states[w].record("phase 4", time.Since(t0))
 		})
-	})
+	}
 	res.AddPhase("phase 4", phase4)
 	// Close runs even on cancellation: the sink was opened and its writers
 	// consumed tuples, so it must learn the execution ended. The context
@@ -172,7 +162,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
-		res.PerWorker = perWorkerBreakdowns(states, []string{"phase 1", "phase 2", "phase 3", "phase 4"})
+		res.PerWorker = rt.Breakdowns([]string{"phase 1", "phase 2", "phase 3", "phase 4"})
 		for w := range res.PerWorker {
 			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
 			res.PerWorker[w].PublicScanned = scanned[w]
@@ -180,7 +170,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		}
 	}
 	if opts.TrackNUMA {
-		res.NUMA = mergeTrackers(states)
+		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
 	return res, nil
@@ -189,8 +179,10 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 // rangePartitionPrivate implements phase 2 of P-MPSM: it returns one private
 // run (still unsorted) per worker, holding exactly the tuples of that worker's
 // key range. On cancellation it returns early with whatever it has built; the
-// caller checks ctx after the phase and discards the partial state.
-func rangePartitionPrivate(ctx context.Context, privateChunks []relation.Chunk, publicRuns []*relation.Run, states []*workerState, opts Options) []*relation.Run {
+// caller checks ctx after the phase and discards the partial state. All
+// parallel steps run as "phase 2" barriers on the shared runtime, so the
+// per-worker breakdown accumulates them under one label.
+func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks []relation.Chunk, publicRuns []*relation.Run, opts Options) []*relation.Run {
 	workers := opts.Workers
 
 	// Phase 2.1: per-run equi-height bounds merged into the global S CDF.
@@ -198,35 +190,34 @@ func rangePartitionPrivate(ctx context.Context, privateChunks []relation.Chunk, 
 	// almost nothing.
 	boundsPerRun := make([][]uint64, workers)
 	runLens := make([]int, workers)
-	parallelFor(workers, func(w int) {
-		t0 := time.Now()
-		boundsPerRun[w] = partition.EquiHeightBounds(publicRuns[w].Tuples, opts.CDFBoundsPerRun)
-		runLens[w] = publicRuns[w].Len()
-		states[w].record("phase 2", time.Since(t0))
+	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
+		boundsPerRun[w.ID()] = partition.EquiHeightBounds(publicRuns[w.ID()].Tuples, opts.CDFBoundsPerRun)
+		runLens[w.ID()] = publicRuns[w.ID()].Len()
 	})
-	cdf := partition.BuildCDF(boundsPerRun, runLens)
 	if canceled(ctx) {
 		return nil
 	}
+	cdf := partition.BuildCDF(boundsPerRun, runLens)
 
 	// Phase 2.2: fine-grained radix histograms on the private chunks. Each
 	// worker also determines the maximum key of its chunk so that the radix
 	// configuration can be derived without a separate pass.
 	chunkMax := make([]uint64, workers)
-	parallelFor(workers, func(w int) {
-		t0 := time.Now()
+	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
 		var localMax uint64
-		for _, t := range privateChunks[w].Tuples {
+		for _, t := range privateChunks[w.ID()].Tuples {
 			if t.Key > localMax {
 				localMax = t.Key
 			}
 		}
-		chunkMax[w] = localMax
-		if states[w].tracker != nil {
-			states[w].tracker.SeqRead(chunkSourceNode(w, workers, opts.Topology), uint64(len(privateChunks[w].Tuples)))
+		chunkMax[w.ID()] = localMax
+		if tracker := w.Tracker(); tracker != nil {
+			tracker.SeqRead(chunkSourceNode(w.ID(), workers, opts.Topology), uint64(len(privateChunks[w.ID()].Tuples)))
 		}
-		states[w].record("phase 2", time.Since(t0))
 	})
+	if canceled(ctx) {
+		return nil
+	}
 	var maxKey uint64
 	for _, m := range chunkMax {
 		if m > maxKey {
@@ -236,18 +227,15 @@ func rangePartitionPrivate(ctx context.Context, privateChunks []relation.Chunk, 
 	cfg := partition.NewRadixConfig(opts.HistogramBits, maxKey)
 
 	histograms := make([]partition.Histogram, workers)
-	parallelFor(workers, func(w int) {
-		if canceled(ctx) {
-			histograms[w] = partition.BuildHistogram(nil, cfg)
-			return
+	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
+		histograms[w.ID()] = partition.BuildHistogram(privateChunks[w.ID()].Tuples, cfg)
+		if tracker := w.Tracker(); tracker != nil {
+			tracker.SeqRead(chunkSourceNode(w.ID(), workers, opts.Topology), uint64(len(privateChunks[w.ID()].Tuples)))
 		}
-		t0 := time.Now()
-		histograms[w] = partition.BuildHistogram(privateChunks[w].Tuples, cfg)
-		if states[w].tracker != nil {
-			states[w].tracker.SeqRead(chunkSourceNode(w, workers, opts.Topology), uint64(len(privateChunks[w].Tuples)))
-		}
-		states[w].record("phase 2", time.Since(t0))
 	})
+	if canceled(ctx) {
+		return nil
+	}
 
 	// Phase 2.3: splitter computation, prefix sums, and the
 	// synchronization-free scatter into precomputed sub-partitions.
@@ -276,24 +264,19 @@ func rangePartitionPrivate(ctx context.Context, privateChunks []relation.Chunk, 
 		targets[p] = privateRuns[p].Tuples
 	}
 
-	parallelFor(workers, func(w int) {
-		if canceled(ctx) {
-			return
-		}
-		t0 := time.Now()
-		cursors := append([]int(nil), ps.Offsets[w]...)
+	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
+		cursors := append([]int(nil), ps.Offsets[w.ID()]...)
 		before := append([]int(nil), cursors...)
-		partition.Scatter(privateChunks[w].Tuples, cfg, sp, targets, cursors)
-		if states[w].tracker != nil {
+		partition.Scatter(privateChunks[w.ID()].Tuples, cfg, sp, targets, cursors)
+		if tracker := w.Tracker(); tracker != nil {
 			// The chunk is read sequentially from its source node; every
 			// target sub-partition is written sequentially on the target
 			// worker's node (remote, but sequential — commandments C1/C2).
-			states[w].tracker.SeqRead(chunkSourceNode(w, workers, opts.Topology), uint64(len(privateChunks[w].Tuples)))
+			tracker.SeqRead(chunkSourceNode(w.ID(), workers, opts.Topology), uint64(len(privateChunks[w.ID()].Tuples)))
 			for p := 0; p < workers; p++ {
-				states[w].tracker.SeqWrite(privateRuns[p].Node, uint64(cursors[p]-before[p]))
+				tracker.SeqWrite(privateRuns[p].Node, uint64(cursors[p]-before[p]))
 			}
 		}
-		states[w].record("phase 2", time.Since(t0))
 	})
 	return privateRuns
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/numa"
+	"repro/internal/relation"
+	"repro/internal/sched"
+	"repro/internal/sorting"
+)
+
+// runtimeFor creates the shared parallel runtime of one join execution from
+// normalized options.
+func runtimeFor(opts Options) *sched.Runtime {
+	return sched.New(sched.Config{
+		Workers:   opts.Workers,
+		Topology:  opts.Topology,
+		TrackNUMA: opts.TrackNUMA,
+	})
+}
+
+// sortChunkIntoRun copies one chunk of the input relation into a fresh,
+// worker-local run and sorts it with the three-phase Radix/IntroSort. The copy
+// models the paper's redistribution into NUMA-local memory ("chunk the data,
+// redistribute, and then sort/work on your data locally"); its cost is
+// amortized by the first partitioning step of the sort.
+//
+// srcNode is the NUMA node the source chunk resides on (the input relation is
+// assumed to be range-chunked over the nodes); the run itself is allocated on
+// the worker's home node. If presorted is true and the chunk is verified to be
+// in key order already, the sorting pass is skipped (exploiting pre-existing
+// sort orders, as the paper suggests).
+func sortChunkIntoRun(chunk relation.Chunk, srcNode int, presorted bool, w *sched.Worker) *relation.Run {
+	run := &relation.Run{
+		Worker: w.ID(),
+		Node:   w.Node(),
+		Tuples: make([]relation.Tuple, len(chunk.Tuples)),
+	}
+	copy(run.Tuples, chunk.Tuples)
+	skippedSort := presorted && relation.IsSortedByKey(run.Tuples)
+	if !skippedSort {
+		sorting.Sort(run.Tuples)
+	}
+
+	if tracker := w.Tracker(); tracker != nil {
+		n := uint64(len(chunk.Tuples))
+		// Copying reads the source sequentially and writes the local run
+		// sequentially; sorting then performs O(n) passes of local
+		// random accesses (one radix scatter pass plus the in-cache
+		// IntroSort work, charged as two read/write passes).
+		tracker.SeqRead(srcNode, n)
+		tracker.SeqWrite(run.Node, n)
+		if !skippedSort {
+			tracker.RandRead(run.Node, 2*n)
+			tracker.RandWrite(run.Node, 2*n)
+		}
+	}
+	return run
+}
+
+// chunkSourceNode maps an input chunk index to the NUMA node its memory is
+// assumed to live on: the input relation is spread over the nodes in
+// contiguous blocks, so chunk w of T chunks lives on node w·N/T.
+func chunkSourceNode(chunkIndex, workers int, topo numa.Topology) int {
+	if workers <= 0 {
+		return 0
+	}
+	node := chunkIndex * topo.Nodes / workers
+	if node >= topo.Nodes {
+		node = topo.Nodes - 1
+	}
+	return node
+}

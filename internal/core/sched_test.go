@@ -1,0 +1,259 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/sched"
+	"repro/internal/sink"
+	"repro/internal/workload"
+)
+
+// sortedPairs returns the materialized result pairs in a canonical order so
+// that two executions can be compared as multisets.
+func sortedPairs(m *sink.Materialize) []sink.Pair {
+	pairs := append([]sink.Pair(nil), m.Pairs()...)
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.R.Key != b.R.Key {
+			return a.R.Key < b.R.Key
+		}
+		if a.R.Payload != b.R.Payload {
+			return a.R.Payload < b.R.Payload
+		}
+		if a.S.Key != b.S.Key {
+			return a.S.Key < b.S.Key
+		}
+		return a.S.Payload < b.S.Payload
+	})
+	return pairs
+}
+
+// runMaterialized executes one MPSM join with a materializing sink and
+// returns the canonicalized pairs plus the (matches, maxSum) counters.
+func runMaterialized(t *testing.T, algorithm string, r, s *relation.Relation, opts Options) ([]sink.Pair, uint64, uint64) {
+	t.Helper()
+	m := sink.NewMaterialize()
+	opts.Sink = m
+	var matches, maxSum uint64
+	switch algorithm {
+	case "B":
+		res := bmpsm(r, s, opts)
+		matches, maxSum = res.Matches, res.MaxSum
+	case "P":
+		res := pmpsm(r, s, opts)
+		matches, maxSum = res.Matches, res.MaxSum
+	case "D":
+		res, _ := dmpsm(r, s, opts, DiskOptions{PageSize: 256, PageBudget: 16})
+		matches, maxSum = res.Matches, res.MaxSum
+	default:
+		t.Fatalf("unknown algorithm %q", algorithm)
+	}
+	return sortedPairs(m), matches, maxSum
+}
+
+// TestSchedulerModeParity locks in the tentpole guarantee: the static and
+// morsel schedulers produce identical results — same match count, same
+// max-sum, and the same materialized multiset of joined pairs — for every
+// MPSM variant and join flavour. The morsel size is forced far below the
+// run sizes so that the morsel path genuinely splits, steals and interleaves.
+func TestSchedulerModeParity(t *testing.T) {
+	r, s := uniformDataset(3000, 4, 71)
+
+	cases := []struct {
+		name string
+		alg  string
+		opts Options
+	}{
+		{"B-MPSM inner", "B", Options{}},
+		{"P-MPSM inner", "P", Options{}},
+		{"D-MPSM inner", "D", Options{}},
+		{"B-MPSM left-outer", "B", Options{Kind: mergejoin.LeftOuter}},
+		{"P-MPSM left-outer", "P", Options{Kind: mergejoin.LeftOuter}},
+		{"B-MPSM semi", "B", Options{Kind: mergejoin.Semi}},
+		{"P-MPSM semi", "P", Options{Kind: mergejoin.Semi}},
+		{"B-MPSM anti", "B", Options{Kind: mergejoin.Anti}},
+		{"P-MPSM anti", "P", Options{Kind: mergejoin.Anti}},
+		{"B-MPSM band", "B", Options{Band: 64}},
+		{"P-MPSM band", "P", Options{Band: 64}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4, 7} {
+			opts := tc.opts
+			opts.Workers = workers
+			opts.MorselSize = 128
+
+			opts.Scheduler = sched.Static
+			wantPairs, wantMatches, wantMax := runMaterialized(t, tc.alg, r, s, opts)
+
+			opts.Scheduler = sched.Morsel
+			gotPairs, gotMatches, gotMax := runMaterialized(t, tc.alg, r, s, opts)
+
+			if gotMatches != wantMatches || gotMax != wantMax {
+				t.Fatalf("%s T=%d: morsel (matches=%d max=%d) != static (matches=%d max=%d)",
+					tc.name, workers, gotMatches, gotMax, wantMatches, wantMax)
+			}
+			if len(gotPairs) != len(wantPairs) {
+				t.Fatalf("%s T=%d: morsel materialized %d pairs, static %d", tc.name, workers, len(gotPairs), len(wantPairs))
+			}
+			for i := range gotPairs {
+				if gotPairs[i] != wantPairs[i] {
+					t.Fatalf("%s T=%d: pair %d differs: morsel %+v, static %+v", tc.name, workers, i, gotPairs[i], wantPairs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerModeParityUnderSkew repeats the parity check on the
+// negatively correlated skew workload with deliberately bad (uniform)
+// splitters, the scenario the morsel scheduler exists for.
+func TestSchedulerModeParityUnderSkew(t *testing.T) {
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        4000,
+		Multiplicity: 4,
+		RSkew:        workload.SkewHigh80,
+		SSkew:        workload.SkewLow80,
+		KeyDomain:    1 << 14,
+		Seed:         77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Workers: 8, Splitters: SplitterUniform, MorselSize: 64}
+
+	static := base
+	static.Scheduler = sched.Static
+	wantPairs, wantMatches, _ := runMaterialized(t, "P", r, s, static)
+	if refCount, _ := reference(r, s); wantMatches != refCount {
+		t.Fatalf("P-MPSM static skew: matches = %d, want %d", wantMatches, refCount)
+	}
+
+	morsel := base
+	morsel.Scheduler = sched.Morsel
+	gotPairs, gotMatches, _ := runMaterialized(t, "P", r, s, morsel)
+	if gotMatches != wantMatches || len(gotPairs) != len(wantPairs) {
+		t.Fatalf("skewed parity broken: morsel %d pairs / %d matches, static %d / %d",
+			len(gotPairs), gotMatches, len(wantPairs), wantMatches)
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("skewed pair %d differs: morsel %+v, static %+v", i, gotPairs[i], wantPairs[i])
+		}
+	}
+}
+
+// TestMorselSchedulingBalancesSkewedMatchPhase is the scheduler-fairness
+// regression test: under heavy value skew with data-oblivious splitters,
+// static scheduling leaves almost all phase-4 work (measured by matches
+// produced, which is deterministic) on a few workers, while the morsel queue
+// spreads it across whoever is idle.
+func TestMorselSchedulingBalancesSkewedMatchPhase(t *testing.T) {
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        6000,
+		Multiplicity: 4,
+		RSkew:        workload.SkewHigh80,
+		SSkew:        workload.SkewHigh80,
+		KeyDomain:    1 << 14,
+		Seed:         123,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Workers: 8, Splitters: SplitterUniform, CollectPerWorker: true, MorselSize: 64}
+
+	share := func(mode sched.Mode) (float64, uint64) {
+		opts := base
+		opts.Scheduler = mode
+		res := pmpsm(r, s, opts)
+		var total, maxMatches uint64
+		for _, wb := range res.PerWorker {
+			total += wb.Matches
+			if wb.Matches > maxMatches {
+				maxMatches = wb.Matches
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%v: skew workload produced no matches", mode)
+		}
+		return float64(maxMatches) / float64(total), total
+	}
+
+	staticShare, staticTotal := share(sched.Static)
+	morselShare, morselTotal := share(sched.Morsel)
+	if staticTotal != morselTotal {
+		t.Fatalf("modes disagree on matches: static %d, morsel %d", staticTotal, morselTotal)
+	}
+
+	// Sanity: the workload must actually skew the static assignment (with
+	// 8 workers a balanced run would put ~12.5% on the heaviest worker).
+	if staticShare < 0.25 {
+		t.Fatalf("static share %.2f too balanced — the skew scenario is broken", staticShare)
+	}
+	// The point of the morsel queue: the heaviest worker's share of the
+	// match work must drop meaningfully versus static scheduling.
+	if morselShare >= staticShare*0.75 {
+		t.Fatalf("morsel scheduling did not rebalance: heaviest worker share %.2f (static %.2f)",
+			morselShare, staticShare)
+	}
+}
+
+// TestPresortedPrivateSkipsSort locks in the PresortedPrivate contract for
+// B-MPSM: when the private input is declared and verified sorted, phase 2
+// skips the sorting pass entirely — observable as exactly the 2·|R| random
+// reads and 2·|R| random writes the sort would have charged to the NUMA
+// tracker — while the join result is unchanged.
+func TestPresortedPrivateSkipsSort(t *testing.T) {
+	r, s := uniformDataset(4000, 2, 55)
+	sortedR := r.Clone()
+	sortTuples(sortedR.Tuples)
+
+	run := func(private *relation.Relation, presorted bool) (*relationResult, uint64) {
+		res := bmpsm(private, s, Options{Workers: 4, TrackNUMA: true, PresortedPrivate: presorted})
+		return &relationResult{
+			randReads:  res.NUMA.LocalRandRead + res.NUMA.RemoteRandRead,
+			randWrites: res.NUMA.LocalRandWrite + res.NUMA.RemoteRandWrite,
+			maxSum:     res.MaxSum,
+		}, res.Matches
+	}
+
+	declared, declaredMatches := run(sortedR, true)
+	undeclared, undeclaredMatches := run(sortedR, false)
+
+	if declaredMatches != undeclaredMatches || declared.maxSum != undeclared.maxSum {
+		t.Fatalf("PresortedPrivate changed the result: (%d, %d) vs (%d, %d)",
+			declaredMatches, declared.maxSum, undeclaredMatches, undeclared.maxSum)
+	}
+	n := uint64(sortedR.Len())
+	if undeclared.randReads-declared.randReads != 2*n {
+		t.Fatalf("declared run saved %d random reads, want exactly %d (the skipped sort)",
+			undeclared.randReads-declared.randReads, 2*n)
+	}
+	if undeclared.randWrites-declared.randWrites != 2*n {
+		t.Fatalf("declared run saved %d random writes, want exactly %d (the skipped sort)",
+			undeclared.randWrites-declared.randWrites, 2*n)
+	}
+
+	// A false declaration must fall back to sorting: same access counts as
+	// the undeclared run, and a correct result despite the unsorted input.
+	falseDeclared, falseMatches := run(r, true)
+	if falseMatches != undeclaredMatches {
+		t.Fatalf("false declaration broke the join: %d matches, want %d", falseMatches, undeclaredMatches)
+	}
+	if falseDeclared.randReads != undeclared.randReads || falseDeclared.randWrites != undeclared.randWrites {
+		t.Fatalf("false declaration skipped the sort: %+v vs %+v", falseDeclared, undeclared)
+	}
+}
+
+// relationResult bundles the counters TestPresortedPrivateSkipsSort compares.
+type relationResult struct {
+	randReads, randWrites uint64
+	maxSum                uint64
+}
+
+// sortTuples key-sorts a tuple slice in place (test helper).
+func sortTuples(tuples []relation.Tuple) {
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key < tuples[j].Key })
+}

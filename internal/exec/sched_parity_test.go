@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sink"
+	"repro/internal/workload"
+)
+
+// TestSchedulerParityAcrossAlgorithms drives every algorithm through the
+// shared dispatch point once per scheduling mode and requires the identical
+// materialized multiset. This is the API-level counterpart of the core
+// parity tests and the only place all five implementations are compared
+// under both schedulers at once.
+func TestSchedulerParityAcrossAlgorithms(t *testing.T) {
+	r, s, err := workload.Generate(workload.Spec{
+		RSize:        2500,
+		Multiplicity: 4,
+		ForeignKey:   true,
+		Seed:         404,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []Algorithm{AlgorithmPMPSM, AlgorithmBMPSM, AlgorithmDMPSM, AlgorithmWisconsin, AlgorithmRadix} {
+		materialized := func(mode sched.Mode) ([]sink.Pair, uint64) {
+			m := sink.NewMaterialize()
+			opts := core.Options{Workers: 6, Scheduler: mode, MorselSize: 128, Sink: m}
+			res, diskStats, err := Join(context.Background(), alg, r, s, opts, core.DiskOptions{PageSize: 256, PageBudget: 16})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", alg, mode, err)
+			}
+			if alg == AlgorithmDMPSM && diskStats == nil {
+				t.Fatalf("%v/%v: missing disk stats", alg, mode)
+			}
+			pairs := append([]sink.Pair(nil), m.Pairs()...)
+			sort.Slice(pairs, func(i, j int) bool {
+				a, b := pairs[i], pairs[j]
+				if a.R.Key != b.R.Key {
+					return a.R.Key < b.R.Key
+				}
+				if a.R.Payload != b.R.Payload {
+					return a.R.Payload < b.R.Payload
+				}
+				return a.S.Payload < b.S.Payload
+			})
+			return pairs, res.Matches
+		}
+
+		wantPairs, wantMatches := materialized(sched.Static)
+		gotPairs, gotMatches := materialized(sched.Morsel)
+		if wantMatches == 0 {
+			t.Fatalf("%v: workload produced no matches", alg)
+		}
+		if gotMatches != wantMatches || len(gotPairs) != len(wantPairs) {
+			t.Fatalf("%v: morsel %d matches / %d pairs, static %d / %d",
+				alg, gotMatches, len(gotPairs), wantMatches, len(wantPairs))
+		}
+		for i := range gotPairs {
+			if gotPairs[i] != wantPairs[i] {
+				t.Fatalf("%v: pair %d differs: morsel %+v, static %+v", alg, i, gotPairs[i], wantPairs[i])
+			}
+		}
+	}
+}

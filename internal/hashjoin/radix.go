@@ -2,7 +2,6 @@ package hashjoin
 
 import (
 	"context"
-	"sync"
 	"time"
 
 	"repro/internal/mergejoin"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/sink"
 )
 
@@ -47,6 +47,12 @@ func choosePartitionBits(buildSize int) int {
 // every partition pair is then joined with a private hash table, streaming
 // matches into the configured sink.
 //
+// The join phase claims partition pairs dynamically from the shared task
+// queue under both scheduler modes — dynamic claiming is how this contender
+// has always balanced its cache-sized partitions (it is not bound by the
+// MPSM commandment C3), so the Scheduler option does not change its
+// behaviour.
+//
 // Cancellation is checked at phase boundaries and per partition inside the
 // join loop; a canceled context aborts the join and returns ctx.Err().
 func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*result.Result, error) {
@@ -56,6 +62,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	}
 	workers := o.Workers
 	res := &result.Result{Algorithm: "Radix HJ", Workers: workers}
+	rt := runtimeFor(o)
 	start := time.Now()
 
 	bitsUsed := opts.PartitionBits
@@ -71,17 +78,10 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	}
 	maxKey := maxKeyOf(r, s)
 
-	trackers := make([]*numa.Tracker, workers)
-	if o.TrackNUMA {
-		for w := 0; w < workers; w++ {
-			trackers[w] = numa.NewTracker(o.Topology, w)
-		}
-	}
-
 	var rParts, sParts [][]relation.Tuple
 	partitionTime := result.StopwatchPhase(func() {
-		rParts = partitionMultiPass(ctx, r, bitsUsed, passes, maxKey, workers, trackers, o.Topology)
-		sParts = partitionMultiPass(ctx, s, bitsUsed, passes, maxKey, workers, trackers, o.Topology)
+		rParts = partitionMultiPass(ctx, rt, r, bitsUsed, passes, maxKey, o.Topology)
+		sParts = partitionMultiPass(ctx, rt, s, bitsUsed, passes, maxKey, o.Topology)
 	})
 	res.AddPhase("partition", partitionTime)
 	if err := ctx.Err(); err != nil {
@@ -89,50 +89,30 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	}
 	parts := len(rParts)
 
-	// Join phase: partitions are processed in parallel; each worker builds
-	// a private hash table over its R partition and probes with the
-	// matching S partition, streaming matches into its sink writer.
-	// Cancellation is checked per claimed partition — the chunk unit of
-	// this loop.
+	// Join phase: each partition pair is joined with a private hash table
+	// over its R partition, probed with the matching S partition, streaming
+	// matches into the executing worker's sink writer. Cancellation is
+	// checked per partition — the chunk unit of this loop.
 	out := sink.Bind(o.Sink, workers)
-	joinTime := result.StopwatchPhase(func() {
-		var next int64
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				tracker := trackers[w]
-				cons := out.Writer(w)
-				for {
-					if canceled(ctx) {
-						return
-					}
-					mu.Lock()
-					p := int(next)
-					next++
-					mu.Unlock()
-					if p >= parts {
-						return
-					}
-					joinPartition(rParts[p], sParts[p], cons)
-					if tracker != nil {
-						// Reading the partitions is sequential, but they
-						// live wherever the partitioning phase placed them
-						// (interleaved across nodes). Building the private
-						// hash table and probing it are random accesses,
-						// albeit node-local thanks to the cache-sized
-						// fragments.
-						chargeInterleavedSeq(tracker, o.Topology, uint64(len(rParts[p])+len(sParts[p])))
-						tracker.RandWrite(tracker.Node(), uint64(len(rParts[p])))
-						tracker.RandRead(tracker.Node(), uint64(len(sParts[p])))
-					}
-				}
-			}(w)
+	joinPair := func(p int, w *sched.Worker) {
+		joinPartition(rParts[p], sParts[p], out.Writer(w.ID()))
+		if tracker := w.Tracker(); tracker != nil {
+			// Reading the partitions is sequential, but they live wherever
+			// the partitioning phase placed them (interleaved across
+			// nodes). Building the private hash table and probing it are
+			// random accesses, albeit node-local thanks to the cache-sized
+			// fragments.
+			chargeInterleavedSeq(tracker, o.Topology, uint64(len(rParts[p])+len(sParts[p])))
+			tracker.RandWrite(tracker.Node(), uint64(len(rParts[p])))
+			tracker.RandRead(tracker.Node(), uint64(len(sParts[p])))
 		}
-		wg.Wait()
-	})
+	}
+	tasks := make([]sched.Task, parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		tasks[p] = sched.Task{Node: -1, Run: func(w *sched.Worker) { joinPair(p, w) }}
+	}
+	joinTime := rt.RunTasks(ctx, "build+probe", tasks)
 	res.AddPhase("build+probe", joinTime)
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
@@ -148,7 +128,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if o.TrackNUMA {
-		res.NUMA = numa.MergeStats(trackers)
+		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = o.CostModel.Estimate(res.NUMA)
 	}
 	return res, nil
@@ -161,58 +141,43 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 // criticizes. The optional second pass refines every coarse partition locally
 // on the next b2 = bits - b1 key bits, preserving TLB/cache locality exactly
 // like the MonetDB/Vectorwise radix join.
-func partitionMultiPass(ctx context.Context, rel *relation.Relation, bits, passes int, maxKey uint64,
-	workers int, trackers []*numa.Tracker, topo numa.Topology) [][]relation.Tuple {
+func partitionMultiPass(ctx context.Context, rt *sched.Runtime, rel *relation.Relation, bits, passes int,
+	maxKey uint64, topo numa.Topology) [][]relation.Tuple {
 
 	if passes <= 1 || bits < 2 {
 		cfg := partition.NewRadixConfig(bits, maxKey)
 		sp := identitySplitters(cfg.Clusters())
-		return partitionParallel(ctx, rel, cfg, sp, cfg.Clusters(), workers, trackers, topo)
+		return partitionParallel(ctx, rt, rel, cfg, sp, cfg.Clusters(), topo)
 	}
 
 	b1 := (bits + 1) / 2
 	b2 := bits - b1
 	cfg1 := partition.NewRadixConfig(b1, maxKey)
-	coarse := partitionParallel(ctx, rel, cfg1, identitySplitters(cfg1.Clusters()), cfg1.Clusters(), workers, trackers, topo)
+	coarse := partitionParallel(ctx, rt, rel, cfg1, identitySplitters(cfg1.Clusters()), cfg1.Clusters(), topo)
 
 	// Second pass: refine every coarse partition on the next b2 bits. The
-	// refinements are independent, so workers claim coarse partitions from a
-	// shared counter; all reads and writes are node-local.
+	// refinements are independent, so workers claim coarse partitions
+	// dynamically from the task queue; all reads and writes are node-local.
 	refineShift := uint(0)
 	if cfg1.Shift > uint(b2) {
 		refineShift = cfg1.Shift - uint(b2)
 	}
 	subCount := 1 << b2
 	out := make([][]relation.Tuple, len(coarse)*subCount)
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				if canceled(ctx) {
-					return
-				}
-				mu.Lock()
-				p := int(next)
-				next++
-				mu.Unlock()
-				if p >= len(coarse) {
-					return
-				}
-				refined := refinePartition(coarse[p], refineShift, b2)
-				copy(out[p*subCount:(p+1)*subCount], refined)
-				if trackers[w] != nil {
-					n := uint64(len(coarse[p]))
-					trackers[w].SeqRead(trackers[w].Node(), n)
-					trackers[w].SeqWrite(trackers[w].Node(), n)
-				}
+	tasks := make([]sched.Task, len(coarse))
+	for p := range coarse {
+		p := p
+		tasks[p] = sched.Task{Node: -1, Run: func(w *sched.Worker) {
+			refined := refinePartition(coarse[p], refineShift, b2)
+			copy(out[p*subCount:(p+1)*subCount], refined)
+			if tracker := w.Tracker(); tracker != nil {
+				n := uint64(len(coarse[p]))
+				tracker.SeqRead(tracker.Node(), n)
+				tracker.SeqWrite(tracker.Node(), n)
 			}
-		}(w)
+		}}
 	}
-	wg.Wait()
+	rt.RunTasks(ctx, "partition", tasks)
 	return out
 }
 
@@ -252,28 +217,26 @@ func refinePartition(tuples []relation.Tuple, shift uint, b2 int) [][]relation.T
 // using the synchronization-free histogram/prefix-sum/scatter scheme. Unlike
 // P-MPSM's private-input partitioning, the radix join partitions both inputs,
 // which is the cross-NUMA traffic the paper criticizes.
-func partitionParallel(ctx context.Context, rel *relation.Relation, cfg partition.RadixConfig, sp partition.SplitterVector,
-	parts, workers int, trackers []*numa.Tracker, topo numa.Topology) [][]relation.Tuple {
+func partitionParallel(ctx context.Context, rt *sched.Runtime, rel *relation.Relation, cfg partition.RadixConfig,
+	sp partition.SplitterVector, parts int, topo numa.Topology) [][]relation.Tuple {
 
+	workers := rt.Workers()
 	chunks := rel.Split(workers)
 	histograms := make([]partition.Histogram, workers)
 
-	var wg sync.WaitGroup
+	rt.Phase(ctx, "partition", func(ctx context.Context, w *sched.Worker) {
+		histograms[w.ID()] = partition.BuildHistogram(chunks[w.ID()].Tuples, cfg)
+		if tracker := w.Tracker(); tracker != nil {
+			tracker.SeqRead(tracker.Node(), uint64(len(chunks[w.ID()].Tuples)))
+		}
+	})
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if canceled(ctx) {
-				histograms[w] = partition.BuildHistogram(nil, cfg)
-				return
-			}
-			histograms[w] = partition.BuildHistogram(chunks[w].Tuples, cfg)
-			if trackers[w] != nil {
-				trackers[w].SeqRead(trackers[w].Node(), uint64(len(chunks[w].Tuples)))
-			}
-		}(w)
+		// A worker skipped by cancellation leaves a nil histogram; the
+		// prefix sums still need a well-formed (empty) one.
+		if histograms[w] == nil {
+			histograms[w] = partition.BuildHistogram(nil, cfg)
+		}
 	}
-	wg.Wait()
 
 	ps := partition.ComputePrefixSums(histograms, sp, parts)
 	targets := make([][]relation.Tuple, parts)
@@ -281,23 +244,15 @@ func partitionParallel(ctx context.Context, rel *relation.Relation, cfg partitio
 		targets[p] = make([]relation.Tuple, ps.Sizes[p])
 	}
 
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			if canceled(ctx) {
-				return
-			}
-			cursors := append([]int(nil), ps.Offsets[w]...)
-			partition.Scatter(chunks[w].Tuples, cfg, sp, targets, cursors)
-			if trackers[w] != nil {
-				// Scattering writes across all target partitions, which are
-				// spread over the NUMA nodes: random-ish writes, mostly remote.
-				chargeInterleaved(trackers[w], topo, uint64(len(chunks[w].Tuples)), false)
-			}
-		}(w)
-	}
-	wg.Wait()
+	rt.Phase(ctx, "partition", func(ctx context.Context, w *sched.Worker) {
+		cursors := append([]int(nil), ps.Offsets[w.ID()]...)
+		partition.Scatter(chunks[w.ID()].Tuples, cfg, sp, targets, cursors)
+		if tracker := w.Tracker(); tracker != nil {
+			// Scattering writes across all target partitions, which are
+			// spread over the NUMA nodes: random-ish writes, mostly remote.
+			chargeInterleaved(tracker, topo, uint64(len(chunks[w.ID()].Tuples)), false)
+		}
+	})
 	return targets
 }
 
@@ -344,8 +299,7 @@ func joinPartition(build, probe []relation.Tuple, out mergejoin.Consumer) {
 // inputs).
 func maxKeyOf(r, s *relation.Relation) uint64 {
 	var maxKey uint64
-	if k, m, err := r.MinMaxKey(); err == nil {
-		_ = k
+	if _, m, err := r.MinMaxKey(); err == nil {
 		maxKey = m
 	}
 	if _, m, err := s.MinMaxKey(); err == nil && m > maxKey {

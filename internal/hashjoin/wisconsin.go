@@ -13,14 +13,14 @@
 //
 // Both implementations report the same result and phase-timing structure as
 // the MPSM variants so that the experiment harness can reproduce Figures 12
-// and 13.
+// and 13, and both run on the shared parallel runtime of internal/sched, so
+// the Static and Morsel scheduling modes apply to them too.
 package hashjoin
 
 import (
 	"context"
 	"math/bits"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +28,7 @@ import (
 	"repro/internal/numa"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/sink"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// Sink receives the joined tuple stream. A nil Sink selects the built-in
 	// max-sum aggregate of the paper's evaluation query.
 	Sink sink.Sink
+	// Scheduler selects static per-worker loops (the default) or
+	// morsel-driven scheduling, where build/probe blocks and partition
+	// pairs are stolen by idle workers.
+	Scheduler sched.Mode
+	// MorselSize is the number of tuples per build/probe morsel; 0 selects
+	// the shared default.
+	MorselSize int
 }
 
 // cancelBlock is how many tuples a hash-join worker processes between two
@@ -66,7 +74,15 @@ func (o Options) normalize() Options {
 	if o.CostModel == (numa.CostModel{}) {
 		o.CostModel = numa.DefaultCostModel()
 	}
+	if o.MorselSize <= 0 {
+		o.MorselSize = sched.DefaultMorselSize
+	}
 	return o
+}
+
+// runtimeFor creates the shared parallel runtime for one hash join.
+func runtimeFor(o Options) *sched.Runtime {
+	return sched.New(sched.Config{Workers: o.Workers, Topology: o.Topology, TrackNUMA: o.TrackNUMA})
 }
 
 // entry is one node of the shared chaining hash table. Next is the index of
@@ -146,6 +162,61 @@ func (t *sharedTable) probe(tup relation.Tuple, out mergejoin.Consumer) (inspect
 	return inspected
 }
 
+// insertBlock inserts one block of a build chunk into the shared table,
+// charging the executing worker's tracker. Entry slots are pre-assigned by
+// the tuple's global offset, so any worker may insert any block.
+func insertBlock(table *sharedTable, tuples []relation.Tuple, baseSlot int, ctx context.Context, w *sched.Worker, topo numa.Topology) {
+	var retries uint64
+	for i, tup := range tuples {
+		if i%cancelBlock == 0 && canceled(ctx) {
+			return
+		}
+		retries += table.insert(int32(baseSlot+i), tup)
+	}
+	if tracker := w.Tracker(); tracker != nil {
+		// The hash table is interleaved across all nodes; on average
+		// (nodes-1)/nodes of the random writes are remote. We charge them
+		// round-robin.
+		n := uint64(len(tuples))
+		chargeInterleaved(tracker, topo, n, false)
+		tracker.Sync(n + retries)
+	}
+}
+
+// probeBlock probes the shared table with one block of a probe chunk,
+// streaming matches into the executing worker's sink writer.
+func probeBlock(table *sharedTable, tuples []relation.Tuple, ctx context.Context, w *sched.Worker, topo numa.Topology, cons mergejoin.Consumer) {
+	var inspected uint64
+	for i, tup := range tuples {
+		if i%cancelBlock == 0 && canceled(ctx) {
+			return
+		}
+		inspected += table.probe(tup, cons)
+	}
+	if tracker := w.Tracker(); tracker != nil {
+		// Probing reads the local S chunk sequentially and the shared
+		// table randomly across all nodes.
+		tracker.SeqRead(tracker.Node(), uint64(len(tuples)))
+		chargeInterleaved(tracker, topo, inspected+uint64(len(tuples)), true)
+	}
+}
+
+// blockTasks cuts the chunks of a relation into morsel tasks of at most
+// morselSize tuples each, applying fn to every block. The tasks carry no
+// NUMA placement: the shared table is interleaved over all nodes, so no
+// worker is closer to a block's hash buckets than any other.
+func blockTasks(chunks []relation.Chunk, morselSize int, fn func(block relation.Chunk, w *sched.Worker)) []sched.Task {
+	var tasks []sched.Task
+	for _, chunk := range chunks {
+		chunk := chunk
+		sched.ForEachSegment(len(chunk.Tuples), morselSize, func(lo, hi int) {
+			block := relation.Chunk{Worker: chunk.Worker, Offset: chunk.Offset + lo, Tuples: chunk.Tuples[lo:hi]}
+			tasks = append(tasks, sched.Task{Node: -1, Run: func(w *sched.Worker) { fn(block, w) }})
+		})
+	}
+	return tasks
+}
+
 // Wisconsin executes the no-partitioning shared hash join: build a global
 // hash table over R in parallel, then probe it with S in parallel. R is the
 // build side; callers wanting role reversal swap the arguments.
@@ -160,47 +231,26 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	}
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "Wisconsin", Workers: workers}
+	rt := runtimeFor(opts)
 	start := time.Now()
 
 	table := newSharedTable(r.Len())
 	rChunks := r.Split(workers)
 	sChunks := s.Split(workers)
 
-	trackers := make([]*numa.Tracker, workers)
-	if opts.TrackNUMA {
-		for w := 0; w < workers; w++ {
-			trackers[w] = numa.NewTracker(opts.Topology, w)
-		}
+	// Build phase: every worker inserts its chunk into the shared table
+	// (static), or idle workers steal insert blocks (morsel).
+	var buildTime time.Duration
+	if opts.Scheduler == sched.Morsel {
+		buildTime = rt.RunTasks(ctx, "build", blockTasks(rChunks, opts.MorselSize, func(block relation.Chunk, w *sched.Worker) {
+			insertBlock(table, block.Tuples, block.Offset, ctx, w, opts.Topology)
+		}))
+	} else {
+		buildTime = rt.Phase(ctx, "build", func(ctx context.Context, w *sched.Worker) {
+			chunk := rChunks[w.ID()]
+			insertBlock(table, chunk.Tuples, chunk.Offset, ctx, w, opts.Topology)
+		})
 	}
-
-	// Build phase: every worker inserts its chunk into the shared table.
-	buildTime := result.StopwatchPhase(func() {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				chunk := rChunks[w]
-				tracker := trackers[w]
-				var retries uint64
-				for i, tup := range chunk.Tuples {
-					if i%cancelBlock == 0 && canceled(ctx) {
-						return
-					}
-					retries += table.insert(int32(chunk.Offset+i), tup)
-				}
-				if tracker != nil {
-					// The hash table is interleaved across all nodes;
-					// on average (nodes-1)/nodes of the random writes
-					// are remote. We charge them round-robin.
-					n := uint64(len(chunk.Tuples))
-					chargeInterleaved(tracker, opts.Topology, n, false)
-					tracker.Sync(n + retries)
-				}
-			}(w)
-		}
-		wg.Wait()
-	})
 	res.AddPhase("build", buildTime)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -209,32 +259,16 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	// Probe phase: every worker probes with its chunk of S, streaming
 	// matches into its private sink writer.
 	out := sink.Bind(opts.Sink, workers)
-	probeTime := result.StopwatchPhase(func() {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				chunk := sChunks[w]
-				tracker := trackers[w]
-				cons := out.Writer(w)
-				var inspected uint64
-				for i, tup := range chunk.Tuples {
-					if i%cancelBlock == 0 && canceled(ctx) {
-						return
-					}
-					inspected += table.probe(tup, cons)
-				}
-				if tracker != nil {
-					// Probing reads the local S chunk sequentially and
-					// the shared table randomly across all nodes.
-					tracker.SeqRead(tracker.Node(), uint64(len(chunk.Tuples)))
-					chargeInterleaved(tracker, opts.Topology, inspected+uint64(len(chunk.Tuples)), true)
-				}
-			}(w)
-		}
-		wg.Wait()
-	})
+	var probeTime time.Duration
+	if opts.Scheduler == sched.Morsel {
+		probeTime = rt.RunTasks(ctx, "probe", blockTasks(sChunks, opts.MorselSize, func(block relation.Chunk, w *sched.Worker) {
+			probeBlock(table, block.Tuples, ctx, w, opts.Topology, out.Writer(w.ID()))
+		}))
+	} else {
+		probeTime = rt.Phase(ctx, "probe", func(ctx context.Context, w *sched.Worker) {
+			probeBlock(table, sChunks[w.ID()].Tuples, ctx, w, opts.Topology, out.Writer(w.ID()))
+		})
+	}
 	res.AddPhase("probe", probeTime)
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
@@ -250,7 +284,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	res.MaxSum = out.MaxSum()
 	res.Total = time.Since(start)
 	if opts.TrackNUMA {
-		res.NUMA = numa.MergeStats(trackers)
+		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
 	return res, nil

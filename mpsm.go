@@ -47,6 +47,15 @@
 // boundaries and once per chunk inside the sort and merge loops, so a
 // canceled context aborts a long join promptly with ctx.Err().
 //
+// Every algorithm runs on a shared parallel runtime with two scheduling
+// modes: Static (the paper-faithful default — work is fixed per worker and
+// workers meet only at phase barriers) and Morsel (the match phase is split
+// into small morsels that idle workers steal with a NUMA-locality
+// preference, balancing skew the static splitters cannot). Both modes
+// produce identical results:
+//
+//	res, err := engine.Join(ctx, r, s, mpsm.WithScheduler(mpsm.Morsel))
+//
 // The legacy one-shot Join and JoinWithDiskStats functions remain as thin
 // deprecated wrappers over an implicit engine.
 //
@@ -65,6 +74,7 @@ import (
 	"repro/internal/numa"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/workload"
 )
 
@@ -125,6 +135,25 @@ const (
 	// SplitterUniform uses static, data-oblivious key ranges.
 	SplitterUniform = core.SplitterUniform
 )
+
+// Scheduler selects how the match phase of a join is mapped onto workers.
+type Scheduler = sched.Mode
+
+// Available scheduling modes.
+const (
+	// Static is the paper-faithful mode: work is assigned up front and
+	// workers synchronize only at phase barriers (commandment C3). This is
+	// the default.
+	Static = sched.Static
+	// Morsel splits the match phase into small morsels that idle workers
+	// steal with a NUMA-locality preference, balancing skew that static
+	// splitters cannot. Results are identical to Static.
+	Morsel = sched.Morsel
+)
+
+// ParseScheduler converts a scheduling-mode name ("static", "morsel") into a
+// Scheduler. Matching is case-insensitive.
+func ParseScheduler(name string) (Scheduler, error) { return sched.ParseMode(name) }
 
 // JoinKind selects the join semantics (inner, left-outer, semi, anti).
 type JoinKind = mergejoin.Kind
