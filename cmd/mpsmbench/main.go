@@ -7,6 +7,8 @@
 //	mpsmbench -experiment figure12 -scale 0.1 -workers 8
 //	mpsmbench -all -scale 0.05
 //	mpsmbench -json BENCH_$(date +%Y%m%d).json -scale 0.1
+//	mpsmbench -experiment sort -json BENCH_sort.json
+//	mpsmbench -experiment steadystate -json BENCH_steadystate.json
 //
 // The scale factor multiplies the base dataset size (|R| = 262144 tuples at
 // scale 1.0). The paper's 1600M-tuple datasets correspond to a scale of
@@ -29,7 +31,7 @@ func main() {
 		scale      = flag.Float64("scale", 0, "dataset scale factor (default from MPSM_SCALE or 1.0)")
 		workers    = flag.Int("workers", 0, "maximum worker count (default from MPSM_WORKERS or GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "add explanatory notes to the output")
-		jsonPath   = flag.String("json", "", "write a machine-readable per-algorithm timing report to this file (\"-\" for stdout)")
+		jsonPath   = flag.String("json", "", "write a machine-readable report to this file (\"-\" for stdout); alone it emits the per-algorithm timing report, with -experiment it emits that experiment's JSON report")
 	)
 	flag.Parse()
 
@@ -44,17 +46,37 @@ func main() {
 
 	switch {
 	case *jsonPath != "":
-		// The JSON report is its own mode (fixed dataset, every algorithm
-		// under both schedulers); combining it with an experiment selection
-		// would silently ignore the selection, so reject that outright.
-		if *list || *all || *experiment != "" {
-			fmt.Fprintln(os.Stderr, "mpsmbench: -json is a standalone mode and cannot be combined with -list, -all or -experiment")
+		// -json alone emits the per-algorithm timing report; -json together
+		// with -experiment emits that experiment's machine-readable report.
+		// -list and -all have no JSON form.
+		if *list || *all {
+			fmt.Fprintln(os.Stderr, "mpsmbench: -json cannot be combined with -list or -all")
 			os.Exit(2)
 		}
-		rep, err := bench.RunReport(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mpsmbench:", err)
-			os.Exit(1)
+		var rep any
+		if *experiment != "" {
+			e, ok := bench.Lookup(*experiment)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mpsmbench: unknown experiment %q (use -list)\n", *experiment)
+				os.Exit(1)
+			}
+			if e.JSON == nil {
+				fmt.Fprintf(os.Stderr, "mpsmbench: experiment %q has no machine-readable report\n", *experiment)
+				os.Exit(2)
+			}
+			r, err := e.JSON(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpsmbench:", err)
+				os.Exit(1)
+			}
+			rep = r
+		} else {
+			r, err := bench.RunReport(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mpsmbench:", err)
+				os.Exit(1)
+			}
+			rep = r
 		}
 		out := os.Stdout
 		if *jsonPath != "-" {
@@ -66,7 +88,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := rep.WriteJSON(out); err != nil {
+		if err := bench.WriteAnyJSON(out, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "mpsmbench:", err)
 			os.Exit(1)
 		}

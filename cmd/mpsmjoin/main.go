@@ -46,6 +46,8 @@ func main() {
 		readLatency   = flag.Duration("read-latency", 0, "D-MPSM: simulated per-page read latency")
 		timeout       = flag.Duration("timeout", 0, "abort the join after this duration (0 = no limit)")
 		jsonOut       = flag.Bool("json", false, "print the result as machine-readable JSON instead of text")
+		usePool       = flag.Bool("pool", false, "enable the engine-wide scratch pool (allocation-free steady state)")
+		poolLimit     = flag.Int64("pool-limit", 0, "scratch pool byte limit (0 = default 512 MiB); implies nothing without -pool")
 	)
 	flag.Parse()
 
@@ -100,6 +102,8 @@ func main() {
 		mpsm.WithWorkers(*workers),
 		mpsm.WithSplitters(strategy),
 		mpsm.WithScheduler(scheduler),
+		mpsm.WithScratchPool(*usePool),
+		mpsm.WithPoolLimit(*poolLimit),
 		mpsm.WithDisk(mpsm.DiskConfig{PageSize: *pageSize, PageBudget: *pageBudget, ReadLatency: *readLatency}),
 	)
 	var opts []mpsm.Option
@@ -123,9 +127,23 @@ func main() {
 	}
 
 	if *jsonOut {
+		// The JSON form carries everything the text form prints: the timing
+		// record plus (when applicable) the scratch-pool and disk stats.
+		out := struct {
+			bench.AlgorithmTiming
+			Scratch *mpsm.ScratchStats `json:"scratch,omitempty"`
+			Pool    *mpsm.PoolStats    `json:"scratch_pool,omitempty"`
+			Disk    *mpsm.DiskStats    `json:"disk,omitempty"`
+		}{AlgorithmTiming: bench.ResultJSON(res, scheduler.String()), Disk: diskStats}
+		if *usePool {
+			out.Scratch = &res.Scratch
+			if ps, ok := engine.PoolStats(); ok {
+				out.Pool = &ps
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(bench.ResultJSON(res, scheduler.String())); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
 			os.Exit(1)
 		}
@@ -151,6 +169,14 @@ func main() {
 		fmt.Printf("disk:            %d page writes, %d page reads, pool max resident %d (budget %d), %d hits, %d evictions\n",
 			diskStats.PageWrites, diskStats.PageReads, diskStats.Pool.MaxResident,
 			*pageBudget, diskStats.Pool.Hits, diskStats.Pool.Evictions)
+	}
+	if *usePool {
+		fmt.Printf("scratch pool:    %d buffers requested, %d reused, %.1f MiB served\n",
+			res.Scratch.Buffers, res.Scratch.Reused, float64(res.Scratch.Bytes)/(1<<20))
+		if ps, ok := engine.PoolStats(); ok {
+			fmt.Printf("                 pool holds %.1f MiB (peak %.1f MiB), %d discards\n",
+				float64(ps.HeldBytes)/(1<<20), float64(ps.PeakHeldBytes)/(1<<20), ps.Discards)
+		}
 	}
 	if *perWorker {
 		fmt.Println("\nper-worker breakdown:")

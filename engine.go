@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/memory"
 	"repro/internal/relation"
 	"repro/internal/sink"
 )
@@ -29,6 +30,8 @@ type settings struct {
 	sink             Sink
 	scheduler        Scheduler
 	morselSize       int
+	scratchPool      bool
+	poolLimit        int64
 }
 
 // Option configures an Engine at construction time or overrides the engine's
@@ -133,11 +136,37 @@ func WithSink(snk Sink) Option {
 	return func(s *settings) { s.sink = snk }
 }
 
+// WithScratchPool enables (or disables) the engine-wide scratch pool: run,
+// partition, histogram and hash-table buffers are checked out of a reusable,
+// size-classed arena per join and returned — reset, not freed — when the join
+// finishes, making the steady state of a long-lived Engine essentially
+// allocation-free. The pool is created at engine construction, so pass this
+// to New; as a per-call option it can only disable pooling for that call
+// (WithScratchPool(true) on an engine built without a pool is a no-op). The
+// pool is guarded for concurrent joins, and it is safe with JoinStream: the
+// stream carries tuple values, never references into pooled buffers. Pool
+// behaviour is observable via Result.Scratch and Engine.PoolStats.
+func WithScratchPool(enabled bool) Option {
+	return func(s *settings) { s.scratchPool = enabled }
+}
+
+// WithPoolLimit caps the bytes the scratch pool may keep parked between joins
+// (buffers beyond the limit are released to the garbage collector); 0 selects
+// the default of 512 MiB. It only takes effect together with
+// WithScratchPool(true) at engine construction.
+func WithPoolLimit(bytes int64) Option {
+	return func(s *settings) { s.poolLimit = bytes }
+}
+
 // Engine is a prepared, reusable join engine: construct it once with New and
 // run any number of joins against it. The engine itself is immutable and safe
 // for concurrent use; per-call state (sinks, results) is created per Join.
+// When constructed with WithScratchPool(true) the engine additionally owns a
+// scratch pool whose buffers all its joins share (the pool is internally
+// synchronized, so this includes concurrent joins).
 type Engine struct {
 	base settings
+	pool *memory.Pool
 }
 
 // New returns an Engine with the given configuration. The zero configuration
@@ -147,7 +176,19 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(&e.base)
 	}
+	if e.base.scratchPool {
+		e.pool = memory.NewPool(e.base.poolLimit)
+	}
 	return e
+}
+
+// PoolStats returns a snapshot of the engine's scratch-pool counters; ok is
+// false when the engine was constructed without WithScratchPool.
+func (e *Engine) PoolStats() (stats PoolStats, ok bool) {
+	if e.pool == nil {
+		return PoolStats{}, false
+	}
+	return e.pool.Stats(), true
 }
 
 // resolve merges per-call options over the engine's base configuration.
@@ -159,8 +200,17 @@ func (e *Engine) resolve(opts []Option) settings {
 	return cfg
 }
 
+// scratchFor returns the pool one call should use: the engine's pool, unless
+// the call (or the engine) runs with pooling disabled.
+func (e *Engine) scratchFor(cfg settings) *memory.Pool {
+	if !cfg.scratchPool {
+		return nil
+	}
+	return e.pool
+}
+
 // query assembles the exec query for one join call.
-func (cfg settings) query(r, s *Relation) exec.Query {
+func (cfg settings) query(r, s *Relation, pool *memory.Pool) exec.Query {
 	return exec.Query{
 		R:         r,
 		S:         s,
@@ -179,6 +229,7 @@ func (cfg settings) query(r, s *Relation) exec.Query {
 			Topology:         cfg.topology,
 			Scheduler:        cfg.scheduler,
 			MorselSize:       cfg.morselSize,
+			Scratch:          pool,
 		},
 		DiskOptions: core.DiskOptions{
 			PageSize:         cfg.disk.PageSize,
@@ -195,7 +246,8 @@ func (e *Engine) run(ctx context.Context, r, s *Relation, opts []Option) (*exec.
 	if r == nil || s == nil {
 		return nil, fmt.Errorf("mpsm: Join requires non-nil relations")
 	}
-	return exec.Run(ctx, e.resolve(opts).query(r, s))
+	cfg := e.resolve(opts)
+	return exec.Run(ctx, cfg.query(r, s, e.scratchFor(cfg)))
 }
 
 // Join executes an equi-join between the private input r and the public

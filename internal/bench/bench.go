@@ -82,6 +82,10 @@ type Experiment struct {
 	Title string
 	// Run executes the experiment and writes its report to w.
 	Run func(cfg Config, w io.Writer) error
+	// JSON, when non-nil, produces the experiment's machine-readable report
+	// (mpsmbench -experiment NAME -json FILE); experiments without one only
+	// support the human-readable table.
+	JSON func(cfg Config) (any, error)
 }
 
 // registry holds all experiments keyed by name.

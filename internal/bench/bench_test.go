@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -14,7 +15,7 @@ func tinyConfig() Config {
 
 func TestRegistryContainsAllPaperFigures(t *testing.T) {
 	want := []string{"figure1", "figure9", "figure12", "figure13", "figure14", "figure15", "figure16",
-		"sort", "ablation-partitioning", "dmpsm", "morsel"}
+		"sort", "ablation-partitioning", "dmpsm", "morsel", "steadystate"}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("experiment %q not registered", name)
@@ -170,5 +171,76 @@ func TestLog2Helper(t *testing.T) {
 		if got := log2(n); got != want {
 			t.Errorf("log2(%d) = %d, want %d", n, got, want)
 		}
+	}
+}
+
+// TestSteadyStateJSONReport locks in the machine-readable steady-state
+// report: both pool settings appear, the pooled run reuses buffers, the byte
+// reduction is substantial even at tiny scale, and the JSON round-trips.
+func TestSteadyStateJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the steady-state report runs dozens of joins")
+	}
+	rep, err := buildSteadyStateReport(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Pool || !rep.Runs[1].Pool {
+		t.Fatalf("runs = %+v, want pool off then on", rep.Runs)
+	}
+	if rep.Runs[1].ScratchReused == 0 {
+		t.Fatal("warm pooled run reused no scratch buffers")
+	}
+	if rep.AllocBytesReduction < 0.5 {
+		t.Fatalf("alloc byte reduction %.2f, want >= 0.5 even at tiny scale", rep.AllocBytesReduction)
+	}
+	var buf bytes.Buffer
+	if err := WriteAnyJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SteadyStateReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("steady-state JSON does not round-trip: %v", err)
+	}
+	if decoded.Joins != rep.Joins || len(decoded.Runs) != 2 {
+		t.Fatalf("decoded report = %+v", decoded)
+	}
+}
+
+// TestSortJSONReport locks in the machine-readable sort report: all four
+// routines appear and the multi-level rewrite beats the retained one-level
+// baseline on the 1M-tuple acceptance workload. The default run only sanity
+// checks the ordering (shared unit-test runners are noisy); set
+// MPSM_PERF_ASSERT=1 — as the CI bench job does on an otherwise idle step —
+// to enforce the strict ≥1.3x acceptance ratio.
+func TestSortJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the sort report sorts 1M tuples repeatedly")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the speedup ratios the test asserts")
+	}
+	rep, err := sortJSON(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.(*SortReport)
+	if len(sr.Results) != 4 {
+		t.Fatalf("sort report has %d routines, want 4", len(sr.Results))
+	}
+	byName := map[string]SortTiming{}
+	for _, r := range sr.Results {
+		byName[r.Routine] = r
+	}
+	strict := os.Getenv("MPSM_PERF_ASSERT") != ""
+	minSpeedup, minIntoRatio := 1.05, 0.9
+	if strict {
+		minSpeedup, minIntoRatio = 1.3, 1.0
+	}
+	if s := byName["multi-level"].SpeedupVsOneLev; s < minSpeedup {
+		t.Fatalf("multi-level speedup over one-level = %.2fx, want >= %.2fx (strict=%v)", s, minSpeedup, strict)
+	}
+	if s, m := byName["sort-into"].SpeedupVsOneLev, byName["multi-level"].SpeedupVsOneLev; s < m*minIntoRatio {
+		t.Fatalf("sort-into (%.2fx) should not be slower than multi-level (%.2fx, strict=%v)", s, m, strict)
 	}
 }

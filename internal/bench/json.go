@@ -117,9 +117,15 @@ func RunReport(cfg Config) (*Report, error) {
 
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
+	return WriteAnyJSON(w, r)
+}
+
+// WriteAnyJSON renders any machine-readable report (the per-algorithm Report,
+// SortReport, SteadyStateReport, ...) as indented JSON.
+func WriteAnyJSON(w io.Writer, report any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return enc.Encode(report)
 }
 
 // millis converts a duration to fractional milliseconds.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build;
+// perf-assertion tests skip themselves under it because instrumentation
+// distorts the relative cost of the contenders.
+const raceEnabled = false

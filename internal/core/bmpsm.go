@@ -38,6 +38,8 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "B-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
+	lease := opts.Scratch.Acquire()
+	defer lease.Release()
 	start := time.Now()
 
 	publicChunks := public.Split(workers)
@@ -47,7 +49,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 1: sort the public input chunks into runs, locally per worker.
 	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
-		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w)
+		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -56,7 +58,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 2: sort the private input chunks into runs, locally per worker.
 	phase2 := rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
-		privateRuns[w.ID()] = sortChunkIntoRun(privateChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPrivate, w)
+		privateRuns[w.ID()] = sortChunkIntoRun(privateChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPrivate, w, lease)
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -68,7 +70,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// single synchronization point required by the algorithm — all public
 	// runs must be sorted before the join starts — is the phase barrier
 	// above. In morsel mode the same pairings run as stolen tasks instead.
-	out := sink.Bind(opts.Sink, workers)
+	out := sink.Bind(opts.Sink, workers, lease)
 	scanned := make([]int, workers)
 	var phase3 time.Duration
 	if opts.Scheduler == sched.Morsel {
@@ -141,5 +143,6 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
+	res.Scratch = lease.Stats()
 	return res, nil
 }

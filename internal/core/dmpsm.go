@@ -87,6 +87,8 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "D-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
+	lease := opts.Scratch.Acquire()
+	defer lease.Release()
 	start := time.Now()
 
 	disk := storage.NewDisk(diskOpts.ReadLatency, diskOpts.WriteLatency)
@@ -96,15 +98,17 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	privateRuns := make([]*storage.PagedRun, workers)
 
 	// Phase 1: sort the public chunks locally and spill them as paged runs.
+	// The sort buffer is leased and handed back immediately after the spill
+	// (WriteRun copies tuples into pages), so phase 2 reuses it.
 	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
-		tuples := make([]relation.Tuple, len(publicChunks[w.ID()].Tuples))
-		copy(tuples, publicChunks[w.ID()].Tuples)
-		sorting.Sort(tuples)
+		tuples := lease.Tuples(len(publicChunks[w.ID()].Tuples))
+		sorting.SortInto(publicChunks[w.ID()].Tuples, tuples)
 		run, err := storage.WriteRun(disk, w.ID(), tuples, diskOpts.PageSize)
 		if err != nil {
 			panic(fmt.Sprintf("core: spilling public run %d: %v", w.ID(), err))
 		}
 		publicRuns[w.ID()] = run
+		lease.PutTuples(tuples)
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -113,14 +117,14 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 2: sort the private chunks locally and spill them as paged runs.
 	phase2 := rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
-		tuples := make([]relation.Tuple, len(privateChunks[w.ID()].Tuples))
-		copy(tuples, privateChunks[w.ID()].Tuples)
-		sorting.Sort(tuples)
+		tuples := lease.Tuples(len(privateChunks[w.ID()].Tuples))
+		sorting.SortInto(privateChunks[w.ID()].Tuples, tuples)
 		run, err := storage.WriteRun(disk, w.ID(), tuples, diskOpts.PageSize)
 		if err != nil {
 			panic(fmt.Sprintf("core: spilling private run %d: %v", w.ID(), err))
 		}
 		privateRuns[w.ID()] = run
+		lease.PutTuples(tuples)
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -133,7 +137,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	index := storage.BuildPageIndex(publicRuns)
 	pool := storage.NewBufferPool(disk, diskOpts.PageBudget)
 
-	out := sink.Bind(opts.Sink, workers)
+	out := sink.Bind(opts.Sink, workers, lease)
 	scanned := make([]int, workers)
 	var phase3 time.Duration
 	if opts.Scheduler == sched.Morsel {
@@ -167,6 +171,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	if opts.CollectPerWorker {
 		res.PerWorker = rt.Breakdowns([]string{"phase 1", "phase 2", "phase 3"})
 	}
+	res.Scratch = lease.Stats()
 	return res, stats, nil
 }
 

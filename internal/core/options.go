@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
 	"repro/internal/sched"
@@ -118,6 +119,12 @@ type Options struct {
 	// max-sum aggregate of the paper's evaluation query, which preserves the
 	// legacy fire-and-forget Join semantics.
 	Sink sink.Sink
+
+	// Scratch, when non-nil, is the engine-wide scratch pool the join draws
+	// its run, partition, histogram and cursor buffers from instead of
+	// allocating fresh ones; see internal/memory. Every join checks out its
+	// own lease, so concurrent joins may share one pool.
+	Scratch *memory.Pool
 
 	// TrackNUMA enables simulated NUMA access accounting.
 	TrackNUMA bool

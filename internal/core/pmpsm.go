@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/partition"
 	"repro/internal/relation"
@@ -50,6 +51,8 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "P-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
+	lease := opts.Scratch.Acquire()
+	defer lease.Release()
 	start := time.Now()
 
 	publicChunks := public.Split(workers)
@@ -58,7 +61,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 1: sort the public input chunks into local runs.
 	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
-		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w)
+		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -67,18 +70,21 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 2: range partition the private input.
 	var privateRuns []*relation.Run
+	var privateMaxKey uint64
 	phase2 := result.StopwatchPhase(func() {
-		privateRuns = rangePartitionPrivate(ctx, rt, privateChunks, publicRuns, opts)
+		privateRuns, privateMaxKey = rangePartitionPrivate(ctx, rt, privateChunks, publicRuns, opts, lease)
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Phase 3: sort each private range partition into a run.
+	// Phase 3: sort each private range partition into a run. Phase 2 already
+	// determined the global maximum private key for its radix histograms, so
+	// the sort skips its own key-domain scan.
 	phase3 := rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
 		run := privateRuns[w.ID()]
-		sorting.Sort(run.Tuples)
+		sorting.SortWithMax(run.Tuples, privateMaxKey)
 		if tracker := w.Tracker(); tracker != nil {
 			n := uint64(len(run.Tuples))
 			tracker.RandRead(run.Node, 2*n)
@@ -94,7 +100,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// every public run, located via interpolation search. Matching pairs
 	// stream into the sink through per-worker writers (no synchronization).
 	// In morsel mode the same work runs as stolen segment morsels instead.
-	out := sink.Bind(opts.Sink, workers)
+	out := sink.Bind(opts.Sink, workers, lease)
 	scanned := make([]int, workers)
 	var phase4 time.Duration
 	if opts.Scheduler == sched.Morsel {
@@ -173,16 +179,20 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
+	res.Scratch = lease.Stats()
 	return res, nil
 }
 
 // rangePartitionPrivate implements phase 2 of P-MPSM: it returns one private
 // run (still unsorted) per worker, holding exactly the tuples of that worker's
-// key range. On cancellation it returns early with whatever it has built; the
-// caller checks ctx after the phase and discards the partial state. All
-// parallel steps run as "phase 2" barriers on the shared runtime, so the
-// per-worker breakdown accumulates them under one label.
-func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks []relation.Chunk, publicRuns []*relation.Run, opts Options) []*relation.Run {
+// key range, together with the maximum private key (determined for the radix
+// histograms and reused by the phase 3 sort). On cancellation it returns
+// early with whatever it has built; the caller checks ctx after the phase and
+// discards the partial state. All parallel steps run as "phase 2" barriers on
+// the shared runtime, so the per-worker breakdown accumulates them under one
+// label. Histogram, cursor and run buffers come from the join's scratch
+// lease.
+func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks []relation.Chunk, publicRuns []*relation.Run, opts Options, lease *memory.Lease) ([]*relation.Run, uint64) {
 	workers := opts.Workers
 
 	// Phase 2.1: per-run equi-height bounds merged into the global S CDF.
@@ -195,7 +205,7 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 		runLens[w.ID()] = publicRuns[w.ID()].Len()
 	})
 	if canceled(ctx) {
-		return nil
+		return nil, 0
 	}
 	cdf := partition.BuildCDF(boundsPerRun, runLens)
 
@@ -216,7 +226,7 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 		}
 	})
 	if canceled(ctx) {
-		return nil
+		return nil, 0
 	}
 	var maxKey uint64
 	for _, m := range chunkMax {
@@ -228,13 +238,13 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 
 	histograms := make([]partition.Histogram, workers)
 	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
-		histograms[w.ID()] = partition.BuildHistogram(privateChunks[w.ID()].Tuples, cfg)
+		histograms[w.ID()] = partition.BuildHistogramInto(lease.Ints(cfg.Clusters()), privateChunks[w.ID()].Tuples, cfg)
 		if tracker := w.Tracker(); tracker != nil {
 			tracker.SeqRead(chunkSourceNode(w.ID(), workers, opts.Topology), uint64(len(privateChunks[w.ID()].Tuples)))
 		}
 	})
 	if canceled(ctx) {
-		return nil
+		return nil, 0
 	}
 
 	// Phase 2.3: splitter computation, prefix sums, and the
@@ -256,7 +266,7 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 		privateRuns[p] = &relation.Run{
 			Worker: p,
 			Node:   opts.Topology.NodeOfWorker(p),
-			Tuples: make([]relation.Tuple, ps.Sizes[p]),
+			Tuples: lease.Tuples(ps.Sizes[p]),
 		}
 	}
 	targets := make([][]relation.Tuple, workers)
@@ -265,8 +275,10 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 	}
 
 	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
-		cursors := append([]int(nil), ps.Offsets[w.ID()]...)
-		before := append([]int(nil), cursors...)
+		cursors := lease.Ints(workers)
+		copy(cursors, ps.Offsets[w.ID()])
+		before := lease.Ints(workers)
+		copy(before, cursors)
 		partition.Scatter(privateChunks[w.ID()].Tuples, cfg, sp, targets, cursors)
 		if tracker := w.Tracker(); tracker != nil {
 			// The chunk is read sequentially from its source node; every
@@ -277,6 +289,8 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 				tracker.SeqWrite(privateRuns[p].Node, uint64(cursors[p]-before[p]))
 			}
 		}
+		lease.PutInts(cursors)
+		lease.PutInts(before)
 	})
-	return privateRuns
+	return privateRuns, maxKey
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/memory"
 	"repro/internal/numa"
 	"repro/internal/relation"
 	"repro/internal/sched"
@@ -17,27 +18,30 @@ func runtimeFor(opts Options) *sched.Runtime {
 	})
 }
 
-// sortChunkIntoRun copies one chunk of the input relation into a fresh,
-// worker-local run and sorts it with the three-phase Radix/IntroSort. The copy
-// models the paper's redistribution into NUMA-local memory ("chunk the data,
-// redistribute, and then sort/work on your data locally"); its cost is
-// amortized by the first partitioning step of the sort.
+// sortChunkIntoRun sorts one chunk of the input relation into a worker-local
+// run whose buffer comes from the join's scratch lease (or a fresh allocation
+// when pooling is off). The redistribution into NUMA-local memory the paper
+// prescribes ("chunk the data, redistribute, and then sort/work on your data
+// locally") is fused with the first radix digit: SortInto scatters the chunk
+// into the run buffer as the widest partitioning pass, so the copy costs no
+// separate pass.
 //
 // srcNode is the NUMA node the source chunk resides on (the input relation is
 // assumed to be range-chunked over the nodes); the run itself is allocated on
 // the worker's home node. If presorted is true and the chunk is verified to be
 // in key order already, the sorting pass is skipped (exploiting pre-existing
-// sort orders, as the paper suggests).
-func sortChunkIntoRun(chunk relation.Chunk, srcNode int, presorted bool, w *sched.Worker) *relation.Run {
+// sort orders, as the paper suggests) and the chunk is merely copied.
+func sortChunkIntoRun(chunk relation.Chunk, srcNode int, presorted bool, w *sched.Worker, lease *memory.Lease) *relation.Run {
 	run := &relation.Run{
 		Worker: w.ID(),
 		Node:   w.Node(),
-		Tuples: make([]relation.Tuple, len(chunk.Tuples)),
+		Tuples: lease.Tuples(len(chunk.Tuples)),
 	}
-	copy(run.Tuples, chunk.Tuples)
-	skippedSort := presorted && relation.IsSortedByKey(run.Tuples)
-	if !skippedSort {
-		sorting.Sort(run.Tuples)
+	skippedSort := presorted && relation.IsSortedByKey(chunk.Tuples)
+	if skippedSort {
+		copy(run.Tuples, chunk.Tuples)
+	} else {
+		sorting.SortInto(chunk.Tuples, run.Tuples)
 	}
 
 	if tracker := w.Tracker(); tracker != nil {

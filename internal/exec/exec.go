@@ -241,6 +241,7 @@ func hashJoinOptions(opts core.Options) hashjoin.Options {
 		Sink:       opts.Sink,
 		Scheduler:  opts.Scheduler,
 		MorselSize: opts.MorselSize,
+		Scratch:    opts.Scratch,
 	}
 }
 

@@ -161,7 +161,7 @@ func TestRefinePartitionPreservesTuplesAndRanges(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		tuples = append(tuples, relation.Tuple{Key: rng.Uint64n(1 << 16), Payload: uint64(i)})
 	}
-	refined := refinePartition(tuples, 8, 4) // 16 sub-partitions on bits 8..11
+	refined := refinePartition(tuples, 8, 4, nil) // 16 sub-partitions on bits 8..11
 	var back []relation.Tuple
 	for b, part := range refined {
 		for _, tup := range part {
@@ -247,7 +247,7 @@ func TestNextPow2(t *testing.T) {
 }
 
 func TestSharedTableDirect(t *testing.T) {
-	table := newSharedTable(4)
+	table := newSharedTable(4, nil)
 	tuples := []relation.Tuple{{Key: 1, Payload: 10}, {Key: 2, Payload: 20}, {Key: 1, Payload: 30}, {Key: 99, Payload: 40}}
 	for i, tup := range tuples {
 		table.insert(int32(i), tup)

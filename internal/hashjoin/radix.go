@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
 	"repro/internal/partition"
@@ -63,6 +64,8 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	workers := o.Workers
 	res := &result.Result{Algorithm: "Radix HJ", Workers: workers}
 	rt := runtimeFor(o)
+	lease := o.Scratch.Acquire()
+	defer lease.Release()
 	start := time.Now()
 
 	bitsUsed := opts.PartitionBits
@@ -80,8 +83,8 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 
 	var rParts, sParts [][]relation.Tuple
 	partitionTime := result.StopwatchPhase(func() {
-		rParts = partitionMultiPass(ctx, rt, r, bitsUsed, passes, maxKey, o.Topology)
-		sParts = partitionMultiPass(ctx, rt, s, bitsUsed, passes, maxKey, o.Topology)
+		rParts = partitionMultiPass(ctx, rt, r, bitsUsed, passes, maxKey, o.Topology, lease)
+		sParts = partitionMultiPass(ctx, rt, s, bitsUsed, passes, maxKey, o.Topology, lease)
 	})
 	res.AddPhase("partition", partitionTime)
 	if err := ctx.Err(); err != nil {
@@ -93,9 +96,9 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	// over its R partition, probed with the matching S partition, streaming
 	// matches into the executing worker's sink writer. Cancellation is
 	// checked per partition — the chunk unit of this loop.
-	out := sink.Bind(o.Sink, workers)
+	out := sink.Bind(o.Sink, workers, lease)
 	joinPair := func(p int, w *sched.Worker) {
-		joinPartition(rParts[p], sParts[p], out.Writer(w.ID()))
+		joinPartition(rParts[p], sParts[p], out.Writer(w.ID()), lease)
 		if tracker := w.Tracker(); tracker != nil {
 			// Reading the partitions is sequential, but they live wherever
 			// the partitioning phase placed them (interleaved across
@@ -131,6 +134,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = o.CostModel.Estimate(res.NUMA)
 	}
+	res.Scratch = lease.Stats()
 	return res, nil
 }
 
@@ -142,18 +146,18 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 // on the next b2 = bits - b1 key bits, preserving TLB/cache locality exactly
 // like the MonetDB/Vectorwise radix join.
 func partitionMultiPass(ctx context.Context, rt *sched.Runtime, rel *relation.Relation, bits, passes int,
-	maxKey uint64, topo numa.Topology) [][]relation.Tuple {
+	maxKey uint64, topo numa.Topology, lease *memory.Lease) [][]relation.Tuple {
 
 	if passes <= 1 || bits < 2 {
 		cfg := partition.NewRadixConfig(bits, maxKey)
 		sp := identitySplitters(cfg.Clusters())
-		return partitionParallel(ctx, rt, rel, cfg, sp, cfg.Clusters(), topo)
+		return partitionParallel(ctx, rt, rel, cfg, sp, cfg.Clusters(), topo, lease)
 	}
 
 	b1 := (bits + 1) / 2
 	b2 := bits - b1
 	cfg1 := partition.NewRadixConfig(b1, maxKey)
-	coarse := partitionParallel(ctx, rt, rel, cfg1, identitySplitters(cfg1.Clusters()), cfg1.Clusters(), topo)
+	coarse := partitionParallel(ctx, rt, rel, cfg1, identitySplitters(cfg1.Clusters()), cfg1.Clusters(), topo, lease)
 
 	// Second pass: refine every coarse partition on the next b2 bits. The
 	// refinements are independent, so workers claim coarse partitions
@@ -168,7 +172,7 @@ func partitionMultiPass(ctx context.Context, rt *sched.Runtime, rel *relation.Re
 	for p := range coarse {
 		p := p
 		tasks[p] = sched.Task{Node: -1, Run: func(w *sched.Worker) {
-			refined := refinePartition(coarse[p], refineShift, b2)
+			refined := refinePartition(coarse[p], refineShift, b2, lease)
 			copy(out[p*subCount:(p+1)*subCount], refined)
 			if tracker := w.Tracker(); tracker != nil {
 				n := uint64(len(coarse[p]))
@@ -193,23 +197,28 @@ func identitySplitters(clusters int) partition.SplitterVector {
 
 // refinePartition splits one coarse partition into 2^b2 sub-partitions on the
 // key bits selected by shift, preserving the coarse partition's key range.
-func refinePartition(tuples []relation.Tuple, shift uint, b2 int) [][]relation.Tuple {
+// The histogram/cursor scratch and the sub-partition buffers come from the
+// lease; the histogram is handed back immediately, the sub-partitions live
+// until the join releases its lease.
+func refinePartition(tuples []relation.Tuple, shift uint, b2 int, lease *memory.Lease) [][]relation.Tuple {
 	buckets := 1 << b2
 	mask := uint64(buckets - 1)
-	hist := make([]int, buckets)
+	hist := lease.Ints(buckets)
 	for _, t := range tuples {
 		hist[int((t.Key>>shift)&mask)]++
 	}
 	out := make([][]relation.Tuple, buckets)
-	cursors := make([]int, buckets)
 	for b := 0; b < buckets; b++ {
-		out[b] = make([]relation.Tuple, hist[b])
+		out[b] = lease.Tuples(hist[b])
 	}
+	cursors := hist
+	clear(cursors)
 	for _, t := range tuples {
 		b := int((t.Key >> shift) & mask)
 		out[b][cursors[b]] = t
 		cursors[b]++
 	}
+	lease.PutInts(hist)
 	return out
 }
 
@@ -218,14 +227,14 @@ func refinePartition(tuples []relation.Tuple, shift uint, b2 int) [][]relation.T
 // P-MPSM's private-input partitioning, the radix join partitions both inputs,
 // which is the cross-NUMA traffic the paper criticizes.
 func partitionParallel(ctx context.Context, rt *sched.Runtime, rel *relation.Relation, cfg partition.RadixConfig,
-	sp partition.SplitterVector, parts int, topo numa.Topology) [][]relation.Tuple {
+	sp partition.SplitterVector, parts int, topo numa.Topology, lease *memory.Lease) [][]relation.Tuple {
 
 	workers := rt.Workers()
 	chunks := rel.Split(workers)
 	histograms := make([]partition.Histogram, workers)
 
 	rt.Phase(ctx, "partition", func(ctx context.Context, w *sched.Worker) {
-		histograms[w.ID()] = partition.BuildHistogram(chunks[w.ID()].Tuples, cfg)
+		histograms[w.ID()] = partition.BuildHistogramInto(lease.Ints(cfg.Clusters()), chunks[w.ID()].Tuples, cfg)
 		if tracker := w.Tracker(); tracker != nil {
 			tracker.SeqRead(tracker.Node(), uint64(len(chunks[w.ID()].Tuples)))
 		}
@@ -241,17 +250,19 @@ func partitionParallel(ctx context.Context, rt *sched.Runtime, rel *relation.Rel
 	ps := partition.ComputePrefixSums(histograms, sp, parts)
 	targets := make([][]relation.Tuple, parts)
 	for p := 0; p < parts; p++ {
-		targets[p] = make([]relation.Tuple, ps.Sizes[p])
+		targets[p] = lease.Tuples(ps.Sizes[p])
 	}
 
 	rt.Phase(ctx, "partition", func(ctx context.Context, w *sched.Worker) {
-		cursors := append([]int(nil), ps.Offsets[w.ID()]...)
+		cursors := lease.Ints(parts)
+		copy(cursors, ps.Offsets[w.ID()])
 		partition.Scatter(chunks[w.ID()].Tuples, cfg, sp, targets, cursors)
 		if tracker := w.Tracker(); tracker != nil {
 			// Scattering writes across all target partitions, which are
 			// spread over the NUMA nodes: random-ish writes, mostly remote.
 			chargeInterleaved(tracker, topo, uint64(len(chunks[w.ID()].Tuples)), false)
 		}
+		lease.PutInts(cursors)
 	})
 	return targets
 }
@@ -267,19 +278,22 @@ func chargeInterleavedSeq(tracker *numa.Tracker, topo numa.Topology, n uint64) {
 	tracker.SeqRead((tracker.Node()+1)%topo.Nodes, remote)
 }
 
-// joinPartition joins one partition pair with a private open-addressing hash
-// table sized to the build side.
-func joinPartition(build, probe []relation.Tuple, out mergejoin.Consumer) {
+// joinPartition joins one partition pair with a private chaining hash table
+// sized to the build side. The slot and chain arrays are leased and handed
+// back as soon as the pair is joined, so concurrent partition tasks recycle a
+// handful of cache-sized buffers instead of allocating one table per
+// partition.
+func joinPartition(build, probe []relation.Tuple, out mergejoin.Consumer, lease *memory.Lease) {
 	if len(build) == 0 || len(probe) == 0 {
 		return
 	}
 	size := nextPow2(2 * len(build))
 	mask := uint64(size - 1)
-	slots := make([]int32, size)
+	slots := lease.Int32s(size)
 	for i := range slots {
 		slots[i] = -1
 	}
-	next := make([]int32, len(build))
+	next := lease.Int32s(len(build))
 	for i, tup := range build {
 		b := (hashKey(tup.Key) >> 16) & mask
 		next[i] = slots[b]
@@ -293,6 +307,8 @@ func joinPartition(build, probe []relation.Tuple, out mergejoin.Consumer) {
 			}
 		}
 	}
+	lease.PutInt32s(slots)
+	lease.PutInt32s(next)
 }
 
 // maxKeyOf returns the maximum join key across both relations (0 for empty

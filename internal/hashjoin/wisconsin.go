@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
 	"repro/internal/relation"
@@ -53,6 +54,9 @@ type Options struct {
 	// MorselSize is the number of tuples per build/probe morsel; 0 selects
 	// the shared default.
 	MorselSize int
+	// Scratch, when non-nil, is the engine-wide scratch pool the join draws
+	// its hash-table and partition buffers from; see internal/memory.
+	Scratch *memory.Pool
 }
 
 // cancelBlock is how many tuples a hash-join worker processes between two
@@ -85,38 +89,34 @@ func runtimeFor(o Options) *sched.Runtime {
 	return sched.New(sched.Config{Workers: o.Workers, Topology: o.Topology, TrackNUMA: o.TrackNUMA})
 }
 
-// entry is one node of the shared chaining hash table. Next is the index of
-// the next entry in the chain, or -1.
-type entry struct {
-	key     uint64
-	payload uint64
-	next    int32
-}
-
 // sharedTable is the global hash table of the no-partitioning join. Bucket
 // heads are updated with compare-and-swap, modelling the latched/atomic
-// inserts of the original implementation.
+// inserts of the original implementation. Entries are stored as two parallel
+// arrays — the (key, payload) tuples and the chain links — so that both can
+// be drawn from the scratch pool's standard buffer classes.
 type sharedTable struct {
 	mask    uint64
-	heads   []int32 // index into entries, -1 if empty
-	entries []entry
+	heads   []int32          // index into entries, -1 if empty
+	entries []relation.Tuple // entry slot i holds the build tuple
+	next    []int32          // next[i] chains entry i, -1 terminates
 }
 
 // newSharedTable sizes the table to the next power of two of at least
-// 2·capacity buckets.
-func newSharedTable(capacity int) *sharedTable {
+// 2·capacity buckets, drawing the arrays from the lease when one is given.
+func newSharedTable(capacity int, lease *memory.Lease) *sharedTable {
 	size := 1
 	for size < 2*capacity {
 		size <<= 1
 	}
-	heads := make([]int32, size)
+	heads := lease.Int32s(size)
 	for i := range heads {
 		heads[i] = -1
 	}
 	return &sharedTable{
 		mask:    uint64(size - 1),
 		heads:   heads,
-		entries: make([]entry, capacity),
+		entries: lease.Tuples(capacity),
+		next:    lease.Int32s(capacity),
 	}
 }
 
@@ -136,12 +136,11 @@ func (t *sharedTable) bucketOf(key uint64) uint64 {
 // with CAS, which is the synchronization the paper's commandment C3 warns
 // about.
 func (t *sharedTable) insert(slot int32, tup relation.Tuple) (casRetries uint64) {
-	t.entries[slot].key = tup.Key
-	t.entries[slot].payload = tup.Payload
+	t.entries[slot] = tup
 	b := t.bucketOf(tup.Key)
 	for {
 		old := atomic.LoadInt32(&t.heads[b])
-		t.entries[slot].next = old
+		t.next[slot] = old
 		if atomic.CompareAndSwapInt32(&t.heads[b], old, slot) {
 			return casRetries
 		}
@@ -153,10 +152,10 @@ func (t *sharedTable) insert(slot int32, tup relation.Tuple) (casRetries uint64)
 // the consumer. It returns the number of entries inspected.
 func (t *sharedTable) probe(tup relation.Tuple, out mergejoin.Consumer) (inspected uint64) {
 	b := t.bucketOf(tup.Key)
-	for idx := atomic.LoadInt32(&t.heads[b]); idx >= 0; idx = t.entries[idx].next {
+	for idx := atomic.LoadInt32(&t.heads[b]); idx >= 0; idx = t.next[idx] {
 		inspected++
-		if t.entries[idx].key == tup.Key {
-			out.Consume(relation.Tuple{Key: t.entries[idx].key, Payload: t.entries[idx].payload}, tup)
+		if t.entries[idx].Key == tup.Key {
+			out.Consume(t.entries[idx], tup)
 		}
 	}
 	return inspected
@@ -232,9 +231,11 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "Wisconsin", Workers: workers}
 	rt := runtimeFor(opts)
+	lease := opts.Scratch.Acquire()
+	defer lease.Release()
 	start := time.Now()
 
-	table := newSharedTable(r.Len())
+	table := newSharedTable(r.Len(), lease)
 	rChunks := r.Split(workers)
 	sChunks := s.Split(workers)
 
@@ -258,7 +259,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 
 	// Probe phase: every worker probes with its chunk of S, streaming
 	// matches into its private sink writer.
-	out := sink.Bind(opts.Sink, workers)
+	out := sink.Bind(opts.Sink, workers, lease)
 	var probeTime time.Duration
 	if opts.Scheduler == sched.Morsel {
 		probeTime = rt.RunTasks(ctx, "probe", blockTasks(sChunks, opts.MorselSize, func(block relation.Chunk, w *sched.Worker) {
@@ -287,6 +288,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 		res.NUMA = rt.NUMAStats()
 		res.SimulatedNUMACost = opts.CostModel.Estimate(res.NUMA)
 	}
+	res.Scratch = lease.Stats()
 	return res, nil
 }
 

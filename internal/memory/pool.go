@@ -1,0 +1,413 @@
+// Package memory provides the engine-wide scratch pool that makes the join
+// hot path allocation-free in steady state.
+//
+// Every join execution allocates the same family of buffers: run and
+// partition tuple arrays sized by the input, histogram and cursor integer
+// arrays sized by the radix granularity, and hash-table slot arrays sized by
+// the build side. Under sustained load ("heavy traffic from millions of
+// users", per the ROADMAP) those allocations dominate GC work — the engine is
+// GC-bound rather than hardware-bound, exactly the drift away from
+// hardware-conscious main-memory design the paper argues against.
+//
+// A Pool is a size-classed arena of reusable buffers owned by an Engine. Each
+// join checks out a Lease, draws all its scratch buffers from it (concurrently
+// from all workers), and releases the lease when the join finishes; released
+// buffers are reset, not freed, so the next join reuses the same memory. The
+// pool is safe for concurrent joins: the shared free lists are mutex-guarded,
+// and every lease additionally keeps its own free lists so that intra-join
+// reuse (for example, per-partition hash tables in the radix join) bypasses
+// the shared lock.
+//
+// All methods are nil-safe on both *Pool and *Lease: a nil receiver degrades
+// to plain make(), so call sites thread a lease unconditionally and the pool
+// remains strictly opt-in.
+package memory
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// DefaultLimitBytes is the default cap on bytes parked in a pool's free
+// lists: 512 MiB, enough to keep the working set of repeated joins over
+// multi-hundred-MB inputs fully pooled while bounding the memory a bursty
+// workload can strand.
+const DefaultLimitBytes = 512 << 20
+
+const (
+	tupleSize = 16 // unsafe.Sizeof(relation.Tuple{})
+	intSize   = 8
+	int32Size = 4
+)
+
+// Pool is a size-classed scratch-buffer pool shared by all joins of one
+// Engine. The zero value is not usable; create pools with NewPool. A nil
+// *Pool is valid and disables pooling.
+type Pool struct {
+	mu     sync.Mutex
+	limit  int64
+	held   int64 // bytes currently parked in free lists
+	tuples [classCount][][]relation.Tuple
+	ints   [classCount][][]int
+	int32s [classCount][][]int32
+	stats  PoolStats
+}
+
+// classCount covers size classes up to 2^62 elements; class c holds buffers
+// with capacity exactly 2^c.
+const classCount = 63
+
+// PoolStats are cumulative counters of a pool's behaviour.
+type PoolStats struct {
+	// Gets is the number of buffer requests served (across all leases).
+	Gets uint64
+	// Hits is how many requests were served from a free list.
+	Hits uint64
+	// Misses is how many requests had to allocate fresh memory.
+	Misses uint64
+	// Discards is how many released buffers were dropped because the pool
+	// limit was reached.
+	Discards uint64
+	// HeldBytes is the number of bytes currently parked in free lists.
+	HeldBytes int64
+	// PeakHeldBytes is the high-water mark of HeldBytes.
+	PeakHeldBytes int64
+}
+
+// NewPool creates a scratch pool whose free lists hold at most limitBytes
+// bytes; limitBytes <= 0 selects DefaultLimitBytes.
+func NewPool(limitBytes int64) *Pool {
+	if limitBytes <= 0 {
+		limitBytes = DefaultLimitBytes
+	}
+	return &Pool{limit: limitBytes}
+}
+
+// Acquire checks out a lease for one join execution. A nil pool returns a nil
+// lease, whose methods degrade to plain allocation.
+func (p *Pool) Acquire() *Lease {
+	if p == nil {
+		return nil
+	}
+	return &Lease{pool: p}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.HeldBytes = p.held
+	return s
+}
+
+// sizeClass returns the class index for a requested element count: the
+// smallest power of two >= n. n must be > 0.
+func sizeClass(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// LeaseStats summarize the scratch traffic of one join execution; the join's
+// Result reports them.
+type LeaseStats struct {
+	// Buffers is the number of scratch buffers the join requested.
+	Buffers int
+	// Reused is how many of those were served from pool or lease free lists
+	// rather than freshly allocated.
+	Reused int
+	// Bytes is the total capacity handed out, in bytes.
+	Bytes int64
+}
+
+// Lease is one join execution's checkout of scratch buffers. All Get methods
+// may be called concurrently from the join's workers; Release must be called
+// exactly once, after the join's final barrier, and returns every buffer to
+// the pool at once. A nil *Lease is valid and allocates plainly.
+type Lease struct {
+	pool *Pool
+	mu   sync.Mutex
+	// all tracks every buffer checked out from the pool or freshly
+	// allocated, for bulk return on Release.
+	allTuples [][]relation.Tuple
+	allInts   [][]int
+	allInt32s [][]int32
+	// free lists hold buffers handed back early via Put* for intra-join
+	// reuse; the buffers remain tracked in the all lists.
+	freeTuples [classCount][][]relation.Tuple
+	freeInts   [classCount][][]int
+	freeInt32s [classCount][][]int32
+	stats      LeaseStats
+}
+
+// Stats returns the lease's traffic counters. Safe on a nil lease (all
+// zeros).
+func (l *Lease) Stats() LeaseStats {
+	if l == nil {
+		return LeaseStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Tuples returns a tuple buffer of length n. The contents are unspecified —
+// callers must fully overwrite the buffer (run copies, scatters and hash
+// inserts all do).
+func (l *Lease) Tuples(n int) []relation.Tuple {
+	if l == nil {
+		return make([]relation.Tuple, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	l.mu.Lock()
+	if list := l.freeTuples[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		l.freeTuples[c] = list[:len(list)-1]
+		l.note(c, tupleSize, true)
+		l.mu.Unlock()
+		return buf[:n]
+	}
+	buf, hit := l.pool.getTuples(c)
+	if !hit {
+		buf = make([]relation.Tuple, 1<<c)
+	}
+	l.allTuples = append(l.allTuples, buf)
+	l.note(c, tupleSize, hit)
+	l.mu.Unlock()
+	return buf[:n]
+}
+
+// Ints returns a zeroed int buffer of length n, ready for use as a histogram
+// or cursor array.
+func (l *Lease) Ints(n int) []int {
+	if l == nil {
+		return make([]int, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	l.mu.Lock()
+	var buf []int
+	hit := true
+	if list := l.freeInts[c]; len(list) > 0 {
+		buf = list[len(list)-1]
+		l.freeInts[c] = list[:len(list)-1]
+	} else {
+		buf, hit = l.pool.getInts(c)
+		if !hit {
+			buf = make([]int, 1<<c)
+		}
+		l.allInts = append(l.allInts, buf)
+	}
+	l.note(c, intSize, hit)
+	l.mu.Unlock()
+	buf = buf[:n]
+	if hit {
+		clear(buf)
+	}
+	return buf
+}
+
+// Int32s returns an int32 buffer of length n. The contents are unspecified —
+// callers initialize hash-slot arrays to their empty marker anyway.
+func (l *Lease) Int32s(n int) []int32 {
+	if l == nil {
+		return make([]int32, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if list := l.freeInt32s[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		l.freeInt32s[c] = list[:len(list)-1]
+		l.note(c, int32Size, true)
+		return buf[:n]
+	}
+	buf, hit := l.pool.getInt32s(c)
+	if !hit {
+		buf = make([]int32, 1<<c)
+	}
+	l.allInt32s = append(l.allInt32s, buf)
+	l.note(c, int32Size, hit)
+	return buf[:n]
+}
+
+// note updates the lease counters; the caller holds l.mu.
+func (l *Lease) note(class int, elemSize int64, reused bool) {
+	l.stats.Buffers++
+	if reused {
+		l.stats.Reused++
+	}
+	l.stats.Bytes += (int64(1) << class) * elemSize
+}
+
+// PutTuples hands a buffer obtained from Tuples back to the lease for reuse
+// within the same join (the buffer is still returned to the pool on Release).
+// No-op on a nil lease or nil buffer.
+func (l *Lease) PutTuples(buf []relation.Tuple) {
+	if l == nil || cap(buf) == 0 {
+		return
+	}
+	c := exactClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	l.mu.Lock()
+	l.freeTuples[c] = append(l.freeTuples[c], buf[:cap(buf)])
+	l.mu.Unlock()
+}
+
+// PutInts is PutTuples for int buffers.
+func (l *Lease) PutInts(buf []int) {
+	if l == nil || cap(buf) == 0 {
+		return
+	}
+	c := exactClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	l.mu.Lock()
+	l.freeInts[c] = append(l.freeInts[c], buf[:cap(buf)])
+	l.mu.Unlock()
+}
+
+// PutInt32s is PutTuples for int32 buffers.
+func (l *Lease) PutInt32s(buf []int32) {
+	if l == nil || cap(buf) == 0 {
+		return
+	}
+	c := exactClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	l.mu.Lock()
+	l.freeInt32s[c] = append(l.freeInt32s[c], buf[:cap(buf)])
+	l.mu.Unlock()
+}
+
+// exactClass returns the size class of a capacity that must be a power of two
+// (as all pool buffers are), or -1 for foreign buffers, which are silently
+// dropped rather than poisoning a class with an undersized buffer.
+func exactClass(capacity int) int {
+	if capacity&(capacity-1) != 0 {
+		return -1
+	}
+	return bits.Len(uint(capacity)) - 1
+}
+
+// Release returns every buffer of the lease to the pool, subject to the
+// pool's byte limit. It must only be called after all workers of the join
+// have passed their final barrier; the buffers' contents become invalid. Safe
+// on a nil lease.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	tuples, ints, int32s := l.allTuples, l.allInts, l.allInt32s
+	l.allTuples, l.allInts, l.allInt32s = nil, nil, nil
+	for c := range l.freeTuples {
+		l.freeTuples[c], l.freeInts[c], l.freeInt32s[c] = nil, nil, nil
+	}
+	l.mu.Unlock()
+	l.pool.put(tuples, ints, int32s)
+}
+
+// getTuples pops a tuple buffer of the class from the shared free list.
+func (p *Pool) getTuples(c int) ([]relation.Tuple, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Gets++
+	if list := p.tuples[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		p.tuples[c] = list[:len(list)-1]
+		p.held -= int64(cap(buf)) * tupleSize
+		p.stats.Hits++
+		return buf, true
+	}
+	p.stats.Misses++
+	return nil, false
+}
+
+// getInts pops an int buffer of the class from the shared free list.
+func (p *Pool) getInts(c int) ([]int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Gets++
+	if list := p.ints[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		p.ints[c] = list[:len(list)-1]
+		p.held -= int64(cap(buf)) * intSize
+		p.stats.Hits++
+		return buf, true
+	}
+	p.stats.Misses++
+	return nil, false
+}
+
+// getInt32s pops an int32 buffer of the class from the shared free list.
+func (p *Pool) getInt32s(c int) ([]int32, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Gets++
+	if list := p.int32s[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		p.int32s[c] = list[:len(list)-1]
+		p.held -= int64(cap(buf)) * int32Size
+		p.stats.Hits++
+		return buf, true
+	}
+	p.stats.Misses++
+	return nil, false
+}
+
+// put returns a batch of buffers to the free lists, dropping buffers beyond
+// the byte limit so the garbage collector reclaims them.
+func (p *Pool) put(tuples [][]relation.Tuple, ints [][]int, int32s [][]int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, buf := range tuples {
+		size := int64(cap(buf)) * tupleSize
+		if p.held+size > p.limit {
+			p.stats.Discards++
+			continue
+		}
+		c := exactClass(cap(buf))
+		p.tuples[c] = append(p.tuples[c], buf[:cap(buf)])
+		p.held += size
+	}
+	for _, buf := range ints {
+		size := int64(cap(buf)) * intSize
+		if p.held+size > p.limit {
+			p.stats.Discards++
+			continue
+		}
+		c := exactClass(cap(buf))
+		p.ints[c] = append(p.ints[c], buf[:cap(buf)])
+		p.held += size
+	}
+	for _, buf := range int32s {
+		size := int64(cap(buf)) * int32Size
+		if p.held+size > p.limit {
+			p.stats.Discards++
+			continue
+		}
+		c := exactClass(cap(buf))
+		p.int32s[c] = append(p.int32s[c], buf[:cap(buf)])
+		p.held += size
+	}
+	if p.held > p.stats.PeakHeldBytes {
+		p.stats.PeakHeldBytes = p.held
+	}
+}

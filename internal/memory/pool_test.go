@@ -1,0 +1,192 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestNilPoolAndLeaseDegradeToMake(t *testing.T) {
+	var p *Pool
+	l := p.Acquire()
+	if l != nil {
+		t.Fatalf("nil pool must yield nil lease, got %v", l)
+	}
+	if got := l.Tuples(5); len(got) != 5 {
+		t.Fatalf("nil lease Tuples(5) len = %d", len(got))
+	}
+	ints := l.Ints(7)
+	if len(ints) != 7 {
+		t.Fatalf("nil lease Ints(7) len = %d", len(ints))
+	}
+	for i, v := range ints {
+		if v != 0 {
+			t.Fatalf("Ints not zeroed at %d: %d", i, v)
+		}
+	}
+	if got := l.Int32s(3); len(got) != 3 {
+		t.Fatalf("nil lease Int32s(3) len = %d", len(got))
+	}
+	l.PutTuples(nil)
+	l.Release() // must not panic
+	if s := l.Stats(); s != (LeaseStats{}) {
+		t.Fatalf("nil lease stats = %+v", s)
+	}
+	if s := p.Stats(); s != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", s)
+	}
+}
+
+func TestPoolReuseAcrossLeases(t *testing.T) {
+	p := NewPool(1 << 20)
+
+	l1 := p.Acquire()
+	buf := l1.Tuples(1000)
+	if len(buf) != 1000 || cap(buf) != 1024 {
+		t.Fatalf("len=%d cap=%d, want 1000/1024", len(buf), cap(buf))
+	}
+	buf[0] = relation.Tuple{Key: 9, Payload: 9}
+	ints := l1.Ints(100)
+	ints[0] = 42
+	l1.Release()
+
+	s := p.Stats()
+	if s.HeldBytes == 0 {
+		t.Fatalf("pool held nothing after release: %+v", s)
+	}
+
+	l2 := p.Acquire()
+	buf2 := l2.Tuples(900) // same class (1024)
+	if cap(buf2) != 1024 {
+		t.Fatalf("reused cap = %d", cap(buf2))
+	}
+	ints2 := l2.Ints(100)
+	for i, v := range ints2 {
+		if v != 0 {
+			t.Fatalf("reused Ints not zeroed at %d: %d", i, v)
+		}
+	}
+	ls := l2.Stats()
+	if ls.Buffers != 2 || ls.Reused != 2 {
+		t.Fatalf("lease stats = %+v, want 2 buffers, 2 reused", ls)
+	}
+	l2.Release()
+
+	s = p.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("pool stats = %+v, want 2 hits / 2 misses", s)
+	}
+}
+
+func TestLeaseIntraJoinReuse(t *testing.T) {
+	p := NewPool(0)
+	l := p.Acquire()
+	a := l.Int32s(64)
+	l.PutInt32s(a)
+	b := l.Int32s(60) // same class: must come back from the lease free list
+	if &a[0] != &b[0] {
+		t.Fatal("PutInt32s buffer was not reused by the same lease")
+	}
+	tb := l.Tuples(32)
+	l.PutTuples(tb)
+	tb2 := l.Tuples(32)
+	if &tb[0] != &tb2[0] {
+		t.Fatal("PutTuples buffer was not reused by the same lease")
+	}
+	ib := l.Ints(16)
+	ib[3] = 5
+	l.PutInts(ib)
+	ib2 := l.Ints(16)
+	if &ib[0] != &ib2[0] {
+		t.Fatal("PutInts buffer was not reused by the same lease")
+	}
+	if ib2[3] != 0 {
+		t.Fatal("reused Ints buffer not re-zeroed")
+	}
+	l.Release()
+	if s := p.Stats(); s.Gets != 3 {
+		t.Fatalf("pool Gets = %d, want 3 (intra-lease reuse must bypass the pool)", s.Gets)
+	}
+}
+
+func TestPoolLimitDiscards(t *testing.T) {
+	p := NewPool(1024) // 1 KiB: fits one 64-tuple buffer, not two
+	l := p.Acquire()
+	a := l.Tuples(64) // 1024 bytes
+	b := l.Tuples(64)
+	_, _ = a, b
+	l.Release()
+	s := p.Stats()
+	if s.Discards != 1 {
+		t.Fatalf("discards = %d, want 1 (limit 1024, two 1024-byte buffers)", s.Discards)
+	}
+	if s.HeldBytes > 1024 {
+		t.Fatalf("held %d bytes exceeds the 1024 limit", s.HeldBytes)
+	}
+}
+
+func TestConcurrentLeases(t *testing.T) {
+	p := NewPool(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l := p.Acquire()
+				var inner sync.WaitGroup
+				for w := 0; w < 4; w++ {
+					inner.Add(1)
+					go func(w int) {
+						defer inner.Done()
+						buf := l.Tuples(256 + w)
+						for j := range buf {
+							buf[j] = relation.Tuple{Key: uint64(g), Payload: uint64(w)}
+						}
+						ints := l.Ints(100)
+						ints[0] = g
+						l.PutInts(ints)
+					}(w)
+				}
+				inner.Wait()
+				l.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Gets == 0 || s.Hits == 0 {
+		t.Fatalf("expected pooled traffic, got %+v", s)
+	}
+}
+
+func TestSizeClassEdges(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := sizeClass(n); got != want {
+			t.Errorf("sizeClass(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := exactClass(1024); got != 10 {
+		t.Errorf("exactClass(1024) = %d", got)
+	}
+	if got := exactClass(1000); got != -1 {
+		t.Errorf("exactClass(1000) = %d, want -1 for non-power-of-two", got)
+	}
+}
+
+func TestZeroLengthRequests(t *testing.T) {
+	p := NewPool(0)
+	l := p.Acquire()
+	if got := l.Tuples(0); got != nil {
+		t.Fatalf("Tuples(0) = %v, want nil", got)
+	}
+	if got := l.Ints(0); got != nil {
+		t.Fatalf("Ints(0) = %v, want nil", got)
+	}
+	if got := l.Int32s(0); got != nil {
+		t.Fatalf("Int32s(0) = %v, want nil", got)
+	}
+	l.Release()
+}

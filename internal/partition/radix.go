@@ -87,7 +87,16 @@ type Histogram []int
 // cluster of cfg. The scan is branch-free in the sense of the paper: the
 // cluster index is computed with a shift, not with key comparisons.
 func BuildHistogram(tuples []relation.Tuple, cfg RadixConfig) Histogram {
-	h := make(Histogram, cfg.Clusters())
+	return BuildHistogramInto(make(Histogram, cfg.Clusters()), tuples, cfg)
+}
+
+// BuildHistogramInto is BuildHistogram counting into a caller-provided
+// (typically pool-leased) histogram, which must be zeroed and of length
+// cfg.Clusters().
+func BuildHistogramInto(h Histogram, tuples []relation.Tuple, cfg RadixConfig) Histogram {
+	if len(h) != cfg.Clusters() {
+		panic(fmt.Sprintf("partition: histogram length %d does not match %d clusters", len(h), cfg.Clusters()))
+	}
 	for _, t := range tuples {
 		h[cfg.Cluster(t.Key)]++
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/memory"
 	"repro/internal/numa"
 )
 
@@ -68,6 +69,11 @@ type Result struct {
 	// during the join phase, summed over workers. It exposes the |S| vs
 	// |S|/T complexity difference between B-MPSM and P-MPSM.
 	PublicScanned int
+
+	// Scratch reports the join's scratch-pool traffic (buffers requested,
+	// buffers served from the pool, bytes handed out); all zeros when the
+	// engine ran without a scratch pool.
+	Scratch memory.LeaseStats
 
 	// NUMA aggregates the simulated NUMA access statistics of all workers.
 	NUMA numa.AccessStats

@@ -21,6 +21,14 @@ const maxInterpolationSteps = 64
 // search; tiny intervals are faster to scan than to keep interpolating.
 const linearCutoff = 8
 
+// maxExactSpan is the largest key span float64 interpolation can handle
+// without precision loss: above 2^53 the uint64→float64 conversions round,
+// the rule of proportion degrades to noise (in the worst case computing a mid
+// outside [lo+1, hi-1) that only the clamps rescue), and each iteration may
+// shrink the interval by as little as one element. Spans that wide fall back
+// to binary search immediately.
+const maxExactSpan = uint64(1) << 53
+
 // LowerBound returns the index of the first tuple in the sorted run whose key
 // is >= probe. If every key is smaller than probe it returns len(run). The run
 // must be sorted by ascending key.
@@ -38,7 +46,7 @@ func LowerBound(run []relation.Tuple, probe uint64) int {
 			return hi
 		}
 		steps++
-		if steps > maxInterpolationSteps || hiKey == loKey {
+		if steps > maxInterpolationSteps || hiKey == loKey || hiKey-loKey >= maxExactSpan {
 			return binaryLowerBound(run, lo, hi, probe)
 		}
 		// Rule of proportion: the most probable position of probe within

@@ -166,3 +166,65 @@ func TestBinaryLowerBoundDirect(t *testing.T) {
 		}
 	}
 }
+
+func TestLowerBoundGiantKeySpans(t *testing.T) {
+	// Regression for the 2^53 float64 precision guard: key spans wider than
+	// float64's integer-exact range used to degrade interpolation — the
+	// uint64→float64 conversions round, the computed mid can land outside
+	// [lo+1, hi-1) (only the clamps kept it legal), and convergence could
+	// stall to one element per iteration. Keys hug both ends of the uint64
+	// domain so every interval the search visits has a giant span.
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]uint64, 0, 4096)
+	const maxU64 = ^uint64(0)
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, rng.Uint64()%(1<<20))              // near 0
+		keys = append(keys, maxU64-rng.Uint64()%(1<<20))       // near 2^64
+		keys = append(keys, maxU64/2+rng.Uint64()%(1<<20)-512) // straddling 2^63
+	}
+	keys = append(keys, 0, 1, maxU64, maxU64-1, maxU64-2, uint64(1)<<53, uint64(1)<<53+1)
+	run := sortedRun(keys)
+
+	probes := []uint64{0, 1, 2, maxU64, maxU64 - 1, maxU64 / 2, uint64(1) << 53, uint64(1)<<53 - 1, uint64(1)<<53 + 1}
+	for i := 0; i < 2000; i++ {
+		probes = append(probes, rng.Uint64())
+		probes = append(probes, maxU64-rng.Uint64()%(1<<21))
+		probes = append(probes, rng.Uint64()%(1<<21))
+	}
+	for _, probe := range probes {
+		if got, want := LowerBound(run, probe), referenceLowerBound(run, probe); got != want {
+			t.Fatalf("LowerBound(probe=%d) = %d, want %d", probe, got, want)
+		}
+	}
+	for _, probe := range probes {
+		if probe == maxU64 {
+			continue
+		}
+		if got, want := UpperBound(run, probe), referenceLowerBound(run, probe+1); got != want {
+			t.Fatalf("UpperBound(probe=%d) = %d, want %d", probe, got, want)
+		}
+	}
+}
+
+func TestLowerBoundSpanGuardConverges(t *testing.T) {
+	// Two far-apart keys with everything in between empty: the first
+	// interval spans nearly the whole uint64 domain, which must route to
+	// binary search rather than interpolate on rounded floats.
+	keys := make([]uint64, 64)
+	for i := range keys {
+		if i < 32 {
+			keys[i] = uint64(i)
+		} else {
+			keys[i] = ^uint64(0) - uint64(63-i)
+		}
+	}
+	run := sortedRun(keys)
+	for probe := uint64(0); probe < 64; probe++ {
+		if got, want := LowerBound(run, probe), referenceLowerBound(run, probe); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", probe, got, want)
+		}
+	}
+	if got, want := LowerBound(run, uint64(1)<<40), 32; got != want {
+		t.Fatalf("LowerBound(2^40) = %d, want %d", got, want)
+	}
+}

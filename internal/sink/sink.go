@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
 )
@@ -55,11 +56,24 @@ type Bound struct {
 	writers []*countingWriter
 }
 
+// Scratcher is implemented by sinks that can draw their per-worker buffers
+// from the join's scratch lease (see internal/memory). Bind calls SetScratch
+// before Open on every execution — with the join's lease when the engine runs
+// with a scratch pool, and with nil otherwise — so a reused sink never holds
+// on to a stale lease.
+type Scratcher interface {
+	SetScratch(lease *memory.Lease)
+}
+
 // Bind opens the sink for a join with the given worker count. A nil sink
-// selects a fresh MaxSum aggregate.
-func Bind(s Sink, workers int) *Bound {
+// selects a fresh MaxSum aggregate. A non-nil lease is offered to sinks
+// implementing Scratcher; pass nil when the join runs without a scratch pool.
+func Bind(s Sink, workers int, lease *memory.Lease) *Bound {
 	if s == nil {
 		s = NewMaxSum()
+	}
+	if sc, ok := s.(Scratcher); ok {
+		sc.SetScratch(lease)
 	}
 	s.Open(workers)
 	b := &Bound{sink: s, writers: make([]*countingWriter, workers)}
@@ -176,8 +190,17 @@ func (c *Count) Total() uint64 { return c.total }
 
 // Materialize collects every joined pair. Workers buffer locally; Close
 // concatenates the buffers in worker order, so the result is deterministic
-// for a fixed input and worker count.
+// for a fixed input and worker count under Static scheduling. Under the
+// Morsel scheduler the pair-to-worker assignment depends on steal timing:
+// the multiset of pairs is still deterministic, their order is not — callers
+// comparing results across runs should sort first.
+//
+// Materialize implements Scratcher: when the join runs with a scratch pool,
+// the per-worker buffers are leased tuple arrays (two tuples per pair) that
+// return to the pool when the join finishes; only the final Pairs slice —
+// which the caller keeps — is freshly allocated.
 type Materialize struct {
+	lease *memory.Lease
 	parts []*pairBuffer
 	pairs []Pair
 }
@@ -185,11 +208,14 @@ type Materialize struct {
 // NewMaterialize returns a materializing sink.
 func NewMaterialize() *Materialize { return &Materialize{} }
 
+// SetScratch implements Scratcher.
+func (m *Materialize) SetScratch(lease *memory.Lease) { m.lease = lease }
+
 // Open implements Sink.
 func (m *Materialize) Open(workers int) {
 	m.parts = make([]*pairBuffer, workers)
 	for w := range m.parts {
-		m.parts[w] = &pairBuffer{}
+		m.parts[w] = &pairBuffer{lease: m.lease}
 	}
 	m.pairs = nil
 }
@@ -201,11 +227,12 @@ func (m *Materialize) Writer(w int) mergejoin.Consumer { return m.parts[w] }
 func (m *Materialize) Close() error {
 	total := 0
 	for _, p := range m.parts {
-		total += len(p.pairs)
+		total += p.len()
 	}
 	m.pairs = make([]Pair, 0, total)
 	for _, p := range m.parts {
-		m.pairs = append(m.pairs, p.pairs...)
+		m.pairs = p.appendTo(m.pairs)
+		p.release()
 	}
 	return nil
 }
@@ -224,14 +251,63 @@ func (m *Materialize) Relation(name string) *relation.Relation {
 	return relation.New(name, tuples)
 }
 
-// pairBuffer is one worker's materialization buffer.
+// pairBuffer is one worker's materialization buffer. Without a lease it is a
+// plain growing pair slice; with a lease it stores pairs as two consecutive
+// tuples in leased buffers, growing by doubling and handing outgrown buffers
+// straight back for intra-join reuse.
 type pairBuffer struct {
-	pairs []Pair
+	lease *memory.Lease
+	pairs []Pair           // plain mode
+	buf   []relation.Tuple // leased mode: r at 2i, s at 2i+1
+	n     int              // leased mode: tuples used in buf
 }
+
+// initialPairBufferTuples sizes the first leased buffer (2048 tuples =
+// 32 KiB); joins emitting fewer than 1024 pairs per worker never regrow.
+const initialPairBufferTuples = 2048
 
 // Consume implements mergejoin.Consumer.
 func (b *pairBuffer) Consume(r, s relation.Tuple) {
-	b.pairs = append(b.pairs, Pair{R: r, S: s})
+	if b.lease == nil {
+		b.pairs = append(b.pairs, Pair{R: r, S: s})
+		return
+	}
+	if b.n+2 > len(b.buf) {
+		grown := b.lease.Tuples(max(initialPairBufferTuples, 2*len(b.buf)))
+		copy(grown, b.buf[:b.n])
+		b.lease.PutTuples(b.buf)
+		b.buf = grown
+	}
+	b.buf[b.n] = r
+	b.buf[b.n+1] = s
+	b.n += 2
+}
+
+// len returns the number of buffered pairs.
+func (b *pairBuffer) len() int {
+	if b.lease == nil {
+		return len(b.pairs)
+	}
+	return b.n / 2
+}
+
+// appendTo appends the buffered pairs to dst in emission order.
+func (b *pairBuffer) appendTo(dst []Pair) []Pair {
+	if b.lease == nil {
+		return append(dst, b.pairs...)
+	}
+	for i := 0; i < b.n; i += 2 {
+		dst = append(dst, Pair{R: b.buf[i], S: b.buf[i+1]})
+	}
+	return dst
+}
+
+// release hands the leased buffer back for reuse.
+func (b *pairBuffer) release() {
+	if b.lease != nil && b.buf != nil {
+		b.lease.PutTuples(b.buf)
+		b.buf, b.n = nil, 0
+	}
 }
 
 // TopK keeps the k joined pairs with the largest payload sum, generalizing

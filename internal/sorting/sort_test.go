@@ -132,40 +132,45 @@ func TestSortPreservesPayloadAssociation(t *testing.T) {
 	}
 }
 
-func TestRadixPartitionBounds(t *testing.T) {
-	work := makeTuples(4096, 3, 1<<32)
-	shift := radixShift(work)
-	bounds := radixPartition(work, shift)
-	if bounds[0] != 0 || bounds[radixBuckets] != len(work) {
-		t.Fatalf("bounds endpoints = %d, %d", bounds[0], bounds[radixBuckets])
-	}
-	for b := 0; b < radixBuckets; b++ {
-		if bounds[b] > bounds[b+1] {
-			t.Fatalf("bounds not monotone at %d", b)
+func TestMSDRadixLevelPartitions(t *testing.T) {
+	// After one msdRadixSort level the whole slice must be totally sorted
+	// (the recursion finishes the buckets), and the top-digit buckets must
+	// appear in ascending digit order.
+	work := makeTuples(16384, 3, 1<<32)
+	original := append([]relation.Tuple(nil), work...)
+	shift := topShift(maxKeyOf(work))
+	msdRadixSort(work, shift)
+	checkSorted(t, "msdRadixSort", original, work)
+	prev := -1
+	for _, tup := range work {
+		digit := int(tup.Key>>shift) & radixMask
+		if digit < prev {
+			t.Fatalf("top digit %d after %d: buckets out of order", digit, prev)
 		}
-		for _, tup := range work[bounds[b]:bounds[b+1]] {
-			if got := bucketOf(tup.Key, shift); got != b {
-				t.Fatalf("tuple with key %d in bucket %d, want %d", tup.Key, b, got)
-			}
-		}
+		prev = digit
 	}
 }
 
-func TestRadixShift(t *testing.T) {
+func TestTopShift(t *testing.T) {
+	// The shift is byte aligned: the most significant occupied 8-bit digit
+	// selects the first radix level, and every lower level is shift-8.
 	cases := []struct {
 		maxKey uint64
-		want   uint
+		want   int
 	}{
 		{0, 0},
 		{255, 0},
-		{256, 1},
+		{256, 8},
+		{1<<16 - 1, 8},
+		{1 << 16, 16},
 		{1<<32 - 1, 24},
-		{1<<63 - 1, 55},
+		{1 << 32, 32},
+		{1<<63 - 1, 56},
+		{^uint64(0), 56},
 	}
 	for _, tc := range cases {
-		tuples := []relation.Tuple{{Key: 0}, {Key: tc.maxKey}}
-		if got := radixShift(tuples); got != tc.want {
-			t.Errorf("radixShift(max=%d) = %d, want %d", tc.maxKey, got, tc.want)
+		if got := topShift(tc.maxKey); got != tc.want {
+			t.Errorf("topShift(%d) = %d, want %d", tc.maxKey, got, tc.want)
 		}
 	}
 }

@@ -56,6 +56,13 @@
 //
 //	res, err := engine.Join(ctx, r, s, mpsm.WithScheduler(mpsm.Morsel))
 //
+// A long-lived Engine serving many joins should enable the engine-wide
+// scratch pool, which reuses run, partition, histogram and hash-table
+// buffers across joins (including concurrent ones) and makes the steady
+// state essentially allocation-free:
+//
+//	engine := mpsm.New(mpsm.WithScratchPool(true), mpsm.WithPoolLimit(1<<30))
+//
 // The legacy one-shot Join and JoinWithDiskStats functions remain as thin
 // deprecated wrappers over an implicit engine.
 //
@@ -70,6 +77,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
 	"repro/internal/relation"
@@ -100,6 +108,13 @@ type Topology = numa.Topology
 
 // DiskStats reports the storage behaviour of a D-MPSM execution.
 type DiskStats = core.DiskStats
+
+// ScratchStats reports one join's scratch-pool traffic (see Result.Scratch).
+type ScratchStats = memory.LeaseStats
+
+// PoolStats reports the cumulative behaviour of an Engine's scratch pool
+// (see Engine.PoolStats).
+type PoolStats = memory.PoolStats
 
 // NewRelation wraps a tuple slice as a relation without copying.
 func NewRelation(name string, tuples []Tuple) *Relation { return relation.New(name, tuples) }

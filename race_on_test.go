@@ -1,0 +1,7 @@
+//go:build race
+
+package mpsm
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-accounting test skips itself under it.
+const raceEnabled = true

@@ -1,0 +1,243 @@
+package mpsm
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestScratchPoolParityAllAlgorithms verifies that pooling is purely an
+// allocation strategy: for every algorithm × scheduler × pool on/off cell the
+// join must produce the identical multiset of pairs (checked against the
+// pool-off static run of the same algorithm) and identical aggregates.
+func TestScratchPoolParityAllAlgorithms(t *testing.T) {
+	r := GenerateUniform("R", 3000, 501)
+	s := GenerateForeignKey("S", r, 12000, 502)
+
+	for _, alg := range allAlgorithms {
+		// Reference: pool off, static scheduling.
+		ref := NewMaterializeSink()
+		refEngine := New(WithWorkers(4), WithAlgorithm(alg))
+		refRes, err := refEngine.Join(context.Background(), r, s, WithSink(ref))
+		if err != nil {
+			t.Fatalf("%v reference join: %v", alg, err)
+		}
+		refPairs := append([]Pair(nil), ref.Pairs()...)
+		sortPairs(refPairs)
+
+		for _, pool := range []bool{false, true} {
+			for _, sched := range []Scheduler{Static, Morsel} {
+				engine := New(WithWorkers(4), WithAlgorithm(alg), WithScheduler(sched), WithScratchPool(pool))
+				for round := 0; round < 3; round++ { // round > 0 reuses pooled buffers
+					mat := NewMaterializeSink()
+					res, err := engine.Join(context.Background(), r, s, WithSink(mat))
+					if err != nil {
+						t.Fatalf("%v pool=%v sched=%v round %d: %v", alg, pool, sched, round, err)
+					}
+					if res.Matches != refRes.Matches {
+						t.Fatalf("%v pool=%v sched=%v round %d: matches %d, want %d",
+							alg, pool, sched, round, res.Matches, refRes.Matches)
+					}
+					got := append([]Pair(nil), mat.Pairs()...)
+					sortPairs(got)
+					if len(got) != len(refPairs) {
+						t.Fatalf("%v pool=%v sched=%v round %d: %d pairs, want %d",
+							alg, pool, sched, round, len(got), len(refPairs))
+					}
+					for i := range got {
+						if got[i] != refPairs[i] {
+							t.Fatalf("%v pool=%v sched=%v round %d: pair %d = %+v, want %+v",
+								alg, pool, sched, round, i, got[i], refPairs[i])
+						}
+					}
+					if pool && res.Scratch.Buffers == 0 {
+						t.Fatalf("%v pool=%v sched=%v: no scratch traffic reported", alg, pool, sched)
+					}
+					if !pool && res.Scratch.Buffers != 0 {
+						t.Fatalf("%v pool off reported scratch traffic %+v", alg, res.Scratch)
+					}
+					if pool && round > 0 && res.Scratch.Reused == 0 {
+						t.Fatalf("%v pool=%v sched=%v round %d: warm join reused no buffers (%+v)",
+							alg, pool, sched, round, res.Scratch)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchPoolDefaultSinkParity pins the default max-sum result across
+// pool settings (the aggregate path the paper's evaluation query uses).
+func TestScratchPoolDefaultSinkParity(t *testing.T) {
+	r := GenerateUniform("R", 4000, 503)
+	s := GenerateForeignKey("S", r, 16000, 504)
+	for _, alg := range allAlgorithms {
+		base, err := New(WithWorkers(4), WithAlgorithm(alg)).Join(context.Background(), r, s)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		pooled := New(WithWorkers(4), WithAlgorithm(alg), WithScratchPool(true))
+		for round := 0; round < 2; round++ {
+			res, err := pooled.Join(context.Background(), r, s)
+			if err != nil {
+				t.Fatalf("%v pooled round %d: %v", alg, round, err)
+			}
+			if res.Matches != base.Matches || res.MaxSum != base.MaxSum {
+				t.Fatalf("%v pooled round %d: (%d, %d), want (%d, %d)",
+					alg, round, res.Matches, res.MaxSum, base.Matches, base.MaxSum)
+			}
+		}
+	}
+}
+
+// TestScratchPoolConcurrentJoins hammers one pooled engine from several
+// goroutines: the pool is shared, the leases are per join, and every result
+// must stay correct.
+func TestScratchPoolConcurrentJoins(t *testing.T) {
+	r := GenerateUniform("R", 2000, 505)
+	s := GenerateForeignKey("S", r, 8000, 506)
+	engine := New(WithWorkers(2), WithScratchPool(true))
+	want, err := New(WithWorkers(2)).Join(context.Background(), r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(alg Algorithm) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := engine.Join(context.Background(), r, s, WithAlgorithm(alg))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Matches != want.Matches || res.MaxSum != want.MaxSum {
+					errs <- &parityError{alg: alg, got: res.Matches, want: want.Matches}
+					return
+				}
+			}
+		}(allAlgorithms[g%len(allAlgorithms)])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if _, ok := engine.PoolStats(); !ok {
+		t.Fatal("pooled engine reports no pool stats")
+	}
+}
+
+type parityError struct {
+	alg       Algorithm
+	got, want uint64
+}
+
+func (e *parityError) Error() string { return e.alg.String() + ": match-count parity violated" }
+
+// TestScratchPoolStreamSafety pins the documented JoinStream guarantee: the
+// stream carries tuple values, so consuming it slowly (after the join's lease
+// went back to the pool and was overwritten by another join) must still
+// observe correct pairs.
+func TestScratchPoolStreamSafety(t *testing.T) {
+	r := GenerateUniform("R", 1500, 507)
+	s := GenerateForeignKey("S", r, 6000, 508)
+	engine := New(WithWorkers(2), WithScratchPool(true))
+
+	want := nestedLoopJoin(r, s)
+	sortPairs(want)
+
+	seq, errf := engine.JoinStream(context.Background(), r, s)
+	var got []Pair
+	for rt, st := range seq {
+		got = append(got, Pair{R: rt, S: st})
+		if len(got)%500 == 0 {
+			// Interleave another pooled join so released buffers get
+			// reused and overwritten while this stream is mid-flight.
+			if _, err := engine.Join(context.Background(), r, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	sortPairs(got)
+	if len(got) != len(want) {
+		t.Fatalf("stream yielded %d pairs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// measureJoinAllocs runs fn n times and returns the average allocated bytes
+// and allocation count per run.
+func measureJoinAllocs(t *testing.T, n int, fn func()) (bytesPerOp float64, allocsPerOp float64) {
+	t.Helper()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// TestSteadyStateAllocations pins the tentpole claim: with the scratch pool
+// enabled, a warmed-up Engine.Join allocates ≤ 10% of the bytes the unpooled
+// engine allocates (in practice ~1%) — every data-sized buffer is reused, and
+// what remains is fixed per-join overhead (goroutines, phase closures, result
+// structs), which also bounds the allocation count: pooling must never make
+// it worse.
+func TestSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is distorted under the race detector")
+	}
+	r := GenerateUniform("R", 30000, 509)
+	s := GenerateForeignKey("S", r, 120000, 510)
+	ctx := context.Background()
+
+	const rounds = 5
+	join := func(e *Engine) func() {
+		return func() {
+			if _, err := e.Join(ctx, r, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	plain := New(WithWorkers(2))
+	pooled := New(WithWorkers(2), WithScratchPool(true))
+	// Warm up both engines (the pooled one populates its free lists).
+	join(plain)()
+	join(pooled)()
+	join(pooled)()
+
+	plainBytes, plainAllocs := measureJoinAllocs(t, rounds, join(plain))
+	pooledBytes, pooledAllocs := measureJoinAllocs(t, rounds, join(pooled))
+
+	t.Logf("pool off: %.0f bytes/op, %.1f allocs/op", plainBytes, plainAllocs)
+	t.Logf("pool on:  %.0f bytes/op, %.1f allocs/op", pooledBytes, pooledAllocs)
+
+	if pooledBytes > plainBytes/10 {
+		t.Fatalf("warm pooled join allocates %.0f bytes/op, want <= 10%% of unpooled %.0f",
+			pooledBytes, plainBytes)
+	}
+	// The count is dominated by fixed scheduling overhead either way; the
+	// pool trades the data-buffer allocations for lease bookkeeping and must
+	// at least break even (small tolerance for measurement jitter).
+	if pooledAllocs > plainAllocs*1.1+8 {
+		t.Fatalf("warm pooled join makes %.1f allocs/op, unpooled makes %.1f — pooling made it worse",
+			pooledAllocs, plainAllocs)
+	}
+}
