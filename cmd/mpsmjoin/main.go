@@ -11,6 +11,13 @@
 //	mpsmjoin -algorithm pmpsm -r 1000000 -multiplicity 4 -workers 8
 //	mpsmjoin -algorithm wisconsin -r 500000 -multiplicity 8 -numa
 //	mpsmjoin -algorithm dmpsm -r 200000 -page-budget 64
+//
+// With -plan the command instead runs a composable operator plan — the
+// 3-way join (R ⋈ S) ⋈ T followed by a streaming GROUP BY SUM aggregation —
+// demonstrating how key-ordered MPSM output lets joins and aggregations
+// compose without re-sorting or hash tables:
+//
+//	mpsmjoin -plan -r 500000 -multiplicity 4 -pool
 package main
 
 import (
@@ -48,6 +55,7 @@ func main() {
 		jsonOut       = flag.Bool("json", false, "print the result as machine-readable JSON instead of text")
 		usePool       = flag.Bool("pool", false, "enable the engine-wide scratch pool (allocation-free steady state)")
 		poolLimit     = flag.Int64("pool-limit", 0, "scratch pool byte limit (0 = default 512 MiB); implies nothing without -pool")
+		planMode      = flag.Bool("plan", false, "run the 3-way operator plan demo (R ⋈ S) ⋈ T + GROUP BY SUM instead of a single join")
 	)
 	flag.Parse()
 
@@ -112,6 +120,11 @@ func main() {
 	}
 	if *perWorker {
 		opts = append(opts, mpsm.WithPerWorkerStats())
+	}
+
+	if *planMode {
+		runPlanDemo(ctx, engine, r, s, *seed, scheduler, *jsonOut, opts)
+		return
 	}
 
 	var res *mpsm.Result
@@ -187,6 +200,64 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// runPlanDemo executes the composable-plan showcase: a third relation T is
+// drawn from R's keys, the plan joins (R ⋈ S) ⋈ T and aggregates SUM(payload)
+// per key — streamed straight out of the key-ordered join output, without a
+// hash table, when the algorithm is an MPSM variant.
+func runPlanDemo(ctx context.Context, engine *mpsm.Engine, r, s *mpsm.Relation, seed uint64, scheduler mpsm.Scheduler, jsonOut bool, opts []mpsm.Option) {
+	tRel := mpsm.GenerateForeignKey("T", r, r.Len(), seed+1)
+
+	plan := mpsm.NewPlan()
+	j1 := plan.Join(plan.Scan(r), plan.Scan(s))
+	j2 := plan.Join(j1, plan.Scan(tRel))
+	plan.GroupAggregate(j2, mpsm.AggSum)
+
+	res, err := engine.RunPlan(ctx, plan, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+		os.Exit(1)
+	}
+
+	if jsonOut {
+		out := struct {
+			Joins       []bench.AlgorithmTiming `json:"joins"`
+			Groups      int                     `json:"groups"`
+			TotalMillis float64                 `json:"total_millis"`
+			ScanMillis  float64                 `json:"scan_millis"`
+		}{
+			Groups:      res.Output.Len(),
+			TotalMillis: float64(res.Total.Microseconds()) / 1000.0,
+			ScanMillis:  float64(res.ScanTime.Microseconds()) / 1000.0,
+		}
+		for _, j := range res.Joins {
+			out.Joins = append(out.Joins, bench.ResultJSON(j.Result, scheduler.String()))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("plan:            (R ⋈ S) ⋈ T → GroupAggregate(sum), |T|=%d\n", tRel.Len())
+	fmt.Printf("total time:      %s (scan %s)\n", res.Total.Round(time.Microsecond), res.ScanTime.Round(time.Microsecond))
+	for i, j := range res.Joins {
+		fmt.Printf("join %d:          %s, %d matches, %s\n",
+			i+1, j.Result.Algorithm, j.Result.Matches, j.Result.Total.Round(time.Microsecond))
+		for _, p := range j.Result.Phases {
+			fmt.Printf("  %-12s %s\n", p.Name+":", p.Duration.Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("groups:          %d distinct keys\n", res.Output.Len())
+	if n := res.Output.Len(); n > 0 {
+		first, last := res.Output.Tuples[0], res.Output.Tuples[n-1]
+		fmt.Printf("first group:     key=%d sum=%d\n", first.Key, first.Payload)
+		fmt.Printf("last group:      key=%d sum=%d\n", last.Key, last.Payload)
 	}
 }
 

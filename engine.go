@@ -209,35 +209,45 @@ func (e *Engine) scratchFor(cfg settings) *memory.Pool {
 	return e.pool
 }
 
+// coreOptions projects the resolved configuration onto the join options.
+func (cfg settings) coreOptions(pool *memory.Pool) core.Options {
+	return core.Options{
+		Sink:             cfg.sink,
+		Workers:          cfg.workers,
+		Kind:             cfg.kind,
+		Band:             cfg.band,
+		HistogramBits:    cfg.histogramBits,
+		Splitters:        cfg.splitters,
+		CollectPerWorker: cfg.collectPerWorker,
+		PresortedPublic:  cfg.presortedPublic,
+		PresortedPrivate: cfg.presortedPrivate,
+		TrackNUMA:        cfg.trackNUMA,
+		Topology:         cfg.topology,
+		Scheduler:        cfg.scheduler,
+		MorselSize:       cfg.morselSize,
+		Scratch:          pool,
+	}
+}
+
+// diskOptions projects the resolved configuration onto the D-MPSM options.
+func (cfg settings) diskOptions() core.DiskOptions {
+	return core.DiskOptions{
+		PageSize:         cfg.disk.PageSize,
+		PageBudget:       cfg.disk.PageBudget,
+		PrefetchDistance: cfg.disk.PrefetchDistance,
+		ReadLatency:      cfg.disk.ReadLatency,
+		WriteLatency:     cfg.disk.WriteLatency,
+	}
+}
+
 // query assembles the exec query for one join call.
 func (cfg settings) query(r, s *Relation, pool *memory.Pool) exec.Query {
 	return exec.Query{
-		R:         r,
-		S:         s,
-		Algorithm: cfg.algorithm,
-		JoinOptions: core.Options{
-			Sink:             cfg.sink,
-			Workers:          cfg.workers,
-			Kind:             cfg.kind,
-			Band:             cfg.band,
-			HistogramBits:    cfg.histogramBits,
-			Splitters:        cfg.splitters,
-			CollectPerWorker: cfg.collectPerWorker,
-			PresortedPublic:  cfg.presortedPublic,
-			PresortedPrivate: cfg.presortedPrivate,
-			TrackNUMA:        cfg.trackNUMA,
-			Topology:         cfg.topology,
-			Scheduler:        cfg.scheduler,
-			MorselSize:       cfg.morselSize,
-			Scratch:          pool,
-		},
-		DiskOptions: core.DiskOptions{
-			PageSize:         cfg.disk.PageSize,
-			PageBudget:       cfg.disk.PageBudget,
-			PrefetchDistance: cfg.disk.PrefetchDistance,
-			ReadLatency:      cfg.disk.ReadLatency,
-			WriteLatency:     cfg.disk.WriteLatency,
-		},
+		R:           r,
+		S:           s,
+		Algorithm:   cfg.algorithm,
+		JoinOptions: cfg.coreOptions(pool),
+		DiskOptions: cfg.diskOptions(),
 	}
 }
 

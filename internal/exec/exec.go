@@ -1,14 +1,28 @@
-// Package exec provides the query-execution pipeline around the join
-// algorithms. A query runs as four composable steps — scan, filter, join,
-// sink — mirroring the evaluation setup of the paper (Section 5.1): both
-// relations are scanned, a selection is applied, the surviving tuples are
-// joined, and the joined pairs stream into a result sink (by default the
-// paper's max(R.payload + S.payload) aggregate, so that all payload data
-// flows through the join while only a single output tuple is produced).
+// Package exec provides the query-execution layer around the join
+// algorithms: a push-based plan of composable operators — Scan (relation +
+// predicate), Join (any of the five algorithms), Project/Map,
+// GroupAggregate, and a terminal Sink — validated and executed as a DAG.
 //
-// exec is also the dispatch layer of the public Engine API: it maps an
-// Algorithm onto the core and hashjoin implementations, threading the
-// caller's context and sink through every one of them.
+// The structural property that makes sort-merge plans compose is the one the
+// MPSM paper's join phase rests on: every worker merges its sorted private
+// run against sorted public runs, so a join's output stream arrives as
+// key-ordered segments. Operators exploit this where it matters — a
+// GroupAggregate directly above an MPSM join runs as a streaming, merge-based
+// aggregation (fold consecutive equal keys, seal a sorted segment whenever
+// the order restarts, k-way merge the segments at the end) and never builds a
+// hash table. A join feeding another join materializes its projected output
+// as an intermediate relation through the scratch pool, so deep plans stay
+// allocation-free in steady state.
+//
+// The classic pipeline
+//
+//	scan(R), scan(S) → filter → join → sink
+//
+// of the paper's evaluation setup (Section 5.1) is just the one-join plan;
+// Run builds exactly that plan. exec is also the dispatch layer of the public
+// Engine API: Join maps an Algorithm onto the core and hashjoin
+// implementations, threading the caller's context and sink through every one
+// of them.
 package exec
 
 import (
@@ -19,7 +33,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hashjoin"
-	"repro/internal/mergejoin"
 	"repro/internal/relation"
 	"repro/internal/result"
 )
@@ -85,6 +98,12 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 
 // Predicate is a tuple-level selection predicate. A nil Predicate keeps every
 // tuple.
+//
+// Predicates must be pure functions of the tuple: the scan evaluates them
+// concurrently from several workers and may evaluate them more than once per
+// tuple (the filter counts survivors before copying them, so that the output
+// is exactly sized). A stateful predicate yields an unspecified selection —
+// never memory corruption, but not a meaningful result either.
 type Predicate func(relation.Tuple) bool
 
 // Query describes one execution of the pipeline
@@ -132,38 +151,27 @@ type QueryResult struct {
 	DiskStats *core.DiskStats
 }
 
-// validate rejects unsupported algorithm/kind/band combinations.
+// validate rejects queries with missing inputs or unsupported
+// algorithm/kind/band combinations.
 func (q Query) validate() error {
 	if q.R == nil || q.S == nil {
 		return fmt.Errorf("exec: query requires both inputs, got R=%v S=%v", q.R, q.S)
 	}
-	if !q.JoinOptions.Kind.Valid() {
-		return fmt.Errorf("exec: unknown join kind %d", int(q.JoinOptions.Kind))
+	if err := validateJoin(q.Algorithm, q.JoinOptions); err != nil {
+		return fmt.Errorf("exec: %w", err)
 	}
-	if q.JoinOptions.Kind != mergejoin.Inner &&
-		q.Algorithm != AlgorithmPMPSM && q.Algorithm != AlgorithmBMPSM {
-		return fmt.Errorf("exec: join kind %v is only supported by the B-MPSM and P-MPSM algorithms, not %v",
-			q.JoinOptions.Kind, q.Algorithm)
-	}
-	if q.JoinOptions.Band > 0 {
-		if q.JoinOptions.Kind != mergejoin.Inner {
-			return fmt.Errorf("exec: band joins require an inner join kind, got %v", q.JoinOptions.Kind)
-		}
-		if q.Algorithm != AlgorithmPMPSM && q.Algorithm != AlgorithmBMPSM {
-			return fmt.Errorf("exec: band joins are only supported by the B-MPSM and P-MPSM algorithms, not %v", q.Algorithm)
-		}
-	}
-	switch q.Algorithm {
-	case AlgorithmPMPSM, AlgorithmBMPSM, AlgorithmDMPSM, AlgorithmWisconsin, AlgorithmRadix:
-		return nil
-	default:
-		return fmt.Errorf("exec: unknown algorithm %v", q.Algorithm)
-	}
+	return nil
 }
 
-// Run executes the query pipeline: scan+filter both inputs, run the selected
-// join with the caller's context and sink, and collect the result. A canceled
-// context aborts the execution and returns ctx.Err().
+// Run executes the classic query pipeline — scan+filter both inputs, run the
+// selected join with the caller's context and sink, collect the result — as
+// the one-join plan
+//
+//	Scan(R) ─┐
+//	         Join ─ Sink
+//	Scan(S) ─┘
+//
+// A canceled context aborts the execution and returns ctx.Err().
 func Run(ctx context.Context, q Query) (*QueryResult, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
@@ -171,33 +179,26 @@ func Run(ctx context.Context, q Query) (*QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	qr := &QueryResult{}
+	p := &Plan{}
+	rID := p.AddScan(q.R, q.RFilter)
+	sID := p.AddScan(q.S, q.SFilter)
+	jID := p.AddJoin(rID, sID, q.Algorithm, q.JoinOptions, q.DiskOptions)
+	p.AddSink(jID, q.JoinOptions.Sink)
 
-	// Step 1+2, scan and filter: the paper applies a selection so that
-	// neither indexes nor foreign keys can be exploited; an always-true
-	// filter degenerates to a plain scan without copying.
-	var rIn, sIn *relation.Relation
-	qr.ScanTime = result.StopwatchPhase(func() {
-		rIn = applyFilter(q.R, q.RFilter)
-		sIn = applyFilter(q.S, q.SFilter)
-	})
-	qr.RSelected = rIn.Len()
-	qr.SSelected = sIn.Len()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Step 3+4, join into the sink: the sink is threaded through the join's
-	// match loops, so results stream out while the join runs.
-	res, diskStats, err := Join(ctx, q.Algorithm, rIn, sIn, q.JoinOptions, q.DiskOptions)
+	pr, err := RunPlan(ctx, p, q.JoinOptions.Scratch)
 	if err != nil {
 		return nil, err
 	}
-	qr.Join = res
-	qr.DiskStats = diskStats
-	qr.Matches = res.Matches
-	qr.MaxSum = res.MaxSum
-	return qr, nil
+	join := pr.Joins[0]
+	return &QueryResult{
+		Join:      join.Result,
+		DiskStats: join.Disk,
+		ScanTime:  pr.ScanTime,
+		RSelected: pr.Rows[rID],
+		SSelected: pr.Rows[sID],
+		Matches:   pr.Matches,
+		MaxSum:    pr.MaxSum,
+	}, nil
 }
 
 // Join dispatches one join execution to the selected algorithm, threading the
@@ -243,21 +244,6 @@ func hashJoinOptions(opts core.Options) hashjoin.Options {
 		MorselSize: opts.MorselSize,
 		Scratch:    opts.Scratch,
 	}
-}
-
-// applyFilter returns the input unchanged for a nil predicate, and a filtered
-// copy otherwise.
-func applyFilter(rel *relation.Relation, pred Predicate) *relation.Relation {
-	if pred == nil {
-		return rel
-	}
-	out := relation.NewWithCapacity(rel.Name, rel.Len())
-	for _, t := range rel.Tuples {
-		if pred(t) {
-			out.Append(t)
-		}
-	}
-	return out
 }
 
 // KeyRangePredicate returns a predicate selecting tuples whose key lies in

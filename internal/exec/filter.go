@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/memory"
+	"repro/internal/relation"
+	"repro/internal/sched"
+)
+
+// filterParallelCutoff is the input size below which scan+filter runs
+// single-threaded: a serial pass over 16K tuples (256 KiB) is faster than
+// spinning up a worker pool for it.
+const filterParallelCutoff = 1 << 14
+
+// applyFilter returns the input unchanged for a nil predicate, and an
+// exactly-sized filtered copy otherwise, preserving input order. The copy is
+// built in two passes — count, then scatter at precomputed offsets — so a 1%
+// selection allocates 1% of the input, not its full capacity, and the output
+// buffer can come from the scratch lease (leased reports whether it did;
+// such relations are owned by the plan execution and recycled after use).
+// Large inputs run both passes as chunked parallel tasks on the shared
+// runtime; a canceled context may leave the copy incomplete, so callers must
+// check ctx before using the result.
+func applyFilter(ctx context.Context, rel *relation.Relation, pred Predicate, workers int, lease *memory.Lease) (out *relation.Relation, leased bool) {
+	if pred == nil {
+		return rel, false
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := rel.Len()
+	if n < filterParallelCutoff || workers == 1 {
+		return filterSerial(rel, pred, lease)
+	}
+
+	// Pass 1: count the surviving tuples per chunk.
+	type chunk struct{ lo, hi int }
+	var chunks []chunk
+	sched.ForEachSegment(n, 0, func(lo, hi int) {
+		chunks = append(chunks, chunk{lo, hi})
+	})
+	counts := make([]int, len(chunks))
+	rt := sched.New(sched.Config{Workers: workers})
+	tasks := make([]sched.Task, len(chunks))
+	for i, c := range chunks {
+		tasks[i] = sched.Task{Node: -1, Run: func(*sched.Worker) {
+			matched := 0
+			for _, t := range rel.Tuples[c.lo:c.hi] {
+				if pred(t) {
+					matched++
+				}
+			}
+			counts[i] = matched
+		}}
+	}
+	rt.RunTasks(ctx, "scan", tasks)
+
+	// Prefix-sum the counts into per-chunk output offsets.
+	total := 0
+	offsets := make([]int, len(chunks))
+	for i, c := range counts {
+		offsets[i] = total
+		total += c
+	}
+
+	// Pass 2: copy each chunk's survivors to its disjoint output range. The
+	// copy is clamped to the counted budget, so even a predicate that
+	// violates the purity contract cannot write past its chunk's range.
+	dst := lease.Tuples(total) // nil lease allocates fresh
+	for i, c := range chunks {
+		tasks[i] = sched.Task{Node: -1, Run: func(*sched.Worker) {
+			pos, end := offsets[i], offsets[i]+counts[i]
+			for _, t := range rel.Tuples[c.lo:c.hi] {
+				if pos == end {
+					break
+				}
+				if pred(t) {
+					dst[pos] = t
+					pos++
+				}
+			}
+		}}
+	}
+	rt.RunTasks(ctx, "filter", tasks)
+	return relation.New(rel.Name, dst), lease != nil
+}
+
+// filterSerial is the small-input path: one counting pass, one exactly-sized
+// copy pass.
+func filterSerial(rel *relation.Relation, pred Predicate, lease *memory.Lease) (*relation.Relation, bool) {
+	total := 0
+	for _, t := range rel.Tuples {
+		if pred(t) {
+			total++
+		}
+	}
+	dst := lease.Tuples(total)
+	pos := 0
+	for _, t := range rel.Tuples {
+		if pos == total {
+			break
+		}
+		if pred(t) {
+			dst[pos] = t
+			pos++
+		}
+	}
+	return relation.New(rel.Name, dst), lease != nil
+}
+
+// mapChunks applies fn element-wise from src to dst (equal lengths), in
+// parallel chunks for large inputs.
+func mapChunks(ctx context.Context, src, dst []relation.Tuple, fn func(relation.Tuple) relation.Tuple, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(src) < filterParallelCutoff || workers == 1 {
+		for i, t := range src {
+			dst[i] = fn(t)
+		}
+		return
+	}
+	var tasks []sched.Task
+	sched.ForEachSegment(len(src), 0, func(lo, hi int) {
+		tasks = append(tasks, sched.Task{Node: -1, Run: func(*sched.Worker) {
+			for i := lo; i < hi; i++ {
+				dst[i] = fn(src[i])
+			}
+		}})
+	})
+	rt := sched.New(sched.Config{Workers: workers})
+	rt.RunTasks(ctx, "map", tasks)
+}

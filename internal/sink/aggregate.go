@@ -1,0 +1,398 @@
+package sink
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+)
+
+// Agg selects the aggregate function of a group-by-key aggregation. The
+// aggregation input of a joined pair is the paper's payload sum
+// R.payload + S.payload (the default join projection); Count ignores the
+// value and counts pairs per key.
+type Agg int
+
+const (
+	// AggSum sums the values per key.
+	AggSum Agg = iota
+	// AggMin keeps the smallest value per key.
+	AggMin
+	// AggMax keeps the largest value per key.
+	AggMax
+	// AggCount counts the tuples per key.
+	AggCount
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Valid reports whether a is a known aggregate function.
+func (a Agg) Valid() bool { return a >= AggSum && a <= AggCount }
+
+// initial is the accumulator value of a group's first tuple.
+func (a Agg) initial(val uint64) uint64 {
+	if a == AggCount {
+		return 1
+	}
+	return val
+}
+
+// fold merges one more tuple value into a group accumulator.
+func (a Agg) fold(acc, val uint64) uint64 {
+	switch a {
+	case AggMin:
+		if val < acc {
+			return val
+		}
+		return acc
+	case AggMax:
+		if val > acc {
+			return val
+		}
+		return acc
+	case AggCount:
+		return acc + 1
+	default:
+		return acc + val
+	}
+}
+
+// merge combines two partial accumulators of the same group (for example,
+// from two workers or two sorted segments).
+func (a Agg) merge(x, y uint64) uint64 {
+	switch a {
+	case AggMin:
+		if y < x {
+			return y
+		}
+		return x
+	case AggMax:
+		if y > x {
+			return y
+		}
+		return x
+	default: // sum and count partials both add
+		return x + y
+	}
+}
+
+// GroupSink is a sink that reduces the joined pair stream to one tuple per
+// distinct key: {Key: group key, Payload: aggregate value}. Both built-in
+// implementations (MergeGroups, HashGroups) group by R.Key and aggregate the
+// payload sum R.Payload + S.Payload, the join's default projection.
+type GroupSink interface {
+	Sink
+	// Groups returns the aggregated tuples in ascending key order. Call
+	// after Close; the slice is valid until the next Open (it may be backed
+	// by the output lease passed at construction).
+	Groups() []relation.Tuple
+}
+
+// MergeGroups is the streaming merge-based group-by aggregate that exploits
+// the key-ordered output of the MPSM join phase: each worker's pair stream is
+// a sequence of key-sorted segments (one per public run it merges against),
+// so the writer folds consecutive equal keys into one accumulator and seals a
+// finished segment of aggregated (key, value) entries whenever the key order
+// restarts. Close then k-way merges all sealed segments — combining partial
+// accumulators of the same key — into the final sorted group list.
+//
+// No hash table is ever built: memory use is one entry per (segment, distinct
+// key) pair, drawn from the join's scratch lease when pooling is enabled
+// (MergeGroups implements Scratcher). The aggregation is correct for any
+// emission order — out-of-order input merely produces more, shorter segments
+// — but it is only economical above producers with key-ordered output
+// (B-MPSM, P-MPSM, D-MPSM); above hash joins use HashGroups instead.
+type MergeGroups struct {
+	agg     Agg
+	out     *memory.Lease // final merged buffer; nil allocates fresh
+	lease   *memory.Lease // per-worker entry buffers (join lease via Scratcher)
+	writers []*mergeGroupWriter
+	groups  []relation.Tuple
+}
+
+// NewMergeGroups returns a streaming merge-based group-by sink. The final
+// merged group buffer is drawn from out when non-nil — pass a lease that
+// outlives the join (for example, the plan execution's lease) — and freshly
+// allocated otherwise.
+func NewMergeGroups(agg Agg, out *memory.Lease) *MergeGroups {
+	return &MergeGroups{agg: agg, out: out}
+}
+
+// SetScratch implements Scratcher.
+func (m *MergeGroups) SetScratch(lease *memory.Lease) { m.lease = lease }
+
+// Open implements Sink.
+func (m *MergeGroups) Open(workers int) {
+	m.writers = make([]*mergeGroupWriter, workers)
+	for w := range m.writers {
+		m.writers[w] = &mergeGroupWriter{agg: m.agg, lease: m.lease}
+	}
+	m.groups = nil
+}
+
+// Writer implements Sink.
+func (m *MergeGroups) Writer(w int) mergejoin.Consumer { return m.writers[w] }
+
+// Close implements Sink: it merges all workers' sorted segments into the
+// final group list.
+func (m *MergeGroups) Close() error {
+	var segs []groupSegment
+	total := 0
+	for _, w := range m.writers {
+		w.finish()
+		prev := 0
+		for _, end := range w.segs {
+			if end > prev {
+				segs = append(segs, groupSegment{buf: w.entries, pos: prev, end: end})
+				total += end - prev
+			}
+			prev = end
+		}
+	}
+	out := m.out.Tuples(total) // nil lease allocates fresh
+	m.groups = mergeSegments(m.agg, segs, out[:0])
+	return nil
+}
+
+// Groups implements GroupSink.
+func (m *MergeGroups) Groups() []relation.Tuple { return m.groups }
+
+// mergeGroupWriter is one worker's consumer: a running accumulator over the
+// current key plus the sealed, sorted segments of finished groups.
+type mergeGroupWriter struct {
+	agg     Agg
+	lease   *memory.Lease
+	entries []relation.Tuple // aggregated (key, value) entries, leased
+	n       int
+	segs    []int // end offsets of sealed sorted segments within entries
+
+	curKey uint64
+	curVal uint64
+	active bool
+}
+
+// initialGroupEntries sizes the first leased entry buffer (2048 entries =
+// 32 KiB, one cache-friendly leaf).
+const initialGroupEntries = 2048
+
+// Consume implements mergejoin.Consumer.
+func (w *mergeGroupWriter) Consume(r, s relation.Tuple) {
+	key, val := r.Key, r.Payload+s.Payload
+	if w.active {
+		if key == w.curKey {
+			w.curVal = w.agg.fold(w.curVal, val)
+			return
+		}
+		w.emit()
+		if key < w.curKey {
+			// The key order restarted: the producer moved on to the next
+			// public run (or stole a new morsel). Seal the finished segment.
+			w.segs = append(w.segs, w.n)
+		}
+	}
+	w.curKey, w.curVal, w.active = key, w.agg.initial(val), true
+}
+
+// emit appends the finished accumulator as an entry, growing the leased
+// buffer by doubling.
+func (w *mergeGroupWriter) emit() {
+	if w.n == len(w.entries) {
+		grown := w.lease.Tuples(max(initialGroupEntries, 2*len(w.entries)))
+		copy(grown, w.entries[:w.n])
+		w.lease.PutTuples(w.entries)
+		w.entries = grown
+	}
+	w.entries[w.n] = relation.Tuple{Key: w.curKey, Payload: w.curVal}
+	w.n++
+}
+
+// finish flushes the running accumulator and seals the last segment.
+func (w *mergeGroupWriter) finish() {
+	if w.active {
+		w.emit()
+		w.active = false
+	}
+	if w.n > 0 && (len(w.segs) == 0 || w.segs[len(w.segs)-1] < w.n) {
+		w.segs = append(w.segs, w.n)
+	}
+}
+
+// groupSegment is a cursor over one sorted run of aggregated entries.
+type groupSegment struct {
+	buf      []relation.Tuple
+	pos, end int
+}
+
+func (g groupSegment) key() uint64 { return g.buf[g.pos].Key }
+
+// mergeSegments k-way merges sorted segments into dst, combining the partial
+// accumulators of equal keys. Within one segment keys are strictly
+// increasing, so equal keys only meet across segments. The merge uses a
+// hand-rolled min-heap over the segment cursors — no hash table, no
+// per-group allocation.
+func mergeSegments(agg Agg, segs []groupSegment, dst []relation.Tuple) []relation.Tuple {
+	h := make([]groupSegment, 0, len(segs))
+	for _, s := range segs {
+		if s.pos < s.end {
+			h = append(h, s)
+			siftUp(h, len(h)-1)
+		}
+	}
+	for len(h) > 0 {
+		key := h[0].key()
+		acc := h[0].buf[h[0].pos].Payload
+		advanceTop(&h)
+		for len(h) > 0 && h[0].key() == key {
+			acc = agg.merge(acc, h[0].buf[h[0].pos].Payload)
+			advanceTop(&h)
+		}
+		dst = append(dst, relation.Tuple{Key: key, Payload: acc})
+	}
+	return dst
+}
+
+// advanceTop moves the heap root's cursor forward, dropping it when drained.
+func advanceTop(h *[]groupSegment) {
+	s := *h
+	s[0].pos++
+	if s[0].pos == s[0].end {
+		s[0] = s[len(s)-1]
+		s = s[:len(s)-1]
+		*h = s
+	}
+	if len(s) > 0 {
+		siftDown(s, 0)
+	}
+}
+
+func siftUp(h []groupSegment, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[i].key() >= h[parent].key() {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []groupSegment, i int) {
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < len(h) && h[left].key() < h[least].key() {
+			least = left
+		}
+		if right < len(h) && h[right].key() < h[least].key() {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// HashGroups is the hash-based group-by aggregate for producers without
+// key-ordered output (the hash-join baselines, or arbitrary tuple streams):
+// every worker aggregates into its own map, Close merges the maps and sorts
+// the result by key so that both GroupSink implementations produce identical
+// output.
+type HashGroups struct {
+	agg     Agg
+	writers []*hashGroupWriter
+	groups  []relation.Tuple
+}
+
+// NewHashGroups returns a hash-based group-by sink.
+func NewHashGroups(agg Agg) *HashGroups { return &HashGroups{agg: agg} }
+
+// Open implements Sink.
+func (h *HashGroups) Open(workers int) {
+	h.writers = make([]*hashGroupWriter, workers)
+	for w := range h.writers {
+		h.writers[w] = &hashGroupWriter{agg: h.agg, groups: make(map[uint64]uint64)}
+	}
+	h.groups = nil
+}
+
+// Writer implements Sink.
+func (h *HashGroups) Writer(w int) mergejoin.Consumer { return h.writers[w] }
+
+// Close implements Sink.
+func (h *HashGroups) Close() error {
+	merged := h.writers[0].groups
+	for _, w := range h.writers[1:] {
+		for k, v := range w.groups {
+			if acc, ok := merged[k]; ok {
+				merged[k] = h.agg.merge(acc, v)
+			} else {
+				merged[k] = v
+			}
+		}
+	}
+	h.groups = make([]relation.Tuple, 0, len(merged))
+	for k, v := range merged {
+		h.groups = append(h.groups, relation.Tuple{Key: k, Payload: v})
+	}
+	sort.Slice(h.groups, func(i, j int) bool { return h.groups[i].Key < h.groups[j].Key })
+	return nil
+}
+
+// Groups implements GroupSink.
+func (h *HashGroups) Groups() []relation.Tuple { return h.groups }
+
+// hashGroupWriter aggregates one worker's pairs into a private map.
+type hashGroupWriter struct {
+	agg    Agg
+	groups map[uint64]uint64
+}
+
+// Consume implements mergejoin.Consumer.
+func (w *hashGroupWriter) Consume(r, s relation.Tuple) {
+	key, val := r.Key, r.Payload+s.Payload
+	if acc, ok := w.groups[key]; ok {
+		w.groups[key] = w.agg.fold(acc, val)
+	} else {
+		w.groups[key] = w.agg.initial(val)
+	}
+}
+
+// AggregateTuples is the reference group-by for plain tuple streams (group by
+// Tuple.Key, aggregate Tuple.Payload): a hash aggregation returning the
+// groups in ascending key order. The plan executor uses it for aggregates
+// above already-materialized inputs, and tests use it as the oracle for the
+// streaming implementation.
+func AggregateTuples(tuples []relation.Tuple, agg Agg) []relation.Tuple {
+	groups := make(map[uint64]uint64, len(tuples)/4+1)
+	for _, t := range tuples {
+		if acc, ok := groups[t.Key]; ok {
+			groups[t.Key] = agg.fold(acc, t.Payload)
+		} else {
+			groups[t.Key] = agg.initial(t.Payload)
+		}
+	}
+	out := make([]relation.Tuple, 0, len(groups))
+	for k, v := range groups {
+		out = append(out, relation.Tuple{Key: k, Payload: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,116 @@
+package sink
+
+import (
+	"repro/internal/memory"
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+)
+
+// Projection converts one joined pair into the output tuple of an operator
+// above the join. The join's default projection {Key: R.Key, Payload:
+// R.Payload + S.Payload} carries the join key and the paper's aggregation
+// input.
+type Projection func(r, s relation.Tuple) relation.Tuple
+
+// DefaultProjection is the projection a join applies when feeding another
+// operator without an explicit Project node.
+func DefaultProjection(r, s relation.Tuple) relation.Tuple {
+	return relation.Tuple{Key: r.Key, Payload: r.Payload + s.Payload}
+}
+
+// Collect is the operator bridge between a join and a consumer of tuples: it
+// applies a projection to every joined pair and materializes the projected
+// tuples, worker-locally and lock-free, into one flat tuple slice. The plan
+// executor uses it to feed a join's output into the next operator (for
+// example, as the intermediate relation of a second join).
+//
+// Collect implements Scratcher, so the per-worker buffers come from the
+// join's scratch lease. The final concatenated buffer is drawn from the out
+// lease passed at construction — which must outlive the join (the plan
+// execution's lease) — or freshly allocated when out is nil.
+type Collect struct {
+	project Projection
+	out     *memory.Lease
+	lease   *memory.Lease
+	parts   []*tupleBuffer
+	rows    []relation.Tuple
+}
+
+// NewCollect returns a collecting bridge sink; a nil projection selects
+// DefaultProjection.
+func NewCollect(project Projection, out *memory.Lease) *Collect {
+	if project == nil {
+		project = DefaultProjection
+	}
+	return &Collect{project: project, out: out}
+}
+
+// SetScratch implements Scratcher.
+func (c *Collect) SetScratch(lease *memory.Lease) { c.lease = lease }
+
+// Open implements Sink.
+func (c *Collect) Open(workers int) {
+	c.parts = make([]*tupleBuffer, workers)
+	for w := range c.parts {
+		c.parts[w] = &tupleBuffer{project: c.project, lease: c.lease}
+	}
+	c.rows = nil
+}
+
+// Writer implements Sink.
+func (c *Collect) Writer(w int) mergejoin.Consumer { return c.parts[w] }
+
+// Close implements Sink: it concatenates the per-worker buffers in worker
+// order and returns them to the join's lease.
+func (c *Collect) Close() error {
+	total := 0
+	for _, p := range c.parts {
+		total += p.n
+	}
+	out := c.out.Tuples(total) // nil lease allocates fresh
+	pos := 0
+	for _, p := range c.parts {
+		copy(out[pos:], p.buf[:p.n])
+		pos += p.n
+		p.release()
+	}
+	c.rows = out[:total]
+	return nil
+}
+
+// Rows returns the projected tuples of all joined pairs. Call after Close;
+// the slice is valid until the next Open (it may be backed by the out lease).
+func (c *Collect) Rows() []relation.Tuple { return c.rows }
+
+// tupleBuffer is one worker's projection buffer, growing by doubling in
+// leased space and handing outgrown buffers straight back for intra-join
+// reuse.
+type tupleBuffer struct {
+	project Projection
+	lease   *memory.Lease
+	buf     []relation.Tuple
+	n       int
+}
+
+// initialTupleBufferLen sizes the first leased buffer (2048 tuples = 32 KiB).
+const initialTupleBufferLen = 2048
+
+// Consume implements mergejoin.Consumer.
+func (b *tupleBuffer) Consume(r, s relation.Tuple) {
+	if b.n == len(b.buf) {
+		grown := b.lease.Tuples(max(initialTupleBufferLen, 2*len(b.buf)))
+		copy(grown, b.buf[:b.n])
+		b.lease.PutTuples(b.buf)
+		b.buf = grown
+	}
+	b.buf[b.n] = b.project(r, s)
+	b.n++
+}
+
+// release hands the leased buffer back for reuse.
+func (b *tupleBuffer) release() {
+	if b.buf != nil {
+		b.lease.PutTuples(b.buf)
+		b.buf, b.n = nil, 0
+	}
+}

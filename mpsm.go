@@ -63,6 +63,23 @@
 //
 //	engine := mpsm.New(mpsm.WithScratchPool(true), mpsm.WithPoolLimit(1<<30))
 //
+// # Operator plans
+//
+// Beyond single joins, the engine executes composable operator plans: DAGs
+// of Scan, Join, Project/Map, GroupAggregate and Sink nodes. Sort-merge
+// joins compose without re-sorting because the MPSM join phase consumes and
+// produces key-ordered runs — a join feeding a join materializes its
+// projected output through the scratch pool, and a GroupAggregate directly
+// above an MPSM join runs as a streaming merge-based aggregation that never
+// builds a hash table:
+//
+//	plan := mpsm.NewPlan()
+//	rs := plan.Join(plan.Scan(r), plan.Scan(s))   // R ⋈ S
+//	rst := plan.Join(rs, plan.Scan(t))            // (R ⋈ S) ⋈ T
+//	plan.GroupAggregate(rst, mpsm.AggSum)         // SUM(...) GROUP BY key
+//	res, err := engine.RunPlan(ctx, plan)
+//	// res.Output: one {key, sum} tuple per group, ascending
+//
 // The legacy one-shot Join and JoinWithDiskStats functions remain as thin
 // deprecated wrappers over an implicit engine.
 //
