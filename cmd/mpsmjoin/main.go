@@ -18,6 +18,14 @@
 // compose without re-sorting or hash tables:
 //
 //	mpsmjoin -plan -r 500000 -multiplicity 4 -pool
+//
+// With -auto the engine's cost-based planner picks the algorithm, join
+// order, scheduling mode and presorted declarations from sampled statistics
+// instead of the flags; -explain prints the chosen physical plan (with
+// estimated cardinalities and the per-algorithm cost comparison) before
+// running:
+//
+//	mpsmjoin -auto -explain -r 1000000 -multiplicity 4
 package main
 
 import (
@@ -56,6 +64,8 @@ func main() {
 		usePool       = flag.Bool("pool", false, "enable the engine-wide scratch pool (allocation-free steady state)")
 		poolLimit     = flag.Int64("pool-limit", 0, "scratch pool byte limit (0 = default 512 MiB); implies nothing without -pool")
 		planMode      = flag.Bool("plan", false, "run the 3-way operator plan demo (R ⋈ S) ⋈ T + GROUP BY SUM instead of a single join")
+		autoPlan      = flag.Bool("auto", false, "let the cost-based planner pick algorithm, join order, scheduler and presorted declarations from sampled statistics")
+		explainPlan   = flag.Bool("explain", false, "print the chosen physical plan (algorithm, order, scheduler, estimates) before running")
 	)
 	flag.Parse()
 
@@ -113,6 +123,7 @@ func main() {
 		mpsm.WithScratchPool(*usePool),
 		mpsm.WithPoolLimit(*poolLimit),
 		mpsm.WithDisk(mpsm.DiskConfig{PageSize: *pageSize, PageBudget: *pageBudget, ReadLatency: *readLatency}),
+		mpsm.WithAutoPlan(*autoPlan),
 	)
 	var opts []mpsm.Option
 	if *trackNUMA {
@@ -123,8 +134,37 @@ func main() {
 	}
 
 	if *planMode {
-		runPlanDemo(ctx, engine, r, s, *seed, scheduler, *jsonOut, opts)
+		runPlanDemo(ctx, engine, r, s, *seed, scheduler, *jsonOut, *explainPlan, *autoPlan, opts)
 		return
+	}
+
+	// schedName labels the scheduling mode in the output; under -auto it is
+	// the planner's choice rather than the -sched flag.
+	schedName := scheduler.String()
+	var explain *mpsm.Explain
+	if *explainPlan || *autoPlan {
+		// The single join is the one-join plan; Explain shows the physical
+		// choices (under -auto, the optimizer's) before anything runs.
+		p := mpsm.NewPlan()
+		p.Sink(p.Join(p.Scan(r), p.Scan(s)), nil)
+		ex, err := engine.Explain(p, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+			os.Exit(1)
+		}
+		if *explainPlan {
+			explain = ex
+			if !*jsonOut {
+				fmt.Printf("physical plan:\n%s\n\n", ex)
+			}
+		}
+		if *autoPlan {
+			for _, n := range ex.Nodes {
+				if n.Kind == "Join" && n.Scheduler != "" {
+					schedName = n.Scheduler
+				}
+			}
+		}
 	}
 
 	var res *mpsm.Result
@@ -147,7 +187,8 @@ func main() {
 			Scratch *mpsm.ScratchStats `json:"scratch,omitempty"`
 			Pool    *mpsm.PoolStats    `json:"scratch_pool,omitempty"`
 			Disk    *mpsm.DiskStats    `json:"disk,omitempty"`
-		}{AlgorithmTiming: bench.ResultJSON(res, scheduler.String()), Disk: diskStats}
+			Explain *mpsm.Explain      `json:"explain,omitempty"`
+		}{AlgorithmTiming: bench.ResultJSON(res, schedName), Disk: diskStats, Explain: explain}
 		if *usePool {
 			out.Scratch = &res.Scratch
 			if ps, ok := engine.PoolStats(); ok {
@@ -163,7 +204,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("algorithm:       %s (T=%d, %s scheduling)\n", res.Algorithm, res.Workers, scheduler)
+	fmt.Printf("algorithm:       %s (T=%d, %s scheduling)\n", res.Algorithm, res.Workers, schedName)
 	fmt.Printf("total time:      %s\n", res.Total.Round(time.Microsecond))
 	for _, p := range res.Phases {
 		fmt.Printf("  %-12s %s\n", p.Name+":", p.Duration.Round(time.Microsecond))
@@ -207,13 +248,46 @@ func main() {
 // drawn from R's keys, the plan joins (R ⋈ S) ⋈ T and aggregates SUM(payload)
 // per key — streamed straight out of the key-ordered join output, without a
 // hash table, when the algorithm is an MPSM variant.
-func runPlanDemo(ctx context.Context, engine *mpsm.Engine, r, s *mpsm.Relation, seed uint64, scheduler mpsm.Scheduler, jsonOut bool, opts []mpsm.Option) {
+func runPlanDemo(ctx context.Context, engine *mpsm.Engine, r, s *mpsm.Relation, seed uint64, scheduler mpsm.Scheduler, jsonOut, explainPlan, autoPlan bool, opts []mpsm.Option) {
 	tRel := mpsm.GenerateForeignKey("T", r, r.Len(), seed+1)
 
 	plan := mpsm.NewPlan()
 	j1 := plan.Join(plan.Scan(r), plan.Scan(s))
 	j2 := plan.Join(j1, plan.Scan(tRel))
 	plan.GroupAggregate(j2, mpsm.AggSum)
+
+	// Per-join scheduler labels for the report: the -sched flag, unless the
+	// planner chose per join.
+	schedNames := map[int]string{}
+	var explain *mpsm.Explain
+	if explainPlan || autoPlan {
+		ex, err := engine.Explain(plan, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsmjoin:", err)
+			os.Exit(1)
+		}
+		if explainPlan {
+			explain = ex
+			if !jsonOut {
+				fmt.Printf("physical plan:\n%s\n\n", ex)
+			}
+		}
+		if autoPlan {
+			joinIdx := 0
+			for _, n := range ex.Nodes {
+				if n.Kind == "Join" && n.Scheduler != "" {
+					schedNames[joinIdx] = n.Scheduler
+					joinIdx++
+				}
+			}
+		}
+	}
+	schedName := func(join int) string {
+		if name, ok := schedNames[join]; ok {
+			return name
+		}
+		return scheduler.String()
+	}
 
 	res, err := engine.RunPlan(ctx, plan, opts...)
 	if err != nil {
@@ -227,13 +301,15 @@ func runPlanDemo(ctx context.Context, engine *mpsm.Engine, r, s *mpsm.Relation, 
 			Groups      int                     `json:"groups"`
 			TotalMillis float64                 `json:"total_millis"`
 			ScanMillis  float64                 `json:"scan_millis"`
+			Explain     *mpsm.Explain           `json:"explain,omitempty"`
 		}{
+			Explain:     explain,
 			Groups:      res.Output.Len(),
 			TotalMillis: float64(res.Total.Microseconds()) / 1000.0,
 			ScanMillis:  float64(res.ScanTime.Microseconds()) / 1000.0,
 		}
-		for _, j := range res.Joins {
-			out.Joins = append(out.Joins, bench.ResultJSON(j.Result, scheduler.String()))
+		for i, j := range res.Joins {
+			out.Joins = append(out.Joins, bench.ResultJSON(j.Result, schedName(i)))
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -5,12 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"sync"
+	"weak"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/memory"
+	"repro/internal/planner"
 	"repro/internal/relation"
 	"repro/internal/sink"
+	"repro/internal/stats"
 )
 
 // settings is the resolved configuration of an Engine or a single join call.
@@ -32,6 +36,7 @@ type settings struct {
 	morselSize       int
 	scratchPool      bool
 	poolLimit        int64
+	autoPlan         bool
 }
 
 // Option configures an Engine at construction time or overrides the engine's
@@ -158,6 +163,21 @@ func WithPoolLimit(bytes int64) Option {
 	return func(s *settings) { s.poolLimit = bytes }
 }
 
+// WithAutoPlan enables (or disables) the cost-based planner: before every
+// Join, JoinStream or RunPlan execution the engine samples statistics of the
+// input relations (cached across calls), estimates cardinalities, and
+// rewrites the physical plan — join algorithm per join, join order across
+// inner multi-join chains, build/probe roles, Static vs Morsel scheduling,
+// presorted-input declarations, and the aggregation strategy. Explain shows
+// the decisions. Auto-planning overrides a configured algorithm and
+// scheduler (including per-node plan options); it respects join kind, band
+// width, worker count, and a configured D-MPSM (which expresses a memory
+// constraint the cost model cannot see). As an engine option it sets the
+// default for every call; as a per-call option it overrides that default.
+func WithAutoPlan(enabled bool) Option {
+	return func(s *settings) { s.autoPlan = enabled }
+}
+
 // Engine is a prepared, reusable join engine: construct it once with New and
 // run any number of joins against it. The engine itself is immutable and safe
 // for concurrent use; per-call state (sinks, results) is created per Join.
@@ -167,6 +187,62 @@ func WithPoolLimit(bytes int64) Option {
 type Engine struct {
 	base settings
 	pool *memory.Pool
+
+	// statsMu guards statsCache, the per-relation statistics profiles the
+	// auto-planner samples (keyed by relation identity, invalidated when the
+	// cardinality changes; the join algorithms never mutate their inputs),
+	// and planCache, the memoized single-join planner decisions. Both caches
+	// key relations through weak pointers so a long-lived engine never
+	// pins a transient relation's tuple memory; entries for collected
+	// relations linger only until the size-bound reset.
+	statsMu    sync.Mutex
+	statsCache map[weak.Pointer[Relation]]statsEntry
+	planCache  map[planKey]planner.Choice
+}
+
+// planKey identifies one single-join planning problem: the input relations
+// (by identity and cardinality) and every configuration facet the planner's
+// decision depends on.
+type planKey struct {
+	r, s       weak.Pointer[Relation]
+	rLen, sLen int
+	configured Algorithm
+	kind       JoinKind
+	band       uint64
+	workers    int
+	symmetric  bool
+}
+
+// statsEntry is one cached relation profile.
+type statsEntry struct {
+	len  int
+	prof *stats.Profile
+}
+
+// statsCacheLimit bounds the number of cached profiles; beyond it the cache
+// resets (profiles are cheap to recompute, the bound only stops unbounded
+// growth when an engine sees a stream of distinct relations).
+const statsCacheLimit = 1024
+
+// profileFor returns the (cached) sampled statistics of a relation.
+func (e *Engine) profileFor(rel *relation.Relation) *stats.Profile {
+	key := weak.Make(rel)
+	e.statsMu.Lock()
+	if ent, ok := e.statsCache[key]; ok && ent.len == rel.Len() {
+		e.statsMu.Unlock()
+		return ent.prof
+	}
+	e.statsMu.Unlock()
+
+	prof := stats.Collect(rel)
+
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if e.statsCache == nil || len(e.statsCache) >= statsCacheLimit {
+		e.statsCache = make(map[weak.Pointer[Relation]]statsEntry)
+	}
+	e.statsCache[key] = statsEntry{len: rel.Len(), prof: prof}
+	return prof
 }
 
 // New returns an Engine with the given configuration. The zero configuration
@@ -257,7 +333,55 @@ func (e *Engine) run(ctx context.Context, r, s *Relation, opts []Option) (*exec.
 		return nil, fmt.Errorf("mpsm: Join requires non-nil relations")
 	}
 	cfg := e.resolve(opts)
+	if cfg.autoPlan {
+		cfg, r, s = e.autoJoin(cfg, r, s)
+	}
 	return exec.Run(ctx, cfg.query(r, s, e.scratchFor(cfg)))
+}
+
+// autoJoin applies the cost-based planner to a single-join call: the input
+// profiles choose the algorithm, scheduling mode, presorted declarations
+// and, when the sink is the commutative built-in max-sum aggregate, the
+// build/probe roles. Decisions are memoized per (inputs, configuration), so
+// an engine serving the same join repeatedly plans it once.
+func (e *Engine) autoJoin(cfg settings, r, s *Relation) (settings, *Relation, *Relation) {
+	key := planKey{
+		r: weak.Make(r), s: weak.Make(s), rLen: r.Len(), sLen: s.Len(),
+		configured: cfg.algorithm, kind: cfg.kind, band: cfg.band,
+		workers: cfg.workers, symmetric: cfg.sink == nil,
+	}
+	e.statsMu.Lock()
+	ch, ok := e.planCache[key]
+	e.statsMu.Unlock()
+	if !ok {
+		ch = planner.ChooseJoin(e.profileFor(r), e.profileFor(s), planner.Constraints{
+			Configured:        cfg.algorithm,
+			Kind:              cfg.kind,
+			Band:              cfg.band,
+			Workers:           cfg.workers,
+			SymmetricConsumer: cfg.sink == nil,
+		}, planner.DefaultCostModel())
+		e.statsMu.Lock()
+		if e.planCache == nil || len(e.planCache) >= statsCacheLimit {
+			e.planCache = make(map[planKey]planner.Choice)
+		}
+		e.planCache[key] = ch
+		e.statsMu.Unlock()
+	}
+
+	userPriv, userPub := cfg.presortedPrivate, cfg.presortedPublic
+	cfg.algorithm = ch.Algorithm
+	cfg.scheduler = ch.Scheduler
+	if ch.MorselSize > 0 {
+		cfg.morselSize = ch.MorselSize
+	}
+	if ch.Swap {
+		r, s = s, r
+		userPriv, userPub = userPub, userPriv
+	}
+	cfg.presortedPrivate = ch.PresortedPrivate || userPriv
+	cfg.presortedPublic = ch.PresortedPublic || userPub
+	return cfg, r, s
 }
 
 // Join executes an equi-join between the private input r and the public
@@ -270,8 +394,10 @@ func (e *Engine) run(ctx context.Context, r, s *Relation, opts []Option) (*exec.
 //
 // For P-MPSM the private input should be the smaller relation (see the
 // paper's role-reversal discussion); Join does not reverse roles
-// automatically. Per-call options override the engine's configuration for
-// this call only.
+// automatically — unless auto-planning is enabled (WithAutoPlan), which may
+// execute the join with the roles reversed when the sink is the commutative
+// built-in max-sum aggregate. Per-call options override the engine's
+// configuration for this call only.
 func (e *Engine) Join(ctx context.Context, r, s *Relation, opts ...Option) (*Result, error) {
 	qr, err := e.run(ctx, r, s, opts)
 	if err != nil {

@@ -75,4 +75,26 @@ func main() {
 	}
 	fmt.Printf("\nradix-hash first stage: %d groups in %s — identical to the streaming plan: %v\n",
 		hashRes.Output.Len(), hashRes.Total.Round(1000), same)
+
+	// With WithAutoPlan the engine stops taking orders: sampled statistics
+	// feed a cost model that picks the algorithm per join, reorders the join
+	// chain by estimated intermediate size, chooses the scheduler, and pins
+	// the aggregation strategy. Explain shows the decisions with estimated
+	// cardinalities; ExplainAnalyze runs the plan and adds the actuals.
+	autoPlan := mpsm.NewPlan()
+	rs := autoPlan.Join(autoPlan.Scan(r, lowHalf), autoPlan.Scan(s, lowHalf))
+	rst := autoPlan.Join(rs, autoPlan.Scan(t))
+	autoPlan.GroupAggregate(rst, mpsm.AggSum)
+
+	ex, autoRes, err := engine.ExplainAnalyze(ctx, autoPlan, mpsm.WithAutoPlan(true))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nauto-planned (estimated vs actual cardinalities):\n%s\n", ex)
+	autoSame := autoRes.Output.Len() == res.Output.Len()
+	for i := 0; autoSame && i < res.Output.Len(); i++ {
+		autoSame = autoRes.Output.Tuples[i] == res.Output.Tuples[i]
+	}
+	fmt.Printf("auto plan: %d groups in %s — identical to the manual plans: %v\n",
+		autoRes.Output.Len(), autoRes.Total.Round(1000), autoSame)
 }

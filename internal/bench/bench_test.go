@@ -15,7 +15,7 @@ func tinyConfig() Config {
 
 func TestRegistryContainsAllPaperFigures(t *testing.T) {
 	want := []string{"figure1", "figure9", "figure12", "figure13", "figure14", "figure15", "figure16",
-		"sort", "ablation-partitioning", "dmpsm", "morsel", "steadystate"}
+		"sort", "ablation-partitioning", "dmpsm", "morsel", "steadystate", "plan", "planner"}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("experiment %q not registered", name)

@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	mpsm "repro"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "planner",
+		Title: "Cost-based planner: auto-planned joins vs every manual (algorithm, scheduler) choice over a size × skew matrix",
+		Run:   runPlannerExperiment,
+		JSON:  plannerJSON,
+	})
+}
+
+// plannerRepetitions is how often each cell runs; the report keeps the best
+// time, following the paper's warm-repetition methodology. The acceptance
+// ratios compare cells within ~10% of each other, so this experiment uses
+// more repetitions than the others and permutes the execution order per
+// repetition (see below) to decorrelate the noise sources.
+const plannerRepetitions = 7
+
+// plannerRSize floors the matrix's |R| at 2^17 for measurement-grade runs
+// (scale >= 0.25, the CI bench scale): the acceptance ratios compare wall
+// clocks within ~10%, and cells below roughly 10ms are dominated by
+// scheduling noise rather than algorithm choice. Tiny smoke-test scales run
+// at their natural size so the experiment stays fast under the race
+// detector.
+func plannerRSize(cfg Config) int {
+	n := cfg.RSize()
+	if cfg.Scale >= 0.25 && n < 1<<17 {
+		n = 1 << 17
+	}
+	return n
+}
+
+// PlannerCell is one manual (algorithm, scheduler) measurement.
+type PlannerCell struct {
+	Algorithm string  `json:"algorithm"`
+	Scheduler string  `json:"scheduler"`
+	Millis    float64 `json:"millis"`
+}
+
+// PlannerConfig is the report of one dataset configuration: the auto-planned
+// execution against the full manual matrix.
+type PlannerConfig struct {
+	Name  string `json:"name"`
+	RSize int    `json:"r_size"`
+	SSize int    `json:"s_size"`
+	// Skewed marks the configurations with a skewed key distribution or
+	// arrangement (where the ≥2x-over-worst acceptance bites).
+	Skewed bool `json:"skewed"`
+
+	// AutoMillis is the auto-planned join's warm wall clock: the first
+	// repetition pays statistics sampling and planning, later ones hit the
+	// engine's plan cache, and best-of-reps keeps a cached one — matching
+	// how a long-lived engine serves a recurring join.
+	// AutoAlgorithm/AutoScheduler are the planner's choices.
+	AutoMillis    float64 `json:"auto_millis"`
+	AutoAlgorithm string  `json:"auto_algorithm"`
+	AutoScheduler string  `json:"auto_scheduler"`
+
+	// EstMatches vs ActualMatches exposes the cardinality estimator;
+	// EstimateRatio = EstMatches / ActualMatches.
+	EstMatches    float64 `json:"est_matches"`
+	ActualMatches uint64  `json:"actual_matches"`
+	EstimateRatio float64 `json:"estimate_ratio"`
+
+	// Manual holds every (algorithm, scheduler) cell; Best/Worst are its
+	// extremes.
+	Manual []PlannerCell `json:"manual"`
+	Best   PlannerCell   `json:"best_manual"`
+	Worst  PlannerCell   `json:"worst_manual"`
+
+	// AutoVsBest is AutoMillis / Best.Millis (the ≤1.1 acceptance ratio);
+	// WorstVsAuto is Worst.Millis / AutoMillis (≥2 on a skewed config).
+	AutoVsBest  float64 `json:"auto_vs_best"`
+	WorstVsAuto float64 `json:"worst_vs_auto"`
+}
+
+// PlannerReport is the machine-readable report (BENCH_planner.json).
+type PlannerReport struct {
+	GeneratedAt string          `json:"generated_at"`
+	Scale       float64         `json:"scale"`
+	Workers     int             `json:"workers"`
+	Configs     []PlannerConfig `json:"configs"`
+	// MaxAutoVsBest aggregates the worst auto_vs_best over all configs
+	// (acceptance: ≤ 1.10) and BestWorstVsAutoSkewed the best worst_vs_auto
+	// over the skewed configs (acceptance: ≥ 2).
+	MaxAutoVsBest         float64 `json:"max_auto_vs_best"`
+	BestWorstVsAutoSkewed float64 `json:"best_worst_vs_auto_skewed"`
+}
+
+// plannerDataset describes one matrix row.
+type plannerDataset struct {
+	name   string
+	skewed bool
+	make   func(cfg Config) (*mpsm.Relation, *mpsm.Relation, error)
+}
+
+// sortByKey returns a key-sorted copy.
+func sortByKey(rel *mpsm.Relation) *mpsm.Relation {
+	c := rel.Clone()
+	sort.Slice(c.Tuples, func(i, j int) bool { return c.Tuples[i].Key < c.Tuples[j].Key })
+	return c
+}
+
+// plannerMatrix is the size × skew matrix: uniform at three sizes and a high
+// multiplicity, the negatively correlated skew of Section 5.6, the clustered
+// arrangement of Section 5.5, and presorted inputs (the data property the
+// presortedness probe exists for).
+func plannerMatrix(cfg Config) []plannerDataset {
+	uniform := func(scaleDiv, mult int) func(Config) (*mpsm.Relation, *mpsm.Relation, error) {
+		return func(cfg Config) (*mpsm.Relation, *mpsm.Relation, error) {
+			r, s, err := workload.Generate(workload.Spec{
+				RSize: plannerRSize(cfg) / scaleDiv, Multiplicity: mult, ForeignKey: true, Seed: 3100,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, s, nil
+		}
+	}
+	return []plannerDataset{
+		{name: "small-uniform", make: uniform(4, 4)},
+		{name: "mid-uniform", make: uniform(1, 4)},
+		{name: "high-multiplicity", make: uniform(4, 16)},
+		{name: "negcorr-skew", skewed: true, make: func(cfg Config) (*mpsm.Relation, *mpsm.Relation, error) {
+			return workloadPair(workload.Spec{
+				RSize: plannerRSize(cfg), Multiplicity: 4,
+				RSkew: workload.SkewHigh80, SSkew: workload.SkewLow80,
+				KeyDomain: uint64(plannerRSize(cfg)) * 4, Seed: 3200,
+			})
+		}},
+		{name: "location-clustered", skewed: true, make: func(cfg Config) (*mpsm.Relation, *mpsm.Relation, error) {
+			return workloadPair(workload.Spec{
+				RSize: plannerRSize(cfg), Multiplicity: 4, ForeignKey: true,
+				SLocationSkew: workload.LocationClustered, LocationSkewWorkers: cfg.workers(), Seed: 3300,
+			})
+		}},
+		{name: "presorted-both", make: func(cfg Config) (*mpsm.Relation, *mpsm.Relation, error) {
+			r, s, err := workloadPair(workload.Spec{
+				RSize: plannerRSize(cfg), Multiplicity: 4, ForeignKey: true, Seed: 3400,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sortByKey(r), sortByKey(s), nil
+		}},
+	}
+}
+
+// workloadPair generates one (R, S) dataset.
+func workloadPair(spec workload.Spec) (*mpsm.Relation, *mpsm.Relation, error) {
+	return workload.Generate(spec)
+}
+
+// bestDuration returns the fastest of the measured repetitions.
+func bestDuration(times []time.Duration) time.Duration {
+	best := times[0]
+	for _, t := range times[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// measurePlannerConfig runs one matrix row: the auto-planned join (warm, as
+// a long-lived engine would serve it — the first repetition pays sampling
+// and planning, the kept best hits the plan cache) against every manual
+// (algorithm, scheduler) cell through the same engine API. All cells —
+// including the auto-planned one — are interleaved round-robin across the
+// repetitions, so slow drift of the machine (GC state, thermal throttling)
+// hits every cell alike instead of biasing whichever ran last.
+func measurePlannerConfig(cfg Config, ds plannerDataset) (PlannerConfig, error) {
+	ctx := context.Background()
+	out := PlannerConfig{Name: ds.name, Skewed: ds.skewed}
+	r, s, err := ds.make(cfg)
+	if err != nil {
+		return out, err
+	}
+	out.RSize, out.SSize = r.Len(), s.Len()
+	workers := cfg.workers()
+
+	// One engine serves every cell — the auto cell through the per-call
+	// WithAutoPlan option — so all cells share one scratch pool and stats
+	// cache and no cross-engine state difference leaks into the comparison.
+	engine := mpsm.New(mpsm.WithWorkers(workers), mpsm.WithScratchPool(true))
+
+	type cell struct {
+		run   func() (*mpsm.Result, error)
+		times []time.Duration
+		last  *mpsm.Result
+	}
+	var cells []*cell
+	algorithms := []mpsm.Algorithm{mpsm.PMPSM, mpsm.BMPSM, mpsm.DMPSM, mpsm.Wisconsin, mpsm.RadixHash}
+	schedulers := []mpsm.Scheduler{mpsm.Static, mpsm.Morsel}
+	for _, alg := range algorithms {
+		for _, sm := range schedulers {
+			cells = append(cells, &cell{run: func() (*mpsm.Result, error) {
+				return engine.Join(ctx, r, s, mpsm.WithAlgorithm(alg), mpsm.WithScheduler(sm))
+			}})
+		}
+	}
+	auto := &cell{run: func() (*mpsm.Result, error) {
+		return engine.Join(ctx, r, s, mpsm.WithAutoPlan(true))
+	}}
+	cells = append(cells, auto)
+
+	// Each repetition permutes the cells with a different multiplicative
+	// stride, so a cell's predecessor — which determines the cache and
+	// scratch-pool state it inherits (a join following its own algorithm
+	// reuses identically-sized warm buffers) — changes every round, and the
+	// best-of selection compares cells under comparable luckiest conditions.
+	// Any stride works: the cell count is kept prime, so every multiplier
+	// generates a full permutation.
+	if len(cells) != 11 {
+		return out, fmt.Errorf("planner: cell count %d is not prime, fix the stride scheme", len(cells))
+	}
+	for rep := 0; rep < plannerRepetitions; rep++ {
+		for k := range cells {
+			c := cells[((rep+1)*k+rep)%len(cells)]
+			// A forced collection between cells stops GC debt from one
+			// cell's allocations being paid inside the next cell's timing.
+			runtime.GC()
+			start := time.Now()
+			res, err := c.run()
+			elapsed := time.Since(start)
+			if err != nil {
+				return out, fmt.Errorf("%s: %w", ds.name, err)
+			}
+			c.last = res
+			c.times = append(c.times, elapsed)
+		}
+	}
+
+	i := 0
+	for _, alg := range algorithms {
+		for _, sm := range schedulers {
+			out.Manual = append(out.Manual, PlannerCell{Algorithm: alg.String(), Scheduler: sm.String(), Millis: millis(bestDuration(cells[i].times))})
+			i++
+		}
+	}
+	out.Best, out.Worst = out.Manual[0], out.Manual[0]
+	for _, c := range out.Manual[1:] {
+		if c.Millis < out.Best.Millis {
+			out.Best = c
+		}
+		if c.Millis > out.Worst.Millis {
+			out.Worst = c
+		}
+	}
+	out.AutoMillis = millis(bestDuration(auto.times))
+	out.ActualMatches = auto.last.Matches
+
+	// The planner's view of the join, for the estimate-accuracy column and
+	// the chosen algorithm/scheduler.
+	plan := mpsm.NewPlan()
+	plan.Sink(plan.Join(plan.Scan(r), plan.Scan(s)), nil)
+	ex, err := engine.Explain(plan, mpsm.WithAutoPlan(true))
+	if err != nil {
+		return out, err
+	}
+	for _, n := range ex.Nodes {
+		if n.Kind == "Join" {
+			out.AutoAlgorithm = n.Algorithm
+			out.AutoScheduler = n.Scheduler
+			out.EstMatches = n.EstRows
+		}
+	}
+	if out.ActualMatches > 0 {
+		out.EstimateRatio = out.EstMatches / float64(out.ActualMatches)
+	}
+
+	if out.Best.Millis > 0 {
+		out.AutoVsBest = out.AutoMillis / out.Best.Millis
+	}
+	if out.AutoMillis > 0 {
+		out.WorstVsAuto = out.Worst.Millis / out.AutoMillis
+	}
+	return out, nil
+}
+
+// buildPlannerReport measures the full matrix.
+func buildPlannerReport(cfg Config) (*PlannerReport, error) {
+	if err := warmUp(cfg); err != nil {
+		return nil, err
+	}
+	rep := &PlannerReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       cfg.Scale,
+		Workers:     cfg.workers(),
+	}
+	for _, ds := range plannerMatrix(cfg) {
+		c, err := measurePlannerConfig(cfg, ds)
+		if err != nil {
+			return nil, err
+		}
+		rep.Configs = append(rep.Configs, c)
+		if c.AutoVsBest > rep.MaxAutoVsBest {
+			rep.MaxAutoVsBest = c.AutoVsBest
+		}
+		if c.Skewed && c.WorstVsAuto > rep.BestWorstVsAutoSkewed {
+			rep.BestWorstVsAutoSkewed = c.WorstVsAuto
+		}
+	}
+	return rep, nil
+}
+
+// runPlannerExperiment renders the matrix as a table.
+func runPlannerExperiment(cfg Config, w io.Writer) error {
+	rep, err := buildPlannerReport(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := newTable(w)
+	tbl.row("configuration", "|R|", "|S|", "auto pick", "auto [ms]", "best manual", "best [ms]", "worst [ms]", "auto/best", "worst/auto", "est/actual")
+	for _, c := range rep.Configs {
+		tbl.row(c.Name, c.RSize, c.SSize,
+			fmt.Sprintf("%s/%s", c.AutoAlgorithm, c.AutoScheduler),
+			fmt.Sprintf("%.2f", c.AutoMillis),
+			fmt.Sprintf("%s/%s", c.Best.Algorithm, c.Best.Scheduler),
+			fmt.Sprintf("%.2f", c.Best.Millis),
+			fmt.Sprintf("%.2f", c.Worst.Millis),
+			fmt.Sprintf("%.2f", c.AutoVsBest),
+			fmt.Sprintf("%.2f", c.WorstVsAuto),
+			fmt.Sprintf("%.2f", c.EstimateRatio))
+	}
+	tbl.flush()
+	fmt.Fprintf(w, "\nworst auto/best ratio %.2f (target ≤ 1.10); best worst/auto on a skewed config %.2fx (target ≥ 2)\n",
+		rep.MaxAutoVsBest, rep.BestWorstVsAutoSkewed)
+	if cfg.Verbose {
+		fmt.Fprintln(w, "expected shape: auto tracks the per-config best cell (hash joins on shuffled data, B-MPSM with presorted declarations on sorted data) and never falls for the worst cell")
+	}
+	return nil
+}
+
+// plannerJSON produces the machine-readable planner report.
+func plannerJSON(cfg Config) (any, error) {
+	return buildPlannerReport(cfg)
+}

@@ -62,6 +62,41 @@ func (k NodeKind) String() string {
 	}
 }
 
+// AggMode selects how a NodeGroupAggregate directly above a join executes.
+// It is a pure performance choice — both strategies produce the identical
+// sorted group relation — that the planner pins explicitly instead of
+// relying on the Auto inference.
+type AggMode int
+
+const (
+	// AggAuto follows the input join's output order: streaming merge
+	// aggregation over key-ordered MPSM output, hash aggregation otherwise.
+	AggAuto AggMode = iota
+	// AggMerge forces the streaming merge-based aggregation. It is correct
+	// over any input order (segments seal whenever the order restarts) but
+	// only fast over key-ordered output.
+	AggMerge
+	// AggHash forces the hash aggregation.
+	AggHash
+)
+
+// String implements fmt.Stringer.
+func (m AggMode) String() string {
+	switch m {
+	case AggAuto:
+		return "auto"
+	case AggMerge:
+		return "merge"
+	case AggHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("AggMode(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known aggregation mode.
+func (m AggMode) Valid() bool { return m == AggAuto || m == AggMerge || m == AggHash }
+
 // PlanNode is one operator of a plan DAG. Only the fields of the node's Kind
 // are meaningful; the Add* builder methods populate them consistently, and
 // Validate checks hand-built nodes.
@@ -89,8 +124,10 @@ type PlanNode struct {
 	// ProjectFn configures a NodeProject.
 	ProjectFn sink.Projection
 
-	// Agg configures a NodeGroupAggregate.
-	Agg sink.Agg
+	// Agg configures a NodeGroupAggregate; AggMode selects its execution
+	// strategy (the zero value follows the input algorithm's output order).
+	Agg     sink.Agg
+	AggMode AggMode
 
 	// Sink configures a NodeSink; nil selects the built-in max-sum
 	// aggregate, preserving the classic Run semantics.
@@ -270,6 +307,9 @@ func (p *Plan) validateNode(id NodeID, n PlanNode) error {
 	case NodeGroupAggregate:
 		if !n.Agg.Valid() {
 			return fmt.Errorf("exec: plan node %d has unknown aggregate %v", id, n.Agg)
+		}
+		if !n.AggMode.Valid() {
+			return fmt.Errorf("exec: plan node %d has unknown aggregation mode %v", id, n.AggMode)
 		}
 	case NodeSink:
 		if p.Nodes[n.Inputs[0]].Kind != NodeJoin {

@@ -242,8 +242,15 @@ func (e *planExec) runMap(n PlanNode) (*relation.Relation, bool, error) {
 func (e *planExec) runAggregate(n PlanNode) (*relation.Relation, bool, error) {
 	in := n.Inputs[0]
 	if e.plan.Nodes[in].Kind == NodeJoin {
+		merge := KeyOrderedOutput(e.plan.Nodes[in].Algorithm)
+		switch n.AggMode {
+		case AggMerge:
+			merge = true
+		case AggHash:
+			merge = false
+		}
 		var snk sink.GroupSink
-		if keyOrderedOutput(e.plan.Nodes[in].Algorithm) {
+		if merge {
 			snk = sink.NewMergeGroups(n.Agg, e.lease)
 		} else {
 			snk = sink.NewHashGroups(n.Agg)
@@ -264,11 +271,12 @@ func (e *planExec) runAggregate(n PlanNode) (*relation.Relation, bool, error) {
 	return relation.New("groups", sink.AggregateTuples(rel.Tuples, n.Agg)), false, nil
 }
 
-// keyOrderedOutput reports whether the algorithm's per-worker output stream
+// KeyOrderedOutput reports whether the algorithm's per-worker output stream
 // consists of key-sorted segments — the property of the sort-merge join
 // phase (every worker merges its sorted private run against sorted public
-// runs) that the streaming merge aggregation exploits.
-func keyOrderedOutput(alg Algorithm) bool {
+// runs) that the streaming merge aggregation exploits. The planner uses it
+// to pin aggregation strategies.
+func KeyOrderedOutput(alg Algorithm) bool {
 	switch alg {
 	case AlgorithmPMPSM, AlgorithmBMPSM, AlgorithmDMPSM:
 		return true

@@ -1,0 +1,189 @@
+package planner
+
+import (
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/stats"
+)
+
+// CostModel prices one join execution per algorithm from the input profiles.
+// All constants are nanoseconds per tuple, calibrated against this
+// repository's own benchmark experiments (the sort micro-benchmark behind
+// BENCH_sort.json, the steady-state experiment behind BENCH_steadystate.json,
+// and best-of-run wall clocks of all five algorithms over the size × skew
+// matrix of the planner experiment). Absolute predictions are within ~25% on
+// the calibration machine; what the planner actually relies on is that the
+// model ranks the algorithms correctly, which the planner bench experiment
+// asserts end to end.
+type CostModel struct {
+	// SortPerTuple prices the multi-level radix sort of the run-generation
+	// phases (SortInto fuses the copy with the widest pass).
+	SortPerTuple float64
+	// CopyPerTuple prices run generation when the chunk is verified
+	// presorted: a linear check plus a copy into the run buffer.
+	CopyPerTuple float64
+	// MergePerTuple prices one tuple scanned by the merge-join phase,
+	// including the sink hand-off.
+	MergePerTuple float64
+	// PartitionPerTuple prices P-MPSM's extra phases on the private input:
+	// histogram build, CDF/splitter computation, and the range-partition
+	// scatter into remote buffers.
+	PartitionPerTuple float64
+	// MergeHitPerMatch prices emitting one match from the merge-join phase
+	// into the sink.
+	MergeHitPerMatch float64
+	// HashOpBase prices one hash build or probe operation (a miss: lookup
+	// without a matching chain) while the table is cache-resident.
+	HashOpBase float64
+	// HashOpMiss is the additional cost of a hash operation once the table
+	// far exceeds the cache; between CacheTuples and
+	// CacheTuples<<CacheGrowthLog2 it phases in linearly in log2(table).
+	HashOpMiss float64
+	// HashHitBase and HashHitMiss price walking a matching chain and
+	// emitting the match, with the same cache dependence as the lookup.
+	// Splitting hits from lookups is what lets the model see that a
+	// low-selectivity workload (negatively correlated skew) favours the
+	// shared hash table while a foreign-key workload of the same size does
+	// not.
+	HashHitBase float64
+	HashHitMiss float64
+	// CacheTuples is the hash-table size (in build tuples — the shared table
+	// stores every build tuple) that still fits the fast cache levels.
+	CacheTuples float64
+	// CacheGrowthLog2 is the number of table-size doublings over which
+	// HashOpMiss/HashHitMiss phase in.
+	CacheGrowthLog2 float64
+	// RadixPerTuple prices one tuple through the radix hash join: the
+	// partitioning pass plus the cache-resident build/probe of its cluster.
+	RadixPerTuple float64
+	// RadixHitPerMatch prices one radix-join match emission (cache-resident
+	// by construction, so cheaper than a shared-table hit).
+	RadixHitPerMatch float64
+	// DiskPerTuple is D-MPSM's extra per-tuple cost for page management on
+	// top of the B-MPSM data flow (excluding configured simulated
+	// latencies).
+	DiskPerTuple float64
+}
+
+// DefaultCostModel returns the calibrated model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SortPerTuple:      42,
+		CopyPerTuple:      3,
+		MergePerTuple:     10,
+		MergeHitPerMatch:  4,
+		PartitionPerTuple: 63,
+		HashOpBase:        10,
+		HashOpMiss:        30,
+		HashHitBase:       10,
+		HashHitMiss:       36,
+		CacheTuples:       1 << 16,
+		CacheGrowthLog2:   3,
+		RadixPerTuple:     26,
+		RadixHitPerMatch:  6,
+		DiskPerTuple:      6,
+	}
+}
+
+// runGen prices sorting n tuples into runs, or verifying+copying them when
+// they are declared (and actually) presorted.
+func (c CostModel) runGen(n float64, presorted bool) float64 {
+	if presorted {
+		return c.CopyPerTuple * n
+	}
+	return c.SortPerTuple * n
+}
+
+// missFraction is the cache-miss ramp for a table of the given size.
+func (c CostModel) missFraction(tableEntries float64) float64 {
+	if tableEntries <= c.CacheTuples {
+		return 0
+	}
+	miss := (math.Log2(tableEntries) - math.Log2(c.CacheTuples)) / c.CacheGrowthLog2
+	if miss > 1 {
+		miss = 1
+	}
+	return miss
+}
+
+// hashOp prices one build/probe lookup against a table of the given number
+// of entries.
+func (c CostModel) hashOp(tableEntries float64) float64 {
+	return c.HashOpBase + c.HashOpMiss*c.missFraction(tableEntries)
+}
+
+// hashHit prices one chain walk + match emission against the same table.
+func (c CostModel) hashHit(tableEntries float64) float64 {
+	return c.HashHitBase + c.HashHitMiss*c.missFraction(tableEntries)
+}
+
+// joinInputs captures the cost-relevant features of one join's inputs.
+type joinInputs struct {
+	build, probe     float64 // cardinalities (build = private, probe = public)
+	matches          float64 // estimated join cardinality
+	presortedBuild   bool    // build side passes the presortedness probe
+	presortedProbe   bool
+	workers          int
+	simulatedLatency float64 // configured D-MPSM per-tuple latency, ns
+}
+
+// Estimate returns the modelled wall-clock cost (in nanoseconds) of one join
+// under the given algorithm. Estimates divide by the worker count wherever
+// the phase parallelizes; B-MPSM's join phase deliberately does not divide
+// the public scan, which is the O(|S|)-per-worker complexity the paper
+// trades for skew immunity.
+func (c CostModel) Estimate(alg exec.Algorithm, in joinInputs) float64 {
+	t := float64(in.workers)
+	if t < 1 {
+		t = 1
+	}
+	n, m := in.build, in.probe
+	emit := c.MergeHitPerMatch * in.matches / t
+	switch alg {
+	case exec.AlgorithmBMPSM:
+		sort := (c.runGen(m, in.presortedProbe) + c.runGen(n, in.presortedBuild)) / t
+		// Per worker: its n/T private run is re-scanned once per public run
+		// (T of them) and the whole public input is scanned.
+		merge := c.MergePerTuple * (n + m)
+		return sort + merge + emit
+	case exec.AlgorithmPMPSM:
+		// The private input is re-partitioned and re-sorted regardless of
+		// pre-existing order; only the public side can skip its sort.
+		sort := (c.runGen(m, in.presortedProbe) + c.SortPerTuple*n + c.PartitionPerTuple*n) / t
+		merge := c.MergePerTuple * (n + m) / t
+		return sort + merge + emit
+	case exec.AlgorithmDMPSM:
+		base := c.Estimate(exec.AlgorithmBMPSM, in)
+		return base + (c.DiskPerTuple+in.simulatedLatency)*(n+m)/t
+	case exec.AlgorithmWisconsin:
+		return (c.hashOp(n)*(n+m) + c.hashHit(n)*in.matches) / t
+	case exec.AlgorithmRadix:
+		return (c.RadixPerTuple*(n+m) + c.RadixHitPerMatch*in.matches) / t
+	default:
+		return math.Inf(1)
+	}
+}
+
+// AlgorithmCost is one algorithm's modelled cost, for Explain output.
+type AlgorithmCost struct {
+	Algorithm exec.Algorithm
+	// Millis is the modelled wall-clock cost in milliseconds.
+	Millis float64
+	// Eligible is false when constraints (join kind, band, disk budget)
+	// exclude the algorithm regardless of cost.
+	Eligible bool
+}
+
+// inputsFor assembles the cost-model features from the two input profiles.
+func inputsFor(build, probe *stats.Profile, matches float64, workers int, latencyNs float64) joinInputs {
+	return joinInputs{
+		build:            float64(build.Tuples),
+		probe:            float64(probe.Tuples),
+		matches:          matches,
+		presortedBuild:   build.LikelySorted(),
+		presortedProbe:   probe.LikelySorted(),
+		workers:          workers,
+		simulatedLatency: latencyNs,
+	}
+}

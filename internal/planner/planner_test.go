@@ -1,0 +1,302 @@
+package planner
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// profileOf collects a fresh profile.
+func profileOf(rel *relation.Relation) *stats.Profile { return stats.Collect(rel) }
+
+// sortedClone returns a key-sorted copy of the relation.
+func sortedClone(rel *relation.Relation) *relation.Relation {
+	c := rel.Clone()
+	sort.Slice(c.Tuples, func(i, j int) bool { return c.Tuples[i].Key < c.Tuples[j].Key })
+	return c
+}
+
+// TestChooseJoinPicksHashForUnsortedInputs: with shuffled inputs at a size
+// where the hash table exceeds the cache, the radix hash join must win.
+func TestChooseJoinPicksHashForUnsortedInputs(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<18, workload.DefaultKeyDomain, 1)
+	s := workload.ForeignKeyRelation("S", r, 1<<20, 2)
+	ch := ChooseJoin(profileOf(r), profileOf(s), Constraints{Workers: 1}, DefaultCostModel())
+	if ch.Algorithm != exec.AlgorithmRadix {
+		t.Errorf("unsorted mid-size join chose %v, want Radix (costs %+v)", ch.Algorithm, ch.Costs)
+	}
+	if ch.Scheduler != sched.Static {
+		t.Errorf("single worker chose %v scheduling, want static", ch.Scheduler)
+	}
+}
+
+// TestChooseJoinPicksWisconsinForSmallBuild: a cache-resident build table
+// favours the no-partitioning hash join.
+func TestChooseJoinPicksWisconsinForSmallBuild(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<14, workload.DefaultKeyDomain, 3)
+	s := workload.ForeignKeyRelation("S", r, 1<<19, 4)
+	ch := ChooseJoin(profileOf(r), profileOf(s), Constraints{Workers: 1}, DefaultCostModel())
+	if ch.Algorithm != exec.AlgorithmWisconsin {
+		t.Errorf("small-build join chose %v, want Wisconsin (costs %+v)", ch.Algorithm, ch.Costs)
+	}
+}
+
+// TestChooseJoinExploitsPresortedInputs: fully sorted inputs must pick an
+// MPSM variant with the presorted declarations set.
+func TestChooseJoinExploitsPresortedInputs(t *testing.T) {
+	r := sortedClone(workload.UniformRelation("R", 1<<18, workload.DefaultKeyDomain, 5))
+	s := sortedClone(workload.ForeignKeyRelation("S", r, 1<<20, 6))
+	ch := ChooseJoin(profileOf(r), profileOf(s), Constraints{Workers: 1}, DefaultCostModel())
+	if ch.Algorithm != exec.AlgorithmBMPSM {
+		t.Errorf("presorted join chose %v, want B-MPSM (costs %+v)", ch.Algorithm, ch.Costs)
+	}
+	if !ch.PresortedPrivate || !ch.PresortedPublic {
+		t.Errorf("presorted inputs not declared: private=%v public=%v", ch.PresortedPrivate, ch.PresortedPublic)
+	}
+}
+
+// TestChooseJoinRespectsKindAndBandConstraints: non-inner kinds and band
+// joins may only use B-MPSM or P-MPSM.
+func TestChooseJoinRespectsKindAndBandConstraints(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<16, workload.DefaultKeyDomain, 7)
+	s := workload.ForeignKeyRelation("S", r, 1<<18, 8)
+	rp, sp := profileOf(r), profileOf(s)
+	for _, c := range []Constraints{
+		{Kind: mergejoin.LeftOuter, Workers: 1},
+		{Kind: mergejoin.Semi, Workers: 1},
+		{Kind: mergejoin.Anti, Workers: 1},
+		{Band: 100, Workers: 1},
+	} {
+		ch := ChooseJoin(rp, sp, c, DefaultCostModel())
+		if ch.Algorithm != exec.AlgorithmBMPSM && ch.Algorithm != exec.AlgorithmPMPSM {
+			t.Errorf("constraints %+v chose %v, want an MPSM variant", c, ch.Algorithm)
+		}
+		if ch.Swap {
+			t.Errorf("constraints %+v must pin the build/probe roles (non-inner kinds are asymmetric, band pairs carry R.Key != S.Key)", c)
+		}
+	}
+}
+
+// TestChooseJoinNeverSwapsBandJoins: band pairs carry R.Key != S.Key, so the
+// default projection's output keys depend on the orientation — even with a
+// commutative consumer and a lopsided size ratio the roles must stay pinned.
+func TestChooseJoinNeverSwapsBandJoins(t *testing.T) {
+	small := workload.UniformRelation("small", 1<<13, workload.DefaultKeyDomain, 43)
+	big := workload.ForeignKeyRelation("big", small, 1<<19, 44)
+	ch := ChooseJoin(profileOf(big), profileOf(small),
+		Constraints{Band: 100, Workers: 1, SymmetricConsumer: true}, DefaultCostModel())
+	if ch.Swap {
+		t.Errorf("band join swapped build/probe: %+v", ch)
+	}
+}
+
+// TestChooseJoinSwapsRoles: with a commutative consumer and a huge build
+// against a tiny probe, role reversal must flip the hash build onto the
+// small side; without the symmetric-consumer guarantee it must not.
+func TestChooseJoinSwapsRoles(t *testing.T) {
+	small := workload.UniformRelation("small", 1<<14, workload.DefaultKeyDomain, 41)
+	big := workload.ForeignKeyRelation("big", small, 1<<20, 42)
+	bp, sp := profileOf(big), profileOf(small)
+
+	ch := ChooseJoin(bp, sp, Constraints{Workers: 1, SymmetricConsumer: true}, DefaultCostModel())
+	if !ch.Swap {
+		t.Errorf("huge-build join did not reverse roles: %+v", ch)
+	}
+	if ch.Algorithm != exec.AlgorithmWisconsin {
+		t.Errorf("after reversal the cache-resident build should pick Wisconsin, got %v (costs %+v)",
+			ch.Algorithm, ch.Costs)
+	}
+
+	pinned := ChooseJoin(bp, sp, Constraints{Workers: 1}, DefaultCostModel())
+	if pinned.Swap {
+		t.Errorf("asymmetric consumer must pin the roles, got swap")
+	}
+}
+
+// TestChooseJoinKeepsDMPSM: a configured D-MPSM join expresses a memory
+// constraint and is never switched away from.
+func TestChooseJoinKeepsDMPSM(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<16, workload.DefaultKeyDomain, 9)
+	s := workload.ForeignKeyRelation("S", r, 1<<18, 10)
+	ch := ChooseJoin(profileOf(r), profileOf(s),
+		Constraints{Configured: exec.AlgorithmDMPSM, Workers: 1}, DefaultCostModel())
+	if ch.Algorithm != exec.AlgorithmDMPSM {
+		t.Errorf("pinned D-MPSM was switched to %v", ch.Algorithm)
+	}
+}
+
+// TestChooseJoinMorselUnderSkew: with several workers and a skewed input the
+// match phase switches to morsel scheduling.
+func TestChooseJoinMorselUnderSkew(t *testing.T) {
+	r := workload.SkewedRelation("R", 1<<16, workload.DefaultKeyDomain, workload.SkewLow80, 11)
+	s := workload.ForeignKeyRelation("S", r, 1<<18, 12)
+	ch := ChooseJoin(profileOf(r), profileOf(s), Constraints{Workers: 8}, DefaultCostModel())
+	if ch.Scheduler != sched.Morsel {
+		t.Errorf("skewed 8-worker join chose %v scheduling, want morsel", ch.Scheduler)
+	}
+
+	uni := workload.UniformRelation("U", 1<<16, workload.DefaultKeyDomain, 13)
+	us := workload.ForeignKeyRelation("US", uni, 1<<18, 14)
+	ch = ChooseJoin(profileOf(uni), profileOf(us), Constraints{Workers: 8}, DefaultCostModel())
+	if ch.Scheduler != sched.Static {
+		t.Errorf("uniform 8-worker join chose %v scheduling, want static", ch.Scheduler)
+	}
+}
+
+// TestCostModelWorkerScaling: B-MPSM's public-scan term must not shrink with
+// workers, while P-MPSM's join phase must.
+func TestCostModelWorkerScaling(t *testing.T) {
+	cm := DefaultCostModel()
+	in1 := joinInputs{build: 1 << 18, probe: 1 << 22, workers: 1}
+	in16 := in1
+	in16.workers = 16
+	b1 := cm.Estimate(exec.AlgorithmBMPSM, in1)
+	b16 := cm.Estimate(exec.AlgorithmBMPSM, in16)
+	p1 := cm.Estimate(exec.AlgorithmPMPSM, in1)
+	p16 := cm.Estimate(exec.AlgorithmPMPSM, in16)
+	if p16 >= p1/4 {
+		t.Errorf("P-MPSM cost barely scales with workers: %v -> %v", p1, p16)
+	}
+	if b16 < cm.MergePerTuple*float64(in1.probe) {
+		t.Errorf("B-MPSM cost %v lost its per-worker public scan term (merge floor %v)",
+			b16, cm.MergePerTuple*float64(in1.probe))
+	}
+	// With many workers and a large public input, P-MPSM must beat B-MPSM.
+	if p16 >= b16 {
+		t.Errorf("16 workers: P-MPSM (%v) should beat B-MPSM (%v)", p16, b16)
+	}
+	// On a single worker, B-MPSM (no partition pass) must beat P-MPSM.
+	if b1 >= p1 {
+		t.Errorf("1 worker: B-MPSM (%v) should beat P-MPSM (%v)", b1, p1)
+	}
+}
+
+// buildThreeWayPlan constructs scan(R), scan(S), scan(T) joined as
+// (big ⋈ big) ⋈ small — a deliberately bad order the optimizer must fix.
+func buildThreeWayPlan(r, s, tRel *relation.Relation) *exec.Plan {
+	p := &exec.Plan{}
+	rID := p.AddScan(r, nil)
+	sID := p.AddScan(s, nil)
+	tID := p.AddScan(tRel, nil)
+	j1 := p.AddJoin(rID, sID, exec.AlgorithmPMPSM, core.Options{Workers: 1}, core.DiskOptions{})
+	j2 := p.AddJoin(j1, tID, exec.AlgorithmPMPSM, core.Options{Workers: 1}, core.DiskOptions{})
+	p.AddGroupAggregate(j2, 0)
+	return p
+}
+
+// TestOptimizeReordersJoinCluster: the greedy order must join the selective
+// small relation first, shrinking the intermediate.
+func TestOptimizeReordersJoinCluster(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<16, workload.DefaultKeyDomain, 15)
+	s := workload.ForeignKeyRelation("S", r, 1<<18, 16)
+	// T keeps only a sliver of R's keys: joining T first is far cheaper.
+	small := workload.ForeignKeyRelation("T", r, 1<<10, 17)
+
+	p := buildThreeWayPlan(r, s, small)
+	opt := &Optimizer{Rewrite: true}
+	op, decisions, err := opt.Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if err := op.Validate(); err != nil {
+		t.Fatalf("optimized plan invalid: %v", err)
+	}
+
+	// The first-executed join (node 3) must now touch the small scan (node
+	// 2) instead of pairing the two big relations.
+	j1 := op.Nodes[3]
+	touchesSmall := j1.Inputs[0] == 2 || j1.Inputs[1] == 2
+	if !touchesSmall {
+		t.Errorf("first join still pairs the big relations: inputs %v (decisions %+v)", j1.Inputs, decisions[3])
+	}
+	reordered := decisions[3].Reordered || decisions[4].Reordered
+	if !reordered {
+		t.Errorf("no join marked as reordered")
+	}
+}
+
+// TestOptimizeAnnotatesWithoutRewrite: with Rewrite unset the plan is
+// unchanged but estimates appear.
+func TestOptimizeAnnotatesWithoutRewrite(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<14, workload.DefaultKeyDomain, 19)
+	s := workload.ForeignKeyRelation("S", r, 1<<16, 20)
+	p := &exec.Plan{}
+	rID := p.AddScan(r, nil)
+	sID := p.AddScan(s, nil)
+	j := p.AddJoin(rID, sID, exec.AlgorithmBMPSM, core.Options{Workers: 1, Scheduler: sched.Morsel}, core.DiskOptions{})
+	p.AddSink(j, nil)
+
+	op, decisions, err := (&Optimizer{}).Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if op.Nodes[j].Algorithm != exec.AlgorithmBMPSM || op.Nodes[j].JoinOptions.Scheduler != sched.Morsel {
+		t.Errorf("annotate-only optimization changed the plan: %+v", op.Nodes[j])
+	}
+	if decisions[j].Algorithm != exec.AlgorithmBMPSM {
+		t.Errorf("decision reports %v, want the configured B-MPSM", decisions[j].Algorithm)
+	}
+	if decisions[j].EstRows <= 0 {
+		t.Errorf("join estimate missing: %+v", decisions[j])
+	}
+}
+
+// TestOptimizePinsAggregateMode: the aggregation strategy must follow the
+// chosen join algorithm.
+func TestOptimizePinsAggregateMode(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<16, workload.DefaultKeyDomain, 21)
+	s := workload.ForeignKeyRelation("S", r, 1<<18, 22)
+	p := &exec.Plan{}
+	j := p.AddJoin(p.AddScan(r, nil), p.AddScan(s, nil), exec.AlgorithmPMPSM, core.Options{Workers: 1}, core.DiskOptions{})
+	agg := p.AddGroupAggregate(j, 0)
+
+	op, decisions, err := (&Optimizer{Rewrite: true}).Optimize(p)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	wantMerge := exec.KeyOrderedOutput(op.Nodes[j].Algorithm)
+	got := op.Nodes[agg].AggMode
+	if wantMerge && got != exec.AggMerge {
+		t.Errorf("aggregate above %v pinned to %v, want merge", op.Nodes[j].Algorithm, got)
+	}
+	if !wantMerge && got != exec.AggHash {
+		t.Errorf("aggregate above %v pinned to %v, want hash", op.Nodes[j].Algorithm, got)
+	}
+	if decisions[agg].AggMode != got {
+		t.Errorf("decision (%v) and plan (%v) disagree on the aggregate mode", decisions[agg].AggMode, got)
+	}
+}
+
+// TestOptimizedPlanExecutes: an optimized plan must run and produce the same
+// aggregate as the unoptimized plan.
+func TestOptimizedPlanExecutes(t *testing.T) {
+	r := workload.UniformRelation("R", 1<<13, workload.DefaultKeyDomain, 23)
+	s := workload.ForeignKeyRelation("S", r, 1<<15, 24)
+	small := workload.ForeignKeyRelation("T", r, 1<<9, 25)
+
+	base := buildThreeWayPlan(r, s, small)
+	baseRes, err := exec.RunPlan(context.Background(), base, nil)
+	if err != nil {
+		t.Fatalf("base plan: %v", err)
+	}
+
+	op, _, err := (&Optimizer{Rewrite: true}).Optimize(buildThreeWayPlan(r, s, small))
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	optRes, err := exec.RunPlan(context.Background(), op, nil)
+	if err != nil {
+		t.Fatalf("optimized plan: %v", err)
+	}
+	if !relation.SameMultiset(baseRes.Output.Tuples, optRes.Output.Tuples) {
+		t.Errorf("optimized plan output differs: %d vs %d groups", baseRes.Output.Len(), optRes.Output.Len())
+	}
+}

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// exactDistinct counts the distinct keys of a relation.
+func exactDistinct(rel *relation.Relation) int {
+	seen := make(map[uint64]struct{}, rel.Len())
+	for _, t := range rel.Tuples {
+		seen[t.Key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// exactJoin counts the exact equi-join cardinality.
+func exactJoin(a, b *relation.Relation) float64 {
+	counts := make(map[uint64]int, a.Len())
+	for _, t := range a.Tuples {
+		counts[t.Key]++
+	}
+	total := 0.0
+	for _, t := range b.Tuples {
+		total += float64(counts[t.Key])
+	}
+	return total
+}
+
+// withinFactor asserts |estimate| and |exact| agree within the given factor.
+func withinFactor(t *testing.T, what string, estimate, exact, factor float64) {
+	t.Helper()
+	if exact == 0 {
+		if estimate > factor {
+			t.Errorf("%s: estimate %.1f for exact 0", what, estimate)
+		}
+		return
+	}
+	ratio := estimate / exact
+	if ratio < 1/factor || ratio > factor {
+		t.Errorf("%s: estimate %.1f vs exact %.1f (ratio %.2f, want within %.1fx)",
+			what, estimate, exact, ratio, factor)
+	}
+}
+
+// skewCases enumerates every key distribution the workload generator offers.
+var skewCases = []struct {
+	name string
+	skew workload.Skew
+}{
+	{"uniform", workload.SkewNone},
+	{"low80", workload.SkewLow80},
+	{"high80", workload.SkewHigh80},
+}
+
+// locationCases enumerates every physical arrangement.
+var locationCases = []struct {
+	name string
+	loc  workload.LocationSkew
+}{
+	{"shuffled", workload.LocationNone},
+	{"clustered", workload.LocationClustered},
+}
+
+// TestDistinctAccuracy checks the documented factor-2 bound of the Chao1
+// distinct estimator across every skew × arrangement × duplication level.
+func TestDistinctAccuracy(t *testing.T) {
+	const n = 1 << 17
+	for _, sk := range skewCases {
+		for _, loc := range locationCases {
+			for _, domain := range []uint64{0 /* 2^32: near-unique */, n / 2 /* heavy duplication */} {
+				rel := workload.SkewedRelation("X", n, pickDomain(domain), sk.skew, 7)
+				workload.ApplyLocationSkew(rel, 8, loc.loc, pickDomain(domain))
+				p := Collect(rel)
+				name := sk.name + "/" + loc.name
+				if domain != 0 {
+					name += "/dense"
+				}
+				withinFactor(t, "distinct "+name, p.DistinctKeys, float64(exactDistinct(rel)), 2)
+			}
+		}
+	}
+}
+
+// pickDomain maps 0 to the default 2^32 domain.
+func pickDomain(domain uint64) uint64 {
+	if domain == 0 {
+		return workload.DefaultKeyDomain
+	}
+	return domain
+}
+
+// TestSkewClassification checks that the skew coefficient separates uniform
+// from 80:20 inputs with the documented thresholds, under both arrangements.
+func TestSkewClassification(t *testing.T) {
+	const n = 1 << 16
+	for _, loc := range locationCases {
+		for _, sk := range skewCases {
+			rel := workload.SkewedRelation("X", n, workload.DefaultKeyDomain, sk.skew, 11)
+			workload.ApplyLocationSkew(rel, 8, loc.loc, workload.DefaultKeyDomain)
+			p := Collect(rel)
+			if sk.skew == workload.SkewNone {
+				if p.Skew > 2.5 {
+					t.Errorf("%s/%s: uniform input classified as skewed (coefficient %.2f)", sk.name, loc.name, p.Skew)
+				}
+			} else if p.Skew < 3.0 {
+				t.Errorf("%s/%s: 80:20 input classified as uniform (coefficient %.2f)", sk.name, loc.name, p.Skew)
+			}
+		}
+	}
+}
+
+// TestSortednessProbe checks the presortedness probe: exactly 1.0 on sorted
+// data, well below 1.0 on shuffles, and that clustered arrangements are
+// recognized through the key/position correlation.
+func TestSortednessProbe(t *testing.T) {
+	const n = 1 << 16
+	rel := workload.UniformRelation("X", n, workload.DefaultKeyDomain, 13)
+
+	shuffled := Collect(rel)
+	if shuffled.LikelySorted() {
+		t.Errorf("shuffled input probed as sorted (fraction %.3f)", shuffled.SortedFraction)
+	}
+	if shuffled.Clustered() {
+		t.Errorf("shuffled input probed as clustered (correlation %.3f)", shuffled.KeyPositionCorrelation)
+	}
+
+	sorted := rel.Clone()
+	sort.Slice(sorted.Tuples, func(i, j int) bool { return sorted.Tuples[i].Key < sorted.Tuples[j].Key })
+	sp := Collect(sorted)
+	if !sp.LikelySorted() {
+		t.Errorf("sorted input not probed as sorted (fraction %.3f)", sp.SortedFraction)
+	}
+	if !sp.Clustered() {
+		t.Errorf("sorted input not probed as clustered (correlation %.3f)", sp.KeyPositionCorrelation)
+	}
+
+	clustered := rel.Clone()
+	workload.ApplyLocationSkew(clustered, 8, workload.LocationClustered, workload.DefaultKeyDomain)
+	cp := Collect(clustered)
+	if cp.LikelySorted() {
+		t.Errorf("clustered-but-unsorted input probed as fully sorted")
+	}
+	if !cp.Clustered() {
+		t.Errorf("clustered input not recognized (correlation %.3f)", cp.KeyPositionCorrelation)
+	}
+}
+
+// TestJoinEstimateAccuracy checks EstimateJoin against exact join counts for
+// the documented workload families and bounds: foreign-key (probe estimator,
+// factor 1.5) across every skew and arrangement, independent skewed inputs
+// over a dense domain (histogram fallback, factor 3), and a disjoint join
+// (no large prediction).
+func TestJoinEstimateAccuracy(t *testing.T) {
+	const n = 1 << 16
+
+	for _, sk := range skewCases {
+		for _, loc := range locationCases {
+			r := workload.SkewedRelation("R", n, workload.DefaultKeyDomain, sk.skew, 17)
+			s := workload.ForeignKeyRelation("S", r, 4*n, 18)
+			workload.ApplyLocationSkew(s, 8, loc.loc, workload.DefaultKeyDomain)
+			est := EstimateJoin(Collect(r), Collect(s))
+			withinFactor(t, "fk join "+sk.name+"/"+loc.name, est, exactJoin(r, s), 1.5)
+		}
+	}
+
+	// Independent inputs over a dense domain (the negatively correlated
+	// Section 5.6 shape): histogram fallback, factor 3.
+	domain := uint64(4 * n)
+	r := workload.SkewedRelation("R", n, domain, workload.SkewHigh80, 19)
+	s := workload.SkewedRelation("S", 4*n, domain, workload.SkewLow80, 20)
+	est := EstimateJoin(Collect(r), Collect(s))
+	withinFactor(t, "independent negcorr join", est, exactJoin(r, s), 3)
+
+	// Same-skew independent dense inputs.
+	r2 := workload.SkewedRelation("R", n, domain, workload.SkewLow80, 21)
+	s2 := workload.SkewedRelation("S", 4*n, domain, workload.SkewLow80, 22)
+	est2 := EstimateJoin(Collect(r2), Collect(s2))
+	withinFactor(t, "independent same-skew join", est2, exactJoin(r2, s2), 3)
+
+	// Self-joins saturate the cross-sample probe; the containment fallback
+	// must keep the estimate within the documented factor 3, for unique
+	// keys (|J| ≈ n) and for duplicate-heavy keys (|J| ≈ n·duplication).
+	selfUnique := workload.UniformRelation("SU", n, workload.DefaultKeyDomain, 27)
+	pu := Collect(selfUnique)
+	withinFactor(t, "self-join unique", EstimateJoin(pu, pu), exactJoin(selfUnique, selfUnique), 3)
+	parent := workload.UniformRelation("P", n/16, workload.DefaultKeyDomain, 28)
+	selfDup := workload.ForeignKeyRelation("SD", parent, n, 29)
+	pd := Collect(selfDup)
+	withinFactor(t, "self-join duplicated", EstimateJoin(pd, pd), exactJoin(selfDup, selfDup), 3)
+
+	// Disjoint key ranges must not predict a large join.
+	lo := workload.UniformRelation("L", n, 1<<20, 23)
+	hiTuples := make([]relation.Tuple, n)
+	for i := range hiTuples {
+		hiTuples[i] = relation.Tuple{Key: uint64(1<<30) + uint64(i), Payload: 1}
+	}
+	hi := relation.New("H", hiTuples)
+	if est := EstimateJoin(Collect(lo), Collect(hi)); est > 1 {
+		t.Errorf("disjoint join estimated at %.1f, want ~0", est)
+	}
+}
+
+// TestSelectivity checks predicate selectivity estimation on the sample.
+func TestSelectivity(t *testing.T) {
+	rel := workload.UniformRelation("X", 1<<16, workload.DefaultKeyDomain, 29)
+	p := Collect(rel)
+	half := p.Selectivity(func(t relation.Tuple) bool { return t.Key < 1<<31 })
+	if math.Abs(half-0.5) > 0.08 {
+		t.Errorf("half-domain predicate selectivity %.3f, want ~0.5", half)
+	}
+	if got := p.Selectivity(nil); got != 1 {
+		t.Errorf("nil predicate selectivity %v, want 1", got)
+	}
+	none := p.Selectivity(func(relation.Tuple) bool { return false })
+	if none != 0 {
+		t.Errorf("false predicate selectivity %v, want 0", none)
+	}
+}
+
+// TestFilteredProfile checks that Filtered narrows the key range and scales
+// the cardinality.
+func TestFilteredProfile(t *testing.T) {
+	rel := workload.UniformRelation("X", 1<<16, workload.DefaultKeyDomain, 31)
+	p := Collect(rel)
+	f := p.Filtered(func(t relation.Tuple) bool { return t.Key < 1<<30 })
+	wantTuples := float64(rel.Len()) / 4
+	withinFactor(t, "filtered cardinality", float64(f.Tuples), wantTuples, 1.4)
+	if f.MaxKey >= 1<<30 {
+		t.Errorf("filtered profile kept MaxKey %d outside the predicate range", f.MaxKey)
+	}
+}
+
+// TestDeterminism checks that profiling is reproducible.
+func TestDeterminism(t *testing.T) {
+	rel := workload.UniformRelation("X", 1<<15, workload.DefaultKeyDomain, 37)
+	a, b := Collect(rel), Collect(rel)
+	if a.DistinctKeys != b.DistinctKeys || a.SortedFraction != b.SortedFraction || a.Skew != b.Skew {
+		t.Errorf("profiles differ across runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestEmptyAndTiny covers degenerate relations.
+func TestEmptyAndTiny(t *testing.T) {
+	if p := Collect(relation.New("empty", nil)); p.Tuples != 0 || !p.LikelySorted() {
+		t.Errorf("empty profile: %+v", p)
+	}
+	one := relation.New("one", []relation.Tuple{{Key: 5, Payload: 1}})
+	p := Collect(one)
+	if p.Tuples != 1 || p.DistinctKeys != 1 || !p.LikelySorted() {
+		t.Errorf("singleton profile: %+v", p)
+	}
+	if est := EstimateJoin(p, Collect(relation.New("empty", nil))); est != 0 {
+		t.Errorf("join with empty relation estimated at %v", est)
+	}
+}

@@ -80,6 +80,20 @@
 //	res, err := engine.RunPlan(ctx, plan)
 //	// res.Output: one {key, sum} tuple per group, ascending
 //
+// # Auto-planning
+//
+// With WithAutoPlan(true) the engine stops taking physical orders: sampled
+// relation statistics feed a calibrated cost model that picks the join
+// algorithm per join, orders multi-join chains by estimated intermediate
+// size, reverses build/probe roles where safe, declares presorted inputs,
+// chooses Static vs Morsel scheduling from the skew profile, and pins the
+// aggregation strategy. Explain and ExplainAnalyze describe the chosen
+// physical plan with estimated (and actual) cardinalities:
+//
+//	engine := mpsm.New(mpsm.WithAutoPlan(true))
+//	res, err := engine.Join(ctx, r, s)   // algorithm picked from the data
+//	ex, err := engine.Explain(plan)      // plan tree + estimates + rationale
+//
 // The legacy one-shot Join and JoinWithDiskStats functions remain as thin
 // deprecated wrappers over an implicit engine.
 //

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/planner"
 	"repro/internal/sink"
 )
 
@@ -216,15 +217,55 @@ type PlanResult struct {
 // canceled context aborts the plan at the next operator boundary (or, inside
 // a join, at the next phase boundary or chunk) and returns ctx.Err().
 func (e *Engine) RunPlan(ctx context.Context, p *Plan, opts ...Option) (*PlanResult, error) {
+	ep, global, err := e.buildExecPlan(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	pool := e.scratchFor(global)
+	if global.autoPlan {
+		opt := &planner.Optimizer{Profile: e.profileFor, Rewrite: true}
+		optimized, _, err := opt.Optimize(ep)
+		if err != nil {
+			return nil, err
+		}
+		ep = optimized
+	}
+
+	pr, err := exec.RunPlan(ctx, ep, pool)
+	if err != nil {
+		return nil, err
+	}
+	return convertPlanResult(pr), nil
+}
+
+// convertPlanResult lifts the exec result into the public representation.
+func convertPlanResult(pr *exec.PlanResult) *PlanResult {
+	res := &PlanResult{
+		Output:   pr.Output,
+		Matches:  pr.Matches,
+		MaxSum:   pr.MaxSum,
+		ScanTime: pr.ScanTime,
+		Total:    pr.Total,
+	}
+	for _, j := range pr.Joins { // already sorted by node ID
+		res.Joins = append(res.Joins, PlanJoin{Result: j.Result, Disk: j.Disk})
+	}
+	return res
+}
+
+// buildExecPlan lowers the public plan into the exec representation,
+// resolving per-node join options over the engine + per-call configuration.
+// The auto-planner's rewrites happen on this lowered form, after per-node
+// options have been applied, which is what lets optimized physical choices
+// override them.
+func (e *Engine) buildExecPlan(p *Plan, opts []Option) (*exec.Plan, settings, error) {
+	global := e.resolve(opts)
 	if p == nil || len(p.nodes) == 0 {
-		return nil, fmt.Errorf("mpsm: RunPlan requires a non-empty plan")
+		return nil, global, fmt.Errorf("mpsm: RunPlan requires a non-empty plan")
 	}
 	if p.err != nil {
-		return nil, p.err
+		return nil, global, p.err
 	}
-	global := e.resolve(opts)
-	pool := e.scratchFor(global)
-
 	ep := &exec.Plan{}
 	for _, n := range p.nodes {
 		switch n.kind {
@@ -246,22 +287,7 @@ func (e *Engine) RunPlan(ctx context.Context, p *Plan, opts ...Option) (*PlanRes
 			ep.AddSink(n.inputs[0], n.sink)
 		}
 	}
-
-	pr, err := exec.RunPlan(ctx, ep, pool)
-	if err != nil {
-		return nil, err
-	}
-	res := &PlanResult{
-		Output:   pr.Output,
-		Matches:  pr.Matches,
-		MaxSum:   pr.MaxSum,
-		ScanTime: pr.ScanTime,
-		Total:    pr.Total,
-	}
-	for _, j := range pr.Joins { // already sorted by node ID
-		res.Joins = append(res.Joins, PlanJoin{Result: j.Result, Disk: j.Disk})
-	}
-	return res, nil
+	return ep, global, nil
 }
 
 // predicate adapts a public predicate to the exec representation (Tuple is
