@@ -1,0 +1,76 @@
+// Command mpsmd serves MPSM joins over HTTP: a thin front-end over the
+// mpsm.Service serving layer (admission control, fair-share scheduling, plan
+// cache) with an in-memory catalog of named relations.
+//
+// Start a server and run a join:
+//
+//	mpsmd -addr :7737 -pool -auto &
+//	curl -s localhost:7737/v1/relations -d '{"name":"R","generate":{"size":100000,"seed":1}}'
+//	curl -s localhost:7737/v1/relations -d '{"name":"S","generate":{"size":400000,"seed":2,"foreign_key_of":"R"}}'
+//	curl -s localhost:7737/v1/join -d '{"r":"R","s":"S"}'
+//	curl -s localhost:7737/v1/stats
+//
+// Joins admitted beyond the memory limit queue FIFO (429 once the queue is
+// full); concurrent joins interleave under weighted fair-share scheduling; and
+// repeated plan shapes are served from the plan cache — /v1/stats reports all
+// three.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	mpsm "repro"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":7737", "listen address")
+		workers       = flag.Int("workers", 0, "engine degree of parallelism (default GOMAXPROCS)")
+		usePool       = flag.Bool("pool", true, "enable the engine-wide scratch pool")
+		autoPlan      = flag.Bool("auto", true, "let the cost-based planner pick physical plans (memoized by the plan cache)")
+		maxMemory     = flag.Int64("max-memory", 0, "admission memory limit in bytes (0 = pool default)")
+		queueLimit    = flag.Int("queue", 0, "admission queue limit (0 = unbounded)")
+		queueTimeout  = flag.Duration("queue-timeout", 0, "max time a query waits for admission (0 = query context only)")
+		fairSlots     = flag.Int("fair-slots", 0, "fair-share execution slots (default GOMAXPROCS)")
+		cacheSize     = flag.Int("cache-size", 0, "plan cache capacity (0 = default 256)")
+		defaultBudget = flag.Int64("default-budget", 0, "per-query memory budget in bytes when the request declares none (0 = derive from input sizes)")
+	)
+	flag.Parse()
+
+	engine := mpsm.New(
+		mpsm.WithWorkers(*workers),
+		mpsm.WithScratchPool(*usePool),
+		mpsm.WithAutoPlan(*autoPlan),
+	)
+	svc := mpsm.NewService(engine,
+		mpsm.WithMaxMemory(*maxMemory),
+		mpsm.WithAdmissionQueue(*queueLimit, *queueTimeout),
+		mpsm.WithFairSlots(*fairSlots),
+		mpsm.WithPlanCacheSize(*cacheSize),
+		mpsm.WithDefaultBudget(*defaultBudget),
+	)
+	defer svc.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: newServer(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("mpsmd listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "mpsmd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	mpsm "repro"
+)
+
+// server is the HTTP front-end over one mpsm.Service: a named-relation catalog
+// plus join submission. All state mutations go through the catalog mutex; the
+// service itself is concurrency-safe by construction.
+type server struct {
+	svc *mpsm.Service
+	mux *http.ServeMux
+
+	mu        sync.RWMutex
+	relations map[string]*mpsm.Relation
+}
+
+// newServer wires the routes. The returned server is an http.Handler, so tests
+// drive it through net/http/httptest without binding a port.
+func newServer(svc *mpsm.Service) *server {
+	s := &server{
+		svc:       svc,
+		mux:       http.NewServeMux(),
+		relations: make(map[string]*mpsm.Relation),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/relations", s.handleListRelations)
+	s.mux.HandleFunc("POST /v1/relations", s.handleCreateRelation)
+	s.mux.HandleFunc("POST /v1/join", s.handleJoin)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v with the given status; encoding errors at this point can
+// only be half-written responses, so they are ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// relationInfo summarizes one catalog entry.
+type relationInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+func (s *server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]relationInfo, 0, len(s.relations))
+	for name, rel := range s.relations {
+		infos = append(infos, relationInfo{Name: name, Rows: rel.Len()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// generateSpec asks the server to synthesize a relation: uniform keys by
+// default, or foreign keys drawn from an existing relation.
+type generateSpec struct {
+	Size int    `json:"size"`
+	Seed uint64 `json:"seed"`
+	// ForeignKeyOf names an existing relation to sample keys from,
+	// guaranteeing join partners.
+	ForeignKeyOf string `json:"foreign_key_of,omitempty"`
+}
+
+// createRelationRequest registers a named relation, either from explicit
+// tuples ([[key, payload], ...]) or from a generator spec.
+type createRelationRequest struct {
+	Name     string        `json:"name"`
+	Tuples   [][2]uint64   `json:"tuples,omitempty"`
+	Generate *generateSpec `json:"generate,omitempty"`
+}
+
+func (s *server) handleCreateRelation(w http.ResponseWriter, r *http.Request) {
+	var req createRelationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "relation name is required")
+		return
+	}
+	if (req.Tuples == nil) == (req.Generate == nil) {
+		writeError(w, http.StatusBadRequest, "provide exactly one of tuples or generate")
+		return
+	}
+
+	var rel *mpsm.Relation
+	switch {
+	case req.Tuples != nil:
+		tuples := make([]mpsm.Tuple, len(req.Tuples))
+		for i, t := range req.Tuples {
+			tuples[i] = mpsm.Tuple{Key: t[0], Payload: t[1]}
+		}
+		rel = &mpsm.Relation{Name: req.Name, Tuples: tuples}
+	case req.Generate.Size <= 0:
+		writeError(w, http.StatusBadRequest, "generate.size must be positive")
+		return
+	case req.Generate.ForeignKeyOf != "":
+		s.mu.RLock()
+		parent, ok := s.relations[req.Generate.ForeignKeyOf]
+		s.mu.RUnlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown parent relation %q", req.Generate.ForeignKeyOf)
+			return
+		}
+		rel = mpsm.GenerateForeignKey(req.Name, parent, req.Generate.Size, req.Generate.Seed)
+	default:
+		rel = mpsm.GenerateUniform(req.Name, req.Generate.Size, req.Generate.Seed)
+	}
+
+	s.mu.Lock()
+	s.relations[req.Name] = rel
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, relationInfo{Name: req.Name, Rows: rel.Len()})
+}
+
+// joinRequest submits R ⋈ S through the serving layer. R is the private
+// (smaller, partitioned) input, S the public one.
+type joinRequest struct {
+	R string `json:"r"`
+	S string `json:"s"`
+	// Algorithm optionally pins the join algorithm (pmpsm, bmpsm, dmpsm,
+	// wisconsin, radix); empty defers to the engine (and, under auto-plan,
+	// the cost-based planner via the plan cache).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers optionally pins the degree of parallelism; 0 lets the service
+	// choose elastically from the fair-share slots.
+	Workers int `json:"workers,omitempty"`
+	// Weight is the fair-share weight (default 1).
+	Weight int `json:"weight,omitempty"`
+	// BudgetBytes is the declared admission budget; 0 derives it from the
+	// input sizes.
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// Label names the query in the stats attribution.
+	Label string `json:"label,omitempty"`
+}
+
+// joinResponse is the evaluation-query result plus timing.
+type joinResponse struct {
+	Matches     uint64  `json:"matches"`
+	MaxSum      uint64  `json:"max_sum"`
+	Algorithm   string  `json:"algorithm"`
+	Workers     int     `json:"workers"`
+	TotalMillis float64 `json:"total_millis"`
+}
+
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	s.mu.RLock()
+	rRel, rOK := s.relations[req.R]
+	sRel, sOK := s.relations[req.S]
+	s.mu.RUnlock()
+	if !rOK {
+		writeError(w, http.StatusNotFound, "unknown relation %q", req.R)
+		return
+	}
+	if !sOK {
+		writeError(w, http.StatusNotFound, "unknown relation %q", req.S)
+		return
+	}
+
+	var qopts []mpsm.QueryOption
+	var eopts []mpsm.Option
+	if req.Algorithm != "" {
+		alg, err := mpsm.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// A pinned algorithm turns auto-planning off for this query;
+		// otherwise the planner would be free to override the pin.
+		eopts = append(eopts, mpsm.WithAlgorithm(alg), mpsm.WithAutoPlan(false))
+	}
+	if req.Workers > 0 {
+		eopts = append(eopts, mpsm.WithWorkers(req.Workers))
+	}
+	if len(eopts) > 0 {
+		qopts = append(qopts, mpsm.WithQueryOptions(eopts...))
+	}
+	if req.Weight > 0 {
+		qopts = append(qopts, mpsm.WithQueryWeight(req.Weight))
+	}
+	if req.BudgetBytes > 0 {
+		qopts = append(qopts, mpsm.WithQueryBudget(req.BudgetBytes))
+	}
+	if req.Label != "" {
+		qopts = append(qopts, mpsm.WithQueryLabel(req.Label))
+	}
+
+	start := time.Now()
+	res, err := s.svc.Join(r.Context(), rRel, sRel, qopts...)
+	if err != nil {
+		writeError(w, joinErrorStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, joinResponse{
+		Matches:     res.Matches,
+		MaxSum:      res.MaxSum,
+		Algorithm:   res.Algorithm,
+		Workers:     res.Workers,
+		TotalMillis: float64(time.Since(start).Microseconds()) / 1000.0,
+	})
+}
+
+// joinErrorStatus maps serving-layer errors to HTTP statuses: admission
+// back-pressure is 429 (retryable), an impossible budget is 413, a closed
+// service is 503, anything else a plain 500.
+func joinErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, mpsm.ErrQueueFull), errors.Is(err, mpsm.ErrQueueTimeout):
+		return http.StatusTooManyRequests
+	case errors.Is(err, mpsm.ErrBudgetTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, mpsm.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	mpsm "repro"
+	"repro/internal/mergejoin"
+)
+
+// newTestServer spins up the handler over a default service; the caller gets
+// the httptest server and the underlying mpsm.Service for stats assertions.
+func newTestServer(t *testing.T) (*httptest.Server, *mpsm.Service) {
+	t.Helper()
+	svc := mpsm.NewService(mpsm.New(mpsm.WithWorkers(2), mpsm.WithAutoPlan(true)))
+	ts := httptest.NewServer(newServer(svc))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts, svc
+}
+
+// post sends a JSON body and decodes the JSON response into out (if non-nil),
+// returning the status code.
+func post(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServerJoinEndToEnd(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	// Register R and S through the API; generation is seed-deterministic, so
+	// the oracle can be computed on an identical local copy.
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "R", Generate: &generateSpec{Size: 2000, Seed: 7}}, nil); code != http.StatusCreated {
+		t.Fatalf("create R: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "S", Generate: &generateSpec{Size: 8000, Seed: 8, ForeignKeyOf: "R"}}, nil); code != http.StatusCreated {
+		t.Fatalf("create S: status %d", code)
+	}
+	r := mpsm.GenerateUniform("R", 2000, 7)
+	s := mpsm.GenerateForeignKey("S", r, 8000, 8)
+	var want mergejoin.MaxAggregate
+	mergejoin.ReferenceJoin(r.Tuples, s.Tuples, &want)
+
+	var res joinResponse
+	if code := post(t, ts.URL+"/v1/join", joinRequest{R: "R", S: "S", Label: "http"}, &res); code != http.StatusOK {
+		t.Fatalf("join: status %d", code)
+	}
+	if res.Matches != want.Count || res.MaxSum != want.Max {
+		t.Fatalf("join over HTTP = %d/%d, want %d/%d", res.Matches, res.MaxSum, want.Count, want.Max)
+	}
+
+	// The repeated join hits the plan cache; /v1/stats reports it.
+	if code := post(t, ts.URL+"/v1/join", joinRequest{R: "R", S: "S"}, &res); code != http.StatusOK {
+		t.Fatalf("repeat join: status %d", code)
+	}
+	var stats mpsm.ServiceStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Admission.Admitted != 2 || stats.PlanCache.Hits != 1 {
+		t.Fatalf("stats after two joins = admitted %d, cache hits %d; want 2 and 1",
+			stats.Admission.Admitted, stats.PlanCache.Hits)
+	}
+	if svc.Stats().Memory.ReservedBytes != 0 {
+		t.Fatal("reservations leaked after HTTP joins")
+	}
+}
+
+func TestServerExplicitTuplesAndAlgorithm(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "R", Tuples: [][2]uint64{{1, 10}, {2, 20}, {3, 30}}}, nil); code != http.StatusCreated {
+		t.Fatalf("create R: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "S", Tuples: [][2]uint64{{2, 5}, {2, 7}, {9, 1}}}, nil); code != http.StatusCreated {
+		t.Fatalf("create S: status %d", code)
+	}
+	var res joinResponse
+	if code := post(t, ts.URL+"/v1/join",
+		joinRequest{R: "R", S: "S", Algorithm: "wisconsin", Workers: 2}, &res); code != http.StatusOK {
+		t.Fatalf("join: status %d", code)
+	}
+	// Key 2 matches twice: payload sums 25 and 27.
+	if res.Matches != 2 || res.MaxSum != 27 {
+		t.Fatalf("join = %d/%d, want 2/27", res.Matches, res.MaxSum)
+	}
+	// The pinned algorithm is honored even though the service auto-plans.
+	if res.Algorithm != "Wisconsin" {
+		t.Fatalf("algorithm = %q, want the pinned Wisconsin", res.Algorithm)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	if code := post(t, ts.URL+"/v1/join", joinRequest{R: "nope", S: "nada"}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown relation: status %d, want 404", code)
+	}
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "R", Generate: &generateSpec{Size: 100, Seed: 1}}, nil); code != http.StatusCreated {
+		t.Fatalf("create R: status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "bad"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("neither tuples nor generate: status %d, want 400", code)
+	}
+	if code := post(t, ts.URL+"/v1/relations",
+		createRelationRequest{Name: "S", Generate: &generateSpec{Size: 100, Seed: 2, ForeignKeyOf: "ghost"}}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown parent: status %d, want 404", code)
+	}
+	if code := post(t, ts.URL+"/v1/join",
+		joinRequest{R: "R", S: "R", Algorithm: "bogosort"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad algorithm: status %d, want 400", code)
+	}
+	// An admission budget that can never fit maps to 413.
+	engine := mpsm.New()
+	small := mpsm.NewService(engine, mpsm.WithMaxMemory(1<<20))
+	defer small.Close()
+	ts2 := httptest.NewServer(newServer(small))
+	defer ts2.Close()
+	if code := post(t, ts2.URL+"/v1/relations",
+		createRelationRequest{Name: "R", Generate: &generateSpec{Size: 100, Seed: 1}}, nil); code != http.StatusCreated {
+		t.Fatal("create R on small service failed")
+	}
+	if code := post(t, ts2.URL+"/v1/join",
+		joinRequest{R: "R", S: "R", BudgetBytes: 2 << 20}, nil); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized budget: status %d, want 413", code)
+	}
+}

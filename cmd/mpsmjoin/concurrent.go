@@ -1,0 +1,113 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	mpsm "repro"
+)
+
+// runConcurrent is the serving-path smoke test behind -concurrency: it wraps
+// the engine in an mpsm.Service and replays the same join from n closed-loop
+// client goroutines, repeat queries each, then prints a latency histogram with
+// quantiles and the serving counters (plan-cache hit rate, admission totals).
+func runConcurrent(ctx context.Context, engine *mpsm.Engine, r, s *mpsm.Relation, n, repeat int, opts []mpsm.Option) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	svc := mpsm.NewService(engine)
+	defer svc.Close()
+
+	fmt.Printf("replaying the join from %d clients, %d queries each, through one service\n\n", n, repeat)
+
+	latencies := make([][]time.Duration, n)
+	errs := make([]error, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			label := fmt.Sprintf("client%02d", c)
+			for i := 0; i < repeat; i++ {
+				qStart := time.Now()
+				_, err := svc.Join(ctx, r, s,
+					mpsm.WithQueryLabel(label), mpsm.WithQueryOptions(opts...))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(qStart))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for c, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpsmjoin: client %d: %v\n", c, err)
+			os.Exit(1)
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) time.Duration {
+		return all[int(q*float64(len(all)-1))]
+	}
+
+	printHistogram(all)
+
+	fmt.Printf("\nqueries:         %d in %s (%.0f qps)\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency:         p50 %s  p95 %s  p99 %s  max %s\n",
+		quantile(0.50).Round(time.Microsecond), quantile(0.95).Round(time.Microsecond),
+		quantile(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+
+	st := svc.Stats()
+	if total := st.PlanCache.Hits + st.PlanCache.Misses; total > 0 {
+		fmt.Printf("plan cache:      %.0f%% hit rate (%d hits / %d lookups)\n",
+			100*float64(st.PlanCache.Hits)/float64(total), st.PlanCache.Hits, total)
+	}
+	fmt.Printf("admission:       %d admitted, %d queued, %d rejected\n",
+		st.Admission.Admitted, st.Admission.Queued, st.Admission.Rejected)
+}
+
+// printHistogram renders the latency distribution in power-of-two buckets.
+func printHistogram(sorted []time.Duration) {
+	// Bucket i covers [2^i, 2^(i+1)) microseconds; find the populated range.
+	bucketOf := func(d time.Duration) int {
+		us := d.Microseconds()
+		b := 0
+		for us >= 2 {
+			us >>= 1
+			b++
+		}
+		return b
+	}
+	lo, hi := bucketOf(sorted[0]), bucketOf(sorted[len(sorted)-1])
+	counts := make([]int, hi-lo+1)
+	maxCount := 0
+	for _, d := range sorted {
+		b := bucketOf(d) - lo
+		counts[b]++
+		if counts[b] > maxCount {
+			maxCount = counts[b]
+		}
+	}
+	const barWidth = 50
+	for i, c := range counts {
+		from := time.Duration(1<<(lo+i)) * time.Microsecond
+		to := time.Duration(1<<(lo+i+1)) * time.Microsecond
+		bar := strings.Repeat("#", c*barWidth/maxCount)
+		fmt.Printf("%10s – %-10s %6d  %s\n", from, to, c, bar)
+	}
+}

@@ -63,6 +63,8 @@ func main() {
 		jsonOut       = flag.Bool("json", false, "print the result as machine-readable JSON instead of text")
 		usePool       = flag.Bool("pool", false, "enable the engine-wide scratch pool (allocation-free steady state)")
 		poolLimit     = flag.Int64("pool-limit", 0, "scratch pool byte limit (0 = default 512 MiB); implies nothing without -pool")
+		concurrency   = flag.Int("concurrency", 0, "replay the same join from N goroutines through one serving engine and print the latency histogram")
+		repeat        = flag.Int("repeat", 10, "with -concurrency: queries per client goroutine")
 		planMode      = flag.Bool("plan", false, "run the 3-way operator plan demo (R ⋈ S) ⋈ T + GROUP BY SUM instead of a single join")
 		autoPlan      = flag.Bool("auto", false, "let the cost-based planner pick algorithm, join order, scheduler and presorted declarations from sampled statistics")
 		explainPlan   = flag.Bool("explain", false, "print the chosen physical plan (algorithm, order, scheduler, estimates) before running")
@@ -135,6 +137,10 @@ func main() {
 
 	if *planMode {
 		runPlanDemo(ctx, engine, r, s, *seed, scheduler, *jsonOut, *explainPlan, *autoPlan, opts)
+		return
+	}
+	if *concurrency > 0 {
+		runConcurrent(ctx, engine, r, s, *concurrency, *repeat, opts)
 		return
 	}
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/planner"
 	"repro/internal/relation"
+	"repro/internal/sched"
 	"repro/internal/sink"
 	"repro/internal/stats"
 )
@@ -37,6 +38,24 @@ type settings struct {
 	scratchPool      bool
 	poolLimit        int64
 	autoPlan         bool
+
+	// Serving-layer plumbing, set only through the unexported options the
+	// Service injects: the fair-share ticket the query's workers are gated
+	// by, and the admission reservation its scratch leases are attributed to.
+	gate  *sched.Ticket
+	owner *memory.Reservation
+}
+
+// withGate gates every worker goroutine of the call through the given
+// fair-share ticket; the Service sets it per query.
+func withGate(t *sched.Ticket) Option {
+	return func(s *settings) { s.gate = t }
+}
+
+// withOwner attributes the call's scratch leases to an admission reservation;
+// the Service sets it per query.
+func withOwner(r *memory.Reservation) Option {
+	return func(s *settings) { s.owner = r }
 }
 
 // Option configures an Engine at construction time or overrides the engine's
@@ -302,6 +321,8 @@ func (cfg settings) coreOptions(pool *memory.Pool) core.Options {
 		Scheduler:        cfg.scheduler,
 		MorselSize:       cfg.morselSize,
 		Scratch:          pool,
+		Owner:            cfg.owner,
+		Gate:             cfg.gate,
 	}
 }
 

@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	mpsm "repro"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "service",
+		Title: "Concurrent query service: closed-loop clients under admission control, fair-share scheduling and the plan cache",
+		Run:   runServiceExperiment,
+		JSON:  serviceJSON,
+	})
+}
+
+// serviceClients is the closed-loop client count of the concurrent phase; the
+// acceptance criteria are defined at this fan-in.
+const serviceClients = 32
+
+// serviceSoloRuns is how many sequential joins establish the uncontended
+// latency baseline; the baseline is their p50, so one-off hiccups (a GC pause,
+// a scheduling stall) don't distort the contention ratio.
+const serviceSoloRuns = 15
+
+// serviceDuration is the wall-clock length of the concurrent phase. Long
+// enough that every client completes several queries (the fairness ratio is
+// meaningless on one-completion counts), short enough for a CI step.
+func serviceDuration(cfg Config) time.Duration {
+	if cfg.Scale >= 0.25 {
+		return 3 * time.Second
+	}
+	return 500 * time.Millisecond
+}
+
+// serviceRSize shrinks the standard dataset: the serving experiment measures
+// scheduling and admission behaviour across many short point-ish queries, not
+// single large-join throughput, so each query should take low single-digit
+// milliseconds.
+func serviceRSize(cfg Config) int {
+	n := cfg.RSize() / 32
+	if n < 1024 {
+		n = 1024
+	}
+	return n
+}
+
+// ServiceClient is one closed-loop client's outcome.
+type ServiceClient struct {
+	Label     string  `json:"label"`
+	Completed int     `json:"completed"`
+	P50Millis float64 `json:"p50_millis"`
+	P99Millis float64 `json:"p99_millis"`
+}
+
+// ServiceReport is the machine-readable serving report (BENCH_service.json).
+type ServiceReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Scale       float64 `json:"scale"`
+	Workers     int     `json:"workers"`
+	Clients     int     `json:"clients"`
+	RSize       int     `json:"r_size"`
+	SSize       int     `json:"s_size"`
+	// DurationMillis is the concurrent phase's wall clock.
+	DurationMillis float64 `json:"duration_millis"`
+
+	// SoloP50Millis is the uncontended single-client latency baseline.
+	SoloP50Millis float64 `json:"solo_p50_millis"`
+
+	// Completed / ThroughputQPS summarize the concurrent phase; P50/P95/P99
+	// aggregate the per-query latencies across all clients.
+	Completed     int     `json:"completed"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	P50Millis     float64 `json:"p50_millis"`
+	P95Millis     float64 `json:"p95_millis"`
+	P99Millis     float64 `json:"p99_millis"`
+
+	// P99VsSoloP50 is the contention acceptance ratio: the p99 latency at
+	// full fan-in over the solo p50 (target ≤ 5 with a uniform query mix —
+	// admission and fair-share scheduling bound the latency blow-up even
+	// though 32 clients contend for a handful of slots).
+	P99VsSoloP50 float64 `json:"p99_vs_solo_p50"`
+
+	// Fairness is the max/min ratio of per-client completion counts across
+	// the equal-weight clients (target ≤ 1.5: no client is starved).
+	Fairness float64 `json:"fairness_max_min"`
+
+	// PlanCacheHitRate is hits/(hits+misses) over the whole run (target
+	// ≥ 0.90: every client runs the same plan shape, so after the first miss
+	// the cache serves everyone).
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+
+	// Admitted/Queued report the admission controller's counters; Queued > 0
+	// shows the memory limit actually throttled the fan-in (queries waited
+	// instead of over-committing).
+	Admitted uint64 `json:"admitted"`
+	Queued   uint64 `json:"queued"`
+
+	PerClient []ServiceClient `json:"per_client"`
+}
+
+// quantileMillis returns the q-quantile (0..1) of the sorted latency slice.
+func quantileMillis(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return millis(sorted[i])
+}
+
+// sortedLatencies flattens and sorts per-client latency slices.
+func sortedLatencies(per [][]time.Duration) []time.Duration {
+	var all []time.Duration
+	for _, l := range per {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// buildServiceReport measures the serving layer: a solo baseline, then the
+// closed-loop concurrent phase.
+func buildServiceReport(cfg Config) (*ServiceReport, error) {
+	if err := warmUp(cfg); err != nil {
+		return nil, err
+	}
+	workers := cfg.workers()
+	r, s, err := workload.Generate(workload.Spec{
+		RSize: serviceRSize(cfg), Multiplicity: 4, ForeignKey: true, Seed: 4100,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ServiceReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Scale:       cfg.Scale,
+		Workers:     workers,
+		Clients:     serviceClients,
+		RSize:       r.Len(),
+		SSize:       s.Len(),
+	}
+
+	// The engine and service mirror the production shape: scratch pool,
+	// auto-planning (which the plan cache memoizes), fair slots at the
+	// machine's parallelism, and a memory limit sized to admit ~2 queries
+	// per slot — the excess queues FIFO at admission, which keeps the
+	// executing set small (tight tail) and the wait uniform (tight
+	// fairness) while proving the limit actually throttles (Queued > 0).
+	engine := mpsm.New(mpsm.WithWorkers(workers), mpsm.WithScratchPool(true), mpsm.WithAutoPlan(true))
+	svc := mpsm.NewService(engine,
+		mpsm.WithFairSlots(workers),
+		mpsm.WithDefaultBudget(1<<20),
+		mpsm.WithMaxMemory(int64(2*workers)<<20))
+	defer svc.Close()
+	ctx := context.Background()
+
+	// Solo baseline: sequential queries through the same service, so the
+	// baseline includes admission and plan-cache overhead — the concurrent
+	// ratio then isolates pure contention.
+	solo := make([]time.Duration, 0, serviceSoloRuns)
+	for i := 0; i < serviceSoloRuns; i++ {
+		start := time.Now()
+		if _, err := svc.Join(ctx, r, s); err != nil {
+			return nil, fmt.Errorf("solo join: %w", err)
+		}
+		solo = append(solo, time.Since(start))
+	}
+	sort.Slice(solo, func(i, j int) bool { return solo[i] < solo[j] })
+	rep.SoloP50Millis = quantileMillis(solo, 0.5)
+
+	// Concurrent phase: closed-loop clients issue the same join back to back
+	// until the deadline. The first fifth of the window is a ramp — the
+	// admission queue is still filling, so early arrivals see an empty
+	// system — and is excluded from the recorded latencies and counts;
+	// the report covers the steady state.
+	duration := serviceDuration(cfg)
+	latencies := make([][]time.Duration, serviceClients)
+	errs := make([]error, serviceClients)
+	start := time.Now()
+	rampEnd := start.Add(duration / 5)
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < serviceClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			label := fmt.Sprintf("client%02d", c)
+			for time.Now().Before(deadline) {
+				qStart := time.Now()
+				if _, err := svc.Join(ctx, r, s, mpsm.WithQueryLabel(label)); err != nil {
+					errs[c] = err
+					return
+				}
+				if qStart.After(rampEnd) {
+					latencies[c] = append(latencies[c], time.Since(qStart))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start) - duration/5
+	for c, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("client %d: %w", c, err)
+		}
+	}
+	rep.DurationMillis = millis(elapsed)
+
+	minC, maxC := -1, 0
+	for c, l := range latencies {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		rep.Completed += len(l)
+		rep.PerClient = append(rep.PerClient, ServiceClient{
+			Label:     fmt.Sprintf("client%02d", c),
+			Completed: len(l),
+			P50Millis: quantileMillis(l, 0.5),
+			P99Millis: quantileMillis(l, 0.99),
+		})
+		if minC < 0 || len(l) < minC {
+			minC = len(l)
+		}
+		if len(l) > maxC {
+			maxC = len(l)
+		}
+	}
+	all := sortedLatencies(latencies)
+	rep.P50Millis = quantileMillis(all, 0.5)
+	rep.P95Millis = quantileMillis(all, 0.95)
+	rep.P99Millis = quantileMillis(all, 0.99)
+	rep.ThroughputQPS = float64(rep.Completed) / elapsed.Seconds()
+	if rep.SoloP50Millis > 0 {
+		rep.P99VsSoloP50 = rep.P99Millis / rep.SoloP50Millis
+	}
+	if minC > 0 {
+		rep.Fairness = float64(maxC) / float64(minC)
+	}
+
+	st := svc.Stats()
+	if total := st.PlanCache.Hits + st.PlanCache.Misses; total > 0 {
+		rep.PlanCacheHitRate = float64(st.PlanCache.Hits) / float64(total)
+	}
+	rep.Admitted = st.Admission.Admitted
+	rep.Queued = st.Admission.Queued
+	return rep, nil
+}
+
+// runServiceExperiment renders the serving report as a table.
+func runServiceExperiment(cfg Config, w io.Writer) error {
+	rep, err := buildServiceReport(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := newTable(w)
+	tbl.row("clients", "completed", "qps", "solo p50 [ms]", "p50 [ms]", "p95 [ms]", "p99 [ms]", "p99/solo-p50", "fairness", "cache hit rate")
+	tbl.row(rep.Clients, rep.Completed,
+		fmt.Sprintf("%.0f", rep.ThroughputQPS),
+		fmt.Sprintf("%.2f", rep.SoloP50Millis),
+		fmt.Sprintf("%.2f", rep.P50Millis),
+		fmt.Sprintf("%.2f", rep.P95Millis),
+		fmt.Sprintf("%.2f", rep.P99Millis),
+		fmt.Sprintf("%.2f", rep.P99VsSoloP50),
+		fmt.Sprintf("%.2f", rep.Fairness),
+		fmt.Sprintf("%.2f", rep.PlanCacheHitRate))
+	tbl.flush()
+	fmt.Fprintf(w, "\np99 at %d clients is %.2fx the solo p50 (target ≤ 5); completion fairness max/min %.2f (target ≤ 1.5); plan-cache hit rate %.2f (target ≥ 0.90)\n",
+		rep.Clients, rep.P99VsSoloP50, rep.Fairness, rep.PlanCacheHitRate)
+	if cfg.Verbose {
+		fmt.Fprintln(w, "expected shape: fair-share scheduling keeps every client's completion count close while admission control bounds concurrent memory; the plan cache amortizes planning to one miss")
+	}
+	return nil
+}
+
+// serviceJSON produces the machine-readable serving report.
+func serviceJSON(cfg Config) (any, error) {
+	return buildServiceReport(cfg)
+}

@@ -38,7 +38,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "B-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.Acquire()
+	lease := opts.Scratch.AcquireFor(opts.Owner)
 	defer lease.Release()
 	start := time.Now()
 

@@ -87,7 +87,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "D-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.Acquire()
+	lease := opts.Scratch.AcquireFor(opts.Owner)
 	defer lease.Release()
 	start := time.Now()
 

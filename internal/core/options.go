@@ -125,6 +125,16 @@ type Options struct {
 	// allocating fresh ones; see internal/memory. Every join checks out its
 	// own lease, so concurrent joins may share one pool.
 	Scratch *memory.Pool
+	// Owner attributes the join's scratch lease to a query's admission
+	// reservation, so that memory.PoolStats reports the join's in-use bytes
+	// under the query's label. Nil leaves the lease unattributed.
+	Owner *memory.Reservation
+
+	// Gate, when non-nil, subjects the join's worker goroutines to the
+	// serving layer's weighted fair-share arbiter: each phase (Static) or
+	// morsel (Morsel) acquires an execution slot before running, so
+	// concurrent queries interleave instead of contending FIFO-style.
+	Gate *sched.Ticket
 
 	// TrackNUMA enables simulated NUMA access accounting.
 	TrackNUMA bool

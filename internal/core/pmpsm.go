@@ -51,7 +51,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "P-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.Acquire()
+	lease := opts.Scratch.AcquireFor(opts.Owner)
 	defer lease.Release()
 	start := time.Now()
 

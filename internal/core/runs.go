@@ -15,6 +15,7 @@ func runtimeFor(opts Options) *sched.Runtime {
 		Workers:   opts.Workers,
 		Topology:  opts.Topology,
 		TrackNUMA: opts.TrackNUMA,
+		Gate:      opts.Gate,
 	})
 }
 

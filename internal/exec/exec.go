@@ -243,6 +243,8 @@ func hashJoinOptions(opts core.Options) hashjoin.Options {
 		Scheduler:  opts.Scheduler,
 		MorselSize: opts.MorselSize,
 		Scratch:    opts.Scratch,
+		Owner:      opts.Owner,
+		Gate:       opts.Gate,
 	}
 }
 

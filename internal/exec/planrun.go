@@ -56,6 +56,14 @@ type PlanResult struct {
 // boundaries and per chunk), so a canceled context aborts the plan and
 // returns ctx.Err().
 func RunPlan(ctx context.Context, p *Plan, pool *memory.Pool) (*PlanResult, error) {
+	return RunPlanFor(ctx, p, pool, nil)
+}
+
+// RunPlanFor is RunPlan with the plan-level scratch lease (scan filters,
+// intermediate relations, aggregate buffers) attributed to a query's
+// admission reservation; the per-join leases carry their attribution in each
+// join node's options. A nil owner leaves the lease unattributed.
+func RunPlanFor(ctx context.Context, p *Plan, pool *memory.Pool, owner *memory.Reservation) (*PlanResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,7 +71,7 @@ func RunPlan(ctx context.Context, p *Plan, pool *memory.Pool) (*PlanResult, erro
 		ctx:   ctx,
 		plan:  p,
 		pool:  pool,
-		lease: pool.Acquire(),
+		lease: pool.AcquireFor(owner),
 		cache: make([]*relation.Relation, len(p.Nodes)),
 		owned: make([]bool, len(p.Nodes)),
 		uses:  make([]int, len(p.Nodes)),

@@ -64,7 +64,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	workers := o.Workers
 	res := &result.Result{Algorithm: "Radix HJ", Workers: workers}
 	rt := runtimeFor(o)
-	lease := o.Scratch.Acquire()
+	lease := o.Scratch.AcquireFor(o.Owner)
 	defer lease.Release()
 	start := time.Now()
 

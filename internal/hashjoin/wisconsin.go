@@ -57,6 +57,12 @@ type Options struct {
 	// Scratch, when non-nil, is the engine-wide scratch pool the join draws
 	// its hash-table and partition buffers from; see internal/memory.
 	Scratch *memory.Pool
+	// Owner attributes the join's scratch lease to a query's admission
+	// reservation for per-query accounting in memory.PoolStats.
+	Owner *memory.Reservation
+	// Gate subjects the join's workers to the serving layer's weighted
+	// fair-share arbiter; nil disables gating.
+	Gate *sched.Ticket
 }
 
 // cancelBlock is how many tuples a hash-join worker processes between two
@@ -86,7 +92,7 @@ func (o Options) normalize() Options {
 
 // runtimeFor creates the shared parallel runtime for one hash join.
 func runtimeFor(o Options) *sched.Runtime {
-	return sched.New(sched.Config{Workers: o.Workers, Topology: o.Topology, TrackNUMA: o.TrackNUMA})
+	return sched.New(sched.Config{Workers: o.Workers, Topology: o.Topology, TrackNUMA: o.TrackNUMA, Gate: o.Gate})
 }
 
 // sharedTable is the global hash table of the no-partitioning join. Bucket
@@ -231,7 +237,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "Wisconsin", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.Acquire()
+	lease := opts.Scratch.AcquireFor(opts.Owner)
 	defer lease.Release()
 	start := time.Now()
 

@@ -24,11 +24,19 @@
 package memory
 
 import (
+	"errors"
 	"math/bits"
+	"sort"
 	"sync"
 
 	"repro/internal/relation"
 )
+
+// ErrOverCommitted is returned by Reserve when granting the reservation would
+// push the outstanding admission reservations past the pool's reserve limit.
+// Callers distinguish "queue and retry later" from "can never fit" by
+// comparing the requested bytes against ReserveLimit themselves.
+var ErrOverCommitted = errors.New("memory: reservation exceeds the pool's admission limit")
 
 // DefaultLimitBytes is the default cap on bytes parked in a pool's free
 // lists: 512 MiB, enough to keep the working set of repeated joins over
@@ -53,6 +61,14 @@ type Pool struct {
 	ints   [classCount][][]int
 	int32s [classCount][][]int32
 	stats  PoolStats
+
+	// Admission-control state: outstanding per-query reservations against
+	// reserveLimit, and the set of checked-out leases for per-query
+	// attribution in Stats.
+	reserveLimit int64
+	reserved     int64
+	resv         map[*Reservation]struct{}
+	leases       map[*Lease]struct{}
 }
 
 // classCount covers size classes up to 2^62 elements; class c holds buffers
@@ -74,6 +90,35 @@ type PoolStats struct {
 	HeldBytes int64
 	// PeakHeldBytes is the high-water mark of HeldBytes.
 	PeakHeldBytes int64
+
+	// ReservedBytes is the total of outstanding admission reservations
+	// (Reserve minus Release), the number the serving layer's admission
+	// decisions are made against.
+	ReservedBytes int64
+	// ReserveLimit is the cap ReservedBytes may not exceed.
+	ReserveLimit int64
+	// ActiveLeases is the number of leases currently checked out.
+	ActiveLeases int
+	// Queries attributes reserved and in-use bytes to each active query
+	// (reservation label), so admission decisions and pool observation agree
+	// under concurrency. Only labeled reservations/leases appear here.
+	Queries []QueryMemory
+}
+
+// QueryMemory is the per-query memory attribution of one active reservation
+// label: what the query reserved at admission and what its leases actually
+// have checked out right now.
+type QueryMemory struct {
+	// Label identifies the query (the admission controller's query ID).
+	Label string
+	// ReservedBytes is the sum of the label's outstanding reservations.
+	ReservedBytes int64
+	// InUseBytes is the total capacity currently checked out by the label's
+	// active leases (buffers drawn from the pool or freshly allocated, not
+	// yet returned by Release).
+	InUseBytes int64
+	// Leases is the number of the label's active leases.
+	Leases int
 }
 
 // NewPool creates a scratch pool whose free lists hold at most limitBytes
@@ -82,27 +127,171 @@ func NewPool(limitBytes int64) *Pool {
 	if limitBytes <= 0 {
 		limitBytes = DefaultLimitBytes
 	}
-	return &Pool{limit: limitBytes}
+	return &Pool{limit: limitBytes, reserveLimit: limitBytes}
+}
+
+// SetReserveLimit caps the bytes admission reservations may hold outstanding;
+// bytes <= 0 resets the cap to the pool's parked-byte limit. It is intended
+// to be called once, before the pool serves queries.
+func (p *Pool) SetReserveLimit(bytes int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if bytes <= 0 {
+		bytes = p.limit
+	}
+	p.reserveLimit = bytes
+}
+
+// ReserveLimit returns the admission reservation cap.
+func (p *Pool) ReserveLimit() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reserveLimit
+}
+
+// Reservation is one query's admission budget, carved out of the pool at
+// admission time and released when the query completes. Leases acquired with
+// AcquireFor are attributed to the reservation's label in Stats.
+type Reservation struct {
+	pool     *Pool
+	label    string
+	bytes    int64
+	released bool // guarded by pool.mu
+}
+
+// Label returns the reservation's query label.
+func (r *Reservation) Label() string {
+	if r == nil {
+		return ""
+	}
+	return r.label
+}
+
+// Bytes returns the reserved byte count.
+func (r *Reservation) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.bytes
+}
+
+// Reserve carves bytes out of the pool's admission budget for the query
+// identified by label. It never blocks: when the reservation does not fit
+// under the reserve limit it returns ErrOverCommitted and the caller decides
+// whether to queue (the admission controller's job) or reject. A nil pool
+// grants a detached reservation that tracks nothing.
+func (p *Pool) Reserve(label string, bytes int64) (*Reservation, error) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if p == nil {
+		return &Reservation{label: label, bytes: bytes}, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reserved+bytes > p.reserveLimit {
+		return nil, ErrOverCommitted
+	}
+	r := &Reservation{pool: p, label: label, bytes: bytes}
+	p.reserved += bytes
+	if p.resv == nil {
+		p.resv = make(map[*Reservation]struct{})
+	}
+	p.resv[r] = struct{}{}
+	return r, nil
+}
+
+// Release returns the reservation's bytes to the admission budget. It is
+// idempotent and safe on a nil reservation.
+func (r *Reservation) Release() {
+	if r == nil || r.pool == nil {
+		return
+	}
+	p := r.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r.released {
+		return
+	}
+	r.released = true
+	p.reserved -= r.bytes
+	delete(p.resv, r)
 }
 
 // Acquire checks out a lease for one join execution. A nil pool returns a nil
 // lease, whose methods degrade to plain allocation.
-func (p *Pool) Acquire() *Lease {
+func (p *Pool) Acquire() *Lease { return p.AcquireFor(nil) }
+
+// AcquireFor is Acquire with the lease attributed to a query's admission
+// reservation: the lease's checked-out bytes appear under the reservation's
+// label in Stats. A nil reservation yields an unattributed lease.
+func (p *Pool) AcquireFor(res *Reservation) *Lease {
 	if p == nil {
 		return nil
 	}
-	return &Lease{pool: p}
+	l := &Lease{pool: p, owner: res}
+	p.mu.Lock()
+	if p.leases == nil {
+		p.leases = make(map[*Lease]struct{})
+	}
+	p.leases[l] = struct{}{}
+	p.mu.Unlock()
+	return l
 }
 
-// Stats returns a snapshot of the pool's counters.
+// Stats returns a snapshot of the pool's counters, including the per-query
+// attribution of active reservations and leases. The lease footprints are
+// gathered outside the pool lock (leases lock pool inside their own locks on
+// the hot path, so the reverse order here would deadlock); a snapshot is
+// therefore consistent per lease, not across leases.
 func (p *Pool) Stats() PoolStats {
 	if p == nil {
 		return PoolStats{}
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	s := p.stats
 	s.HeldBytes = p.held
+	s.ReservedBytes = p.reserved
+	s.ReserveLimit = p.reserveLimit
+	s.ActiveLeases = len(p.leases)
+	queries := make(map[string]*QueryMemory)
+	for r := range p.resv {
+		q := queries[r.label]
+		if q == nil {
+			q = &QueryMemory{Label: r.label}
+			queries[r.label] = q
+		}
+		q.ReservedBytes += r.bytes
+	}
+	leases := make([]*Lease, 0, len(p.leases))
+	for l := range p.leases {
+		leases = append(leases, l)
+	}
+	p.mu.Unlock()
+
+	for _, l := range leases {
+		label, footprint, ok := l.attribution()
+		if !ok {
+			continue
+		}
+		q := queries[label]
+		if q == nil {
+			q = &QueryMemory{Label: label}
+			queries[label] = q
+		}
+		q.InUseBytes += footprint
+		q.Leases++
+	}
+	for _, q := range queries {
+		s.Queries = append(s.Queries, *q)
+	}
+	sort.Slice(s.Queries, func(i, j int) bool { return s.Queries[i].Label < s.Queries[j].Label })
 	return s
 }
 
@@ -129,8 +318,9 @@ type LeaseStats struct {
 // exactly once, after the join's final barrier, and returns every buffer to
 // the pool at once. A nil *Lease is valid and allocates plainly.
 type Lease struct {
-	pool *Pool
-	mu   sync.Mutex
+	pool  *Pool
+	owner *Reservation // admission reservation this lease is attributed to, or nil
+	mu    sync.Mutex
 	// all tracks every buffer checked out from the pool or freshly
 	// allocated, for bulk return on Release.
 	allTuples [][]relation.Tuple
@@ -252,6 +442,27 @@ func (l *Lease) note(class int, elemSize int64, reused bool) {
 	l.stats.Bytes += (int64(1) << class) * elemSize
 }
 
+// attribution reports the lease's owning query label and its in-use bytes —
+// the total capacity of every buffer currently checked out, whether drawn from
+// the pool or freshly allocated. ok is false for unattributed leases.
+func (l *Lease) attribution() (label string, footprint int64, ok bool) {
+	if l.owner == nil {
+		return "", 0, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, buf := range l.allTuples {
+		footprint += int64(cap(buf)) * tupleSize
+	}
+	for _, buf := range l.allInts {
+		footprint += int64(cap(buf)) * intSize
+	}
+	for _, buf := range l.allInt32s {
+		footprint += int64(cap(buf)) * int32Size
+	}
+	return l.owner.label, footprint, true
+}
+
 // PutTuples hands a buffer obtained from Tuples back to the lease for reuse
 // within the same join (the buffer is still returned to the pool on Release).
 // No-op on a nil lease or nil buffer.
@@ -321,7 +532,7 @@ func (l *Lease) Release() {
 		l.freeTuples[c], l.freeInts[c], l.freeInt32s[c] = nil, nil, nil
 	}
 	l.mu.Unlock()
-	l.pool.put(tuples, ints, int32s)
+	l.pool.put(l, tuples, ints, int32s)
 }
 
 // getTuples pops a tuple buffer of the class from the shared free list.
@@ -372,11 +583,13 @@ func (p *Pool) getInt32s(c int) ([]int32, bool) {
 	return nil, false
 }
 
-// put returns a batch of buffers to the free lists, dropping buffers beyond
-// the byte limit so the garbage collector reclaims them.
-func (p *Pool) put(tuples [][]relation.Tuple, ints [][]int, int32s [][]int32) {
+// put returns a lease's batch of buffers to the free lists, dropping buffers
+// beyond the byte limit so the garbage collector reclaims them, and retires
+// the lease from the active set.
+func (p *Pool) put(l *Lease, tuples [][]relation.Tuple, ints [][]int, int32s [][]int32) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	delete(p.leases, l)
 	for _, buf := range tuples {
 		size := int64(cap(buf)) * tupleSize
 		if p.held+size > p.limit {

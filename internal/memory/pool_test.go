@@ -33,8 +33,16 @@ func TestNilPoolAndLeaseDegradeToMake(t *testing.T) {
 	if s := l.Stats(); s != (LeaseStats{}) {
 		t.Fatalf("nil lease stats = %+v", s)
 	}
-	if s := p.Stats(); s != (PoolStats{}) {
+	if s := p.Stats(); s.Gets != 0 || s.HeldBytes != 0 || s.ReservedBytes != 0 || len(s.Queries) != 0 {
 		t.Fatalf("nil pool stats = %+v", s)
+	}
+	r, err := p.Reserve("q", 1<<20)
+	if err != nil || r == nil {
+		t.Fatalf("nil pool Reserve = %v, %v", r, err)
+	}
+	r.Release()
+	if l := p.AcquireFor(r); l != nil {
+		t.Fatalf("nil pool AcquireFor must yield nil lease, got %v", l)
 	}
 }
 

@@ -1,0 +1,152 @@
+package memory
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestReserveAccounting(t *testing.T) {
+	p := NewPool(1 << 20)
+	p.SetReserveLimit(1000)
+	if got := p.ReserveLimit(); got != 1000 {
+		t.Fatalf("ReserveLimit = %d, want 1000", got)
+	}
+
+	a, err := p.Reserve("a", 600)
+	if err != nil {
+		t.Fatalf("Reserve a: %v", err)
+	}
+	if _, err := p.Reserve("b", 600); !errors.Is(err, ErrOverCommitted) {
+		t.Fatalf("over-limit Reserve error = %v, want ErrOverCommitted", err)
+	}
+	b, err := p.Reserve("b", 400)
+	if err != nil {
+		t.Fatalf("Reserve b: %v", err)
+	}
+	s := p.Stats()
+	if s.ReservedBytes != 1000 || s.ReserveLimit != 1000 {
+		t.Fatalf("stats = %+v, want 1000 reserved / 1000 limit", s)
+	}
+	if len(s.Queries) != 2 || s.Queries[0].Label != "a" || s.Queries[0].ReservedBytes != 600 ||
+		s.Queries[1].Label != "b" || s.Queries[1].ReservedBytes != 400 {
+		t.Fatalf("queries = %+v", s.Queries)
+	}
+
+	a.Release()
+	a.Release() // idempotent
+	b.Release()
+	if s := p.Stats(); s.ReservedBytes != 0 || len(s.Queries) != 0 {
+		t.Fatalf("after release: %+v", s)
+	}
+}
+
+func TestReserveLimitDefaultsToPoolLimit(t *testing.T) {
+	p := NewPool(4096)
+	if got := p.ReserveLimit(); got != 4096 {
+		t.Fatalf("default ReserveLimit = %d, want pool limit 4096", got)
+	}
+	p.SetReserveLimit(128)
+	p.SetReserveLimit(0) // resets to the pool limit
+	if got := p.ReserveLimit(); got != 4096 {
+		t.Fatalf("reset ReserveLimit = %d, want 4096", got)
+	}
+}
+
+func TestPerQueryAttribution(t *testing.T) {
+	p := NewPool(1 << 20)
+	r, err := p.Reserve("q1", 4096)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	l := p.AcquireFor(r)
+	l.Tuples(64)  // 1024 bytes
+	l.Ints(128)   // 1024 bytes
+	l.Int32s(256) // 1024 bytes
+	anon := p.Acquire()
+	anon.Tuples(64) // unattributed: must not appear in Queries
+
+	s := p.Stats()
+	if s.ActiveLeases != 2 {
+		t.Fatalf("ActiveLeases = %d, want 2", s.ActiveLeases)
+	}
+	if len(s.Queries) != 1 {
+		t.Fatalf("queries = %+v, want exactly the labeled one", s.Queries)
+	}
+	q := s.Queries[0]
+	if q.Label != "q1" || q.ReservedBytes != 4096 || q.InUseBytes != 3072 || q.Leases != 1 {
+		t.Fatalf("attribution = %+v, want q1 / 4096 reserved / 3072 in use / 1 lease", q)
+	}
+
+	l.Release()
+	anon.Release()
+	s = p.Stats()
+	if s.ActiveLeases != 0 {
+		t.Fatalf("ActiveLeases after release = %d", s.ActiveLeases)
+	}
+	// The reservation is still held, so the label remains with zero in-use.
+	if len(s.Queries) != 1 || s.Queries[0].InUseBytes != 0 || s.Queries[0].Leases != 0 {
+		t.Fatalf("post-release queries = %+v", s.Queries)
+	}
+	r.Release()
+}
+
+// TestConcurrentAcquireAndStats hammers reservations, attributed leases and
+// Stats from many goroutines; the race detector validates the locking, and the
+// lock ordering (Stats snapshots leases outside the pool lock) keeps it
+// deadlock-free.
+func TestConcurrentAcquireAndStats(t *testing.T) {
+	p := NewPool(1 << 20)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := p.Stats()
+			if s.ReservedBytes < 0 {
+				panic("negative reservation total")
+			}
+			for _, q := range s.Queries {
+				if q.InUseBytes < 0 || q.Leases < 0 {
+					panic("negative attribution")
+				}
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			label := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				r, err := p.Reserve(label, 512)
+				if err != nil {
+					continue
+				}
+				l := p.AcquireFor(r)
+				buf := l.Tuples(256)
+				buf[0] = relation.Tuple{Key: uint64(g), Payload: uint64(i)}
+				ints := l.Ints(64)
+				ints[0] = i
+				l.PutInts(ints)
+				l.Release()
+				r.Release()
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+	if s := p.Stats(); s.ReservedBytes != 0 || s.ActiveLeases != 0 {
+		t.Fatalf("final stats = %+v, want all reservations and leases retired", s)
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// FairShare arbitrates worker-goroutine execution slots between concurrent
+// queries by weighted fair queueing (stride scheduling): every query holds a
+// Ticket whose virtual time advances by busy-time divided by weight, and a
+// freed slot is always granted to the waiting ticket with the smallest
+// virtual time. A query that has consumed little CPU relative to its weight
+// therefore preempts one that has consumed much — at morsel granularity under
+// the Morsel scheduler and at worker-phase granularity under Static — so no
+// client is starved no matter how large its neighbours' joins are.
+//
+// The zero FairShare is not usable; create one with NewFairShare and share it
+// across every Runtime that should be arbitrated together (the serving layer
+// owns exactly one per engine). A nil *FairShare or nil *Ticket disables
+// gating, so single-query paths pay nothing.
+type FairShare struct {
+	mu      sync.Mutex
+	slots   int // maximum concurrently running execution units
+	busy    int // slots currently granted
+	waiters []*fairWaiter
+	// vfloor is the virtual time of the most recently granted ticket; new
+	// tickets start here so a freshly admitted query cannot replay the past
+	// and lock out established ones.
+	vfloor time.Duration
+}
+
+// fairWaiter is one goroutine blocked in Acquire.
+type fairWaiter struct {
+	t     *Ticket
+	ready chan struct{}
+}
+
+// Ticket is one query's claim on a FairShare: all worker goroutines of the
+// query acquire slots through the same ticket, so the query's total busy time
+// — across however many workers it runs — is what its weight is charged
+// against.
+type Ticket struct {
+	fs     *FairShare
+	weight int64
+	vtime  time.Duration // guarded by fs.mu
+}
+
+// NewFairShare creates an arbiter with the given number of concurrent
+// execution slots; slots <= 0 selects GOMAXPROCS, matching one slot per
+// hardware context.
+func NewFairShare(slots int) *FairShare {
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	return &FairShare{slots: slots}
+}
+
+// Slots returns the arbiter's concurrency width.
+func (fs *FairShare) Slots() int {
+	if fs == nil {
+		return 0
+	}
+	return fs.slots
+}
+
+// Ticket issues a ticket with the given weight (<= 0 selects 1). Twice the
+// weight earns twice the share of busy slots under contention. Tickets are
+// not reusable across arbiters and need no explicit close: a dropped ticket
+// simply stops competing.
+func (fs *FairShare) Ticket(weight int) *Ticket {
+	if fs == nil {
+		return nil
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return &Ticket{fs: fs, weight: int64(weight), vtime: fs.vfloor}
+}
+
+// Acquire blocks until the ticket is granted an execution slot or the context
+// is canceled (returning ctx.Err() without holding a slot). Each successful
+// Acquire must be paired with exactly one Release. A nil ticket grants
+// immediately.
+func (t *Ticket) Acquire(ctx context.Context) error {
+	if t == nil {
+		return nil
+	}
+	fs := t.fs
+	fs.mu.Lock()
+	if fs.busy < fs.slots && len(fs.waiters) == 0 {
+		fs.busy++
+		fs.mu.Unlock()
+		return nil
+	}
+	w := &fairWaiter{t: t, ready: make(chan struct{})}
+	fs.waiters = append(fs.waiters, w)
+	fs.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		fs.mu.Lock()
+		for i, x := range fs.waiters {
+			if x == w {
+				fs.waiters = append(fs.waiters[:i], fs.waiters[i+1:]...)
+				fs.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// Lost the race: the grant already happened. Consume it and hand the
+		// slot straight on so no slot leaks.
+		fs.mu.Unlock()
+		<-w.ready
+		t.Release(0)
+		return ctx.Err()
+	}
+}
+
+// Release returns the slot and charges the ticket's virtual time with the
+// busy duration scaled by 1/weight; the freed slot goes to the waiting ticket
+// with the smallest virtual time. No-op on a nil ticket.
+func (t *Ticket) Release(busy time.Duration) {
+	if t == nil {
+		return
+	}
+	fs := t.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if busy > 0 {
+		t.vtime += busy / time.Duration(t.weight)
+	}
+	fs.busy--
+	fs.grant()
+}
+
+// grant hands free slots to minimum-virtual-time waiters; the caller holds
+// fs.mu.
+func (fs *FairShare) grant() {
+	for fs.busy < fs.slots && len(fs.waiters) > 0 {
+		min := 0
+		for i, w := range fs.waiters[1:] {
+			if w.t.vtime < fs.waiters[min].t.vtime {
+				min = i + 1
+			}
+		}
+		w := fs.waiters[min]
+		fs.waiters = append(fs.waiters[:min], fs.waiters[min+1:]...)
+		if w.t.vtime > fs.vfloor {
+			fs.vfloor = w.t.vtime
+		}
+		fs.busy++
+		close(w.ready)
+	}
+}

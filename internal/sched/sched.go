@@ -92,6 +92,11 @@ type Config struct {
 	Topology numa.Topology
 	// TrackNUMA equips every worker with a NUMA access tracker.
 	TrackNUMA bool
+	// Gate, when non-nil, makes every execution unit — a whole worker phase
+	// under Static, each morsel under Morsel — acquire a fair-share slot from
+	// the ticket's arbiter before running, so concurrent queries sharing one
+	// FairShare interleave by weighted fair queueing instead of FIFO.
+	Gate *Ticket
 }
 
 // Worker is the per-worker state the runtime hands to phase functions and
@@ -132,6 +137,7 @@ type Runtime struct {
 	workers int
 	topo    numa.Topology
 	states  []*Worker
+	gate    *Ticket
 }
 
 // New creates a runtime with one worker state per worker.
@@ -144,7 +150,7 @@ func New(cfg Config) *Runtime {
 	if topo.Nodes == 0 {
 		topo = numa.DefaultTopology()
 	}
-	rt := &Runtime{workers: workers, topo: topo, states: make([]*Worker, workers)}
+	rt := &Runtime{workers: workers, topo: topo, states: make([]*Worker, workers), gate: cfg.Gate}
 	for w := 0; w < workers; w++ {
 		rt.states[w] = &Worker{
 			id:        w,
@@ -190,9 +196,14 @@ func (rt *Runtime) Phase(ctx context.Context, name string, fn func(ctx context.C
 				if Canceled(ctx) {
 					return
 				}
+				if err := rt.gate.Acquire(ctx); err != nil {
+					return
+				}
 				t0 := time.Now()
 				fn(ctx, w)
-				w.Record(name, time.Since(t0))
+				d := time.Since(t0)
+				rt.gate.Release(d)
+				w.Record(name, d)
 			}(w)
 		}
 		wg.Wait()
@@ -233,13 +244,19 @@ func (rt *Runtime) RunTasks(ctx context.Context, name string, tasks []Task) time
 					if Canceled(ctx) {
 						break
 					}
+					if err := rt.gate.Acquire(ctx); err != nil {
+						break
+					}
 					task, ok := q.pop(w.node)
 					if !ok {
+						rt.gate.Release(0)
 						break
 					}
 					t0 := time.Now()
 					task.Run(w)
-					busy += time.Since(t0)
+					d := time.Since(t0)
+					busy += d
+					rt.gate.Release(d)
 					// Yield between morsels so that co-scheduled workers
 					// get to steal even when the machine has fewer cores
 					// than workers; without this, one goroutine could

@@ -1,0 +1,185 @@
+// Package service is the multi-tenant serving layer in front of the join
+// engine: admission control that carves per-query memory budgets out of the
+// engine's scratch pool (queueing or rejecting work that would exceed the
+// engine-wide limit instead of OOM-ing), and a normalized plan cache that
+// reuses the cost-based planner's physical decisions across queries with the
+// same plan shape, statistics and configuration. Fair-share scheduling — the
+// third leg of the serving layer — lives in internal/sched (FairShare), since
+// it gates the worker goroutines themselves; the public mpsm.Service wires
+// all three together.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/memory"
+)
+
+// Admission errors. ErrBudgetTooLarge and ErrQueueFull are permanent for the
+// request that received them; ErrQueueTimeout means the queue did not drain
+// within the configured deadline.
+var (
+	// ErrBudgetTooLarge rejects a query whose memory budget exceeds the
+	// admission limit outright: it could never be admitted, even alone.
+	ErrBudgetTooLarge = errors.New("service: query memory budget exceeds the admission limit")
+	// ErrQueueFull rejects a query when the admission queue is at capacity.
+	ErrQueueFull = errors.New("service: admission queue is full")
+	// ErrQueueTimeout rejects a queued query whose deadline expired before
+	// enough reservations were released.
+	ErrQueueTimeout = errors.New("service: timed out waiting for admission")
+)
+
+// AdmissionStats are cumulative counters of an admission controller.
+type AdmissionStats struct {
+	// Admitted counts queries granted a reservation (immediately or after
+	// queueing).
+	Admitted uint64
+	// Queued counts queries that had to wait before admission.
+	Queued uint64
+	// Rejected counts queries refused outright (budget too large, queue
+	// full).
+	Rejected uint64
+	// TimedOut counts queued queries whose deadline expired while waiting.
+	TimedOut uint64
+	// Canceled counts queued queries whose context was canceled while
+	// waiting.
+	Canceled uint64
+	// Waiting is the current queue depth.
+	Waiting int
+}
+
+// Admission is the admission controller: it grants per-query memory
+// reservations against the pool's reserve limit, strictly FIFO — a query that
+// does not fit waits in the queue (bounded by MaxQueue and Timeout) and later
+// arrivals queue behind it, so a stream of small queries cannot starve a
+// large one.
+type Admission struct {
+	pool *memory.Pool
+	// MaxQueue bounds the number of queries waiting for admission; further
+	// arrivals are rejected with ErrQueueFull. Zero or negative means an
+	// unbounded queue.
+	MaxQueue int
+	// Timeout bounds how long one query may wait in the queue; zero means
+	// no deadline beyond the caller's context.
+	Timeout time.Duration
+
+	mu    sync.Mutex
+	queue []*admWaiter
+	stats AdmissionStats
+}
+
+// admWaiter is one query blocked in Admit.
+type admWaiter struct {
+	label string
+	bytes int64
+	ready chan *memory.Reservation // 1-buffered: grant never blocks
+}
+
+// NewAdmission creates an admission controller issuing reservations from the
+// given pool (whose reserve limit is the engine-wide memory limit).
+func NewAdmission(pool *memory.Pool) *Admission {
+	return &Admission{pool: pool}
+}
+
+// Admit blocks until the query identified by label is granted a reservation
+// of the given bytes, the context is canceled, or the queue deadline expires.
+// The caller must pass the returned reservation to Done when the query
+// completes — releasing it directly would leave queued queries waiting.
+func (a *Admission) Admit(ctx context.Context, label string, bytes int64) (*memory.Reservation, error) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if bytes > a.pool.ReserveLimit() {
+		a.mu.Lock()
+		a.stats.Rejected++
+		a.mu.Unlock()
+		return nil, ErrBudgetTooLarge
+	}
+
+	a.mu.Lock()
+	// Strict FIFO: only try the fast path when nobody is queued ahead.
+	if len(a.queue) == 0 {
+		if res, err := a.pool.Reserve(label, bytes); err == nil {
+			a.stats.Admitted++
+			a.mu.Unlock()
+			return res, nil
+		}
+	}
+	if a.MaxQueue > 0 && len(a.queue) >= a.MaxQueue {
+		a.stats.Rejected++
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &admWaiter{label: label, bytes: bytes, ready: make(chan *memory.Reservation, 1)}
+	a.queue = append(a.queue, w)
+	a.stats.Queued++
+	a.mu.Unlock()
+
+	var deadline <-chan time.Time
+	if a.Timeout > 0 {
+		t := time.NewTimer(a.Timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case res := <-w.ready:
+		return res, nil
+	case <-ctx.Done():
+		a.abandon(w, &a.stats.Canceled)
+		return nil, ctx.Err()
+	case <-deadline:
+		a.abandon(w, &a.stats.TimedOut)
+		return nil, ErrQueueTimeout
+	}
+}
+
+// abandon removes a waiter that stopped waiting (cancellation or timeout). If
+// the grant already happened, the reservation is taken back and handed on so
+// no admitted bytes leak.
+func (a *Admission) abandon(w *admWaiter, counter *uint64) {
+	a.mu.Lock()
+	for i, x := range a.queue {
+		if x == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			*counter++
+			a.mu.Unlock()
+			return
+		}
+	}
+	*counter++
+	a.mu.Unlock()
+	// Lost the race against a concurrent grant: the reservation is (or is
+	// about to be) in the ready channel. Reclaim and recycle it.
+	res := <-w.ready
+	a.Done(res)
+}
+
+// Done releases a query's reservation and admits as many queued queries as
+// now fit, in FIFO order. Safe with a nil reservation.
+func (a *Admission) Done(res *memory.Reservation) {
+	res.Release()
+	a.mu.Lock()
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		granted, err := a.pool.Reserve(w.label, w.bytes)
+		if err != nil {
+			break
+		}
+		a.queue = a.queue[1:]
+		a.stats.Admitted++
+		w.ready <- granted
+	}
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.Waiting = len(a.queue)
+	return s
+}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memory"
+)
+
+// newTestAdmission returns a controller over a pool with the given admission
+// limit.
+func newTestAdmission(limit int64) (*Admission, *memory.Pool) {
+	pool := memory.NewPool(1 << 20)
+	pool.SetReserveLimit(limit)
+	return NewAdmission(pool), pool
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmitFastPath(t *testing.T) {
+	a, pool := newTestAdmission(1000)
+	res, err := a.Admit(context.Background(), "q1", 600)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if got := pool.Stats().ReservedBytes; got != 600 {
+		t.Fatalf("reserved = %d, want 600", got)
+	}
+	a.Done(res)
+	if got := pool.Stats().ReservedBytes; got != 0 {
+		t.Fatalf("reserved after Done = %d, want 0", got)
+	}
+	s := a.Stats()
+	if s.Admitted != 1 || s.Queued != 0 || s.Rejected != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmitQueuesUntilRelease(t *testing.T) {
+	a, _ := newTestAdmission(1000)
+	first, err := a.Admit(context.Background(), "big", 800)
+	if err != nil {
+		t.Fatalf("first Admit: %v", err)
+	}
+
+	got := make(chan *memory.Reservation, 1)
+	go func() {
+		res, err := a.Admit(context.Background(), "second", 800)
+		if err != nil {
+			t.Errorf("second Admit: %v", err)
+		}
+		got <- res
+	}()
+	waitUntil(t, func() bool { return a.Stats().Waiting == 1 })
+	select {
+	case <-got:
+		t.Fatal("second query admitted while the first still holds the budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	a.Done(first)
+	res := <-got
+	if res == nil {
+		t.Fatal("second query got a nil reservation")
+	}
+	a.Done(res)
+	s := a.Stats()
+	if s.Admitted != 2 || s.Queued != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmitStrictFIFO(t *testing.T) {
+	// A large queued query must not be starved by small ones that would fit:
+	// while "large" heads the queue, a later "small" stays queued behind it
+	// even though its own budget fits the holder's remaining headroom.
+	a, _ := newTestAdmission(1000)
+	first, _ := a.Admit(context.Background(), "holder", 900)
+
+	admitted := make(chan string, 2)
+	var wg sync.WaitGroup
+	admit := func(label string, budget int64) {
+		defer wg.Done()
+		res, err := a.Admit(context.Background(), label, budget)
+		if err != nil {
+			t.Errorf("%s Admit: %v", label, err)
+			return
+		}
+		admitted <- label
+		a.Done(res)
+	}
+	wg.Add(1)
+	go admit("large", 800)
+	waitUntil(t, func() bool { return a.Stats().Waiting == 1 })
+	wg.Add(1)
+	go admit("small", 50)
+	waitUntil(t, func() bool { return a.Stats().Waiting == 2 })
+
+	// "small" fits next to the holder (900+50 <= 1000) but must not jump
+	// the blocked FIFO head.
+	select {
+	case got := <-admitted:
+		t.Fatalf("%q admitted past the FIFO head", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Releasing the holder unblocks the queue; both queued budgets fit at
+	// once (800+50 <= 1000), so only completion is asserted, not wakeup
+	// order.
+	a.Done(first)
+	wg.Wait()
+	if s := a.Stats(); s.Admitted != 3 || s.Waiting != 0 {
+		t.Fatalf("stats after drain = %+v, want 3 admitted", s)
+	}
+}
+
+func TestAdmitRejects(t *testing.T) {
+	a, _ := newTestAdmission(1000)
+	if _, err := a.Admit(context.Background(), "huge", 2000); !errors.Is(err, ErrBudgetTooLarge) {
+		t.Fatalf("oversized budget error = %v, want ErrBudgetTooLarge", err)
+	}
+
+	a.MaxQueue = 1
+	first, _ := a.Admit(context.Background(), "holder", 1000)
+	defer a.Done(first)
+	go a.Admit(context.Background(), "waiter", 100) //nolint:errcheck
+	waitUntil(t, func() bool { return a.Stats().Waiting == 1 })
+	if _, err := a.Admit(context.Background(), "overflow", 100); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full-queue error = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestAdmitQueueTimeout(t *testing.T) {
+	a, _ := newTestAdmission(1000)
+	a.Timeout = 20 * time.Millisecond
+	first, _ := a.Admit(context.Background(), "holder", 1000)
+	defer a.Done(first)
+
+	if _, err := a.Admit(context.Background(), "waiter", 100); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("timed-out Admit = %v, want ErrQueueTimeout", err)
+	}
+	s := a.Stats()
+	if s.TimedOut != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestAdmitCancelWhileQueued is the regression test for context cancellation
+// in the admission queue: the query leaves the queue immediately, its
+// (never-granted) reservation is not leaked, and the error is ctx.Err().
+func TestAdmitCancelWhileQueued(t *testing.T) {
+	a, pool := newTestAdmission(1000)
+	first, _ := a.Admit(context.Background(), "holder", 1000)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(ctx, "canceled", 100)
+		errc <- err
+	}()
+	waitUntil(t, func() bool { return a.Stats().Waiting == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Admit = %v, want context.Canceled", err)
+	}
+	s := a.Stats()
+	if s.Canceled != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// The budget must be fully recoverable afterwards.
+	a.Done(first)
+	if got := pool.Stats().ReservedBytes; got != 0 {
+		t.Fatalf("reserved after release = %d, want 0 (canceled waiter leaked)", got)
+	}
+	res, err := a.Admit(context.Background(), "next", 1000)
+	if err != nil {
+		t.Fatalf("Admit after cancel: %v", err)
+	}
+	a.Done(res)
+}
+
+func TestAdmitConcurrentHammer(t *testing.T) {
+	a, pool := newTestAdmission(4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx := context.Background()
+				if i%7 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+					defer cancel()
+				}
+				res, err := a.Admit(ctx, "q", 1024)
+				if err != nil {
+					continue
+				}
+				a.Done(res)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := pool.Stats().ReservedBytes; got != 0 {
+		t.Fatalf("reserved after hammer = %d, want 0", got)
+	}
+	if w := a.Stats().Waiting; w != 0 {
+		t.Fatalf("waiting after hammer = %d, want 0", w)
+	}
+}

@@ -1,0 +1,304 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/planner"
+	"repro/internal/relation"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// DefaultPlanCacheSize bounds the number of cached physical plans; beyond it
+// the least-recently-used entry is evicted.
+const DefaultPlanCacheSize = 256
+
+// PlanCacheStats are cumulative counters of a plan cache.
+type PlanCacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64
+	// Misses counts lookups that had to run the optimizer (including the
+	// first sighting of every shape).
+	Misses uint64
+	// Invalidations counts entries dropped because a relation's content
+	// fingerprint no longer matched the one the plan was optimized for.
+	Invalidations uint64
+	// Evictions counts entries dropped by the LRU size bound.
+	Evictions uint64
+	// Entries is the current cache size.
+	Entries int
+}
+
+// nodeChoice is the cached physical decision for one plan node: everything
+// the optimizer may change, and nothing it may not. Node IDs are stable
+// across optimization (node i of the optimized plan computes node i of the
+// input plan), so applying these onto a freshly lowered plan of the same
+// shape reproduces the optimized plan exactly — without aliasing the cached
+// execution's relations, sinks or closures.
+type nodeChoice struct {
+	inputs                            []exec.NodeID
+	algorithm                         exec.Algorithm
+	scheduler                         sched.Mode
+	morselSize                        int
+	presortedPrivate, presortedPublic bool
+	aggMode                           exec.AggMode
+}
+
+// cacheEntry is one cached physical plan.
+type cacheEntry struct {
+	choices []nodeChoice
+	// prints fingerprint the content of every scan relation at optimization
+	// time (indexed by node ID; zero for non-scan nodes). A mismatch at
+	// lookup means the relation mutated since the statistics were sampled:
+	// the cached plan may be stale and is invalidated.
+	prints []uint64
+	// use is the LRU clock value of the last hit.
+	use uint64
+}
+
+// PlanCache memoizes the cost-based planner's physical decisions for whole
+// plans, keyed by normalized plan shape (operator DAG, relation and function
+// identities, per-join configuration) plus a per-relation statistics
+// fingerprint. Optimizing a plan costs profile sampling and a cost-model
+// search per join; a serving workload repeats a handful of plan shapes
+// thousands of times, so the cache turns that into a map lookup.
+type PlanCache struct {
+	// Profile returns the (possibly cached) statistics of a base relation;
+	// typically the engine's memoized profiles. Nil falls back to uncached
+	// collection.
+	Profile func(*relation.Relation) *stats.Profile
+	// Cost is the planner cost model; the zero value selects the default.
+	Cost planner.CostModel
+	// Size bounds the entry count; 0 selects DefaultPlanCacheSize.
+	Size int
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	clock   uint64
+	stats   PlanCacheStats
+}
+
+// NewPlanCache creates a plan cache that fills misses by running the planner
+// with the given stats provider.
+func NewPlanCache(profile func(*relation.Relation) *stats.Profile, size int) *PlanCache {
+	return &PlanCache{Profile: profile, Size: size}
+}
+
+// Optimize returns the physical plan for p: on a hit the cached node choices
+// are applied to p in place (p must be freshly lowered and owned by the
+// caller), on a miss the optimizer runs and its decisions are cached.
+// rewrite selects whether the planner may mutate the plan (auto-planning) or
+// only validates and annotates the configured one; it is part of the cache
+// key, so the two modes never cross-contaminate. The returned plan is always
+// safe to execute concurrently with other queries — cached entries hold only
+// physical decisions, never relations or sinks.
+func (c *PlanCache) Optimize(p *exec.Plan, rewrite bool) (*exec.Plan, error) {
+	key := cacheKey(p, rewrite)
+	prints := fingerprints(p)
+
+	c.mu.Lock()
+	if ent, ok := c.entries[key]; ok {
+		if printsMatch(ent.prints, prints) {
+			c.clock++
+			ent.use = c.clock
+			c.stats.Hits++
+			c.mu.Unlock()
+			applyChoices(p, ent.choices)
+			return p, nil
+		}
+		delete(c.entries, key)
+		c.stats.Invalidations++
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	opt := &planner.Optimizer{Cost: c.Cost, Profile: c.Profile, Rewrite: rewrite}
+	optimized, _, err := opt.Optimize(p)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]*cacheEntry)
+	}
+	size := c.Size
+	if size <= 0 {
+		size = DefaultPlanCacheSize
+	}
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= size {
+		c.evictLRU()
+	}
+	c.clock++
+	c.entries[key] = &cacheEntry{choices: captureChoices(optimized), prints: prints, use: c.clock}
+	return optimized, nil
+}
+
+// evictLRU drops the least-recently-used entry; the caller holds c.mu.
+func (c *PlanCache) evictLRU() {
+	var victim string
+	var oldest uint64
+	first := true
+	for k, e := range c.entries {
+		if first || e.use < oldest {
+			victim, oldest, first = k, e.use, false
+		}
+	}
+	delete(c.entries, victim)
+	c.stats.Evictions++
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// captureChoices extracts the cacheable physical decisions of an optimized
+// plan.
+func captureChoices(p *exec.Plan) []nodeChoice {
+	choices := make([]nodeChoice, len(p.Nodes))
+	for i, n := range p.Nodes {
+		choices[i] = nodeChoice{
+			inputs:           append([]exec.NodeID(nil), n.Inputs...),
+			algorithm:        n.Algorithm,
+			scheduler:        n.JoinOptions.Scheduler,
+			morselSize:       n.JoinOptions.MorselSize,
+			presortedPrivate: n.JoinOptions.PresortedPrivate,
+			presortedPublic:  n.JoinOptions.PresortedPublic,
+			aggMode:          n.AggMode,
+		}
+	}
+	return choices
+}
+
+// applyChoices overwrites the physical decision fields of a freshly lowered
+// plan with the cached ones. The plan's relations, predicates, functions and
+// sinks are untouched — they belong to the current query.
+func applyChoices(p *exec.Plan, choices []nodeChoice) {
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		ch := choices[i]
+		n.Inputs = append([]exec.NodeID(nil), ch.inputs...)
+		if n.Kind == exec.NodeJoin {
+			n.Algorithm = ch.algorithm
+			n.JoinOptions.Scheduler = ch.scheduler
+			n.JoinOptions.MorselSize = ch.morselSize
+			n.JoinOptions.PresortedPrivate = ch.presortedPrivate
+			n.JoinOptions.PresortedPublic = ch.presortedPublic
+		}
+		if n.Kind == exec.NodeGroupAggregate {
+			n.AggMode = ch.aggMode
+		}
+	}
+}
+
+// cacheKey normalizes a lowered plan into its cache identity: the operator
+// DAG with relation identities, function identities, and every configuration
+// facet the planner's decision depends on. Relation content is deliberately
+// not part of the key — it is validated separately via fingerprints, so a
+// mutated relation invalidates rather than silently forks the entry.
+func cacheKey(p *exec.Plan, rewrite bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rw%t;", rewrite)
+	for id, n := range p.Nodes {
+		fmt.Fprintf(&b, "%d:%v%v", id, n.Kind, n.Inputs)
+		switch n.Kind {
+		case exec.NodeScan:
+			fmt.Fprintf(&b, "r%p/%d f%x", n.Rel, n.Rel.Len(), fnPtr(n.Pred))
+		case exec.NodeJoin:
+			o := n.JoinOptions
+			fmt.Fprintf(&b, "a%v w%d k%v b%d h%d s%v c%d pp%t pv%t sch%v m%d d%+v",
+				n.Algorithm, o.Workers, o.Kind, o.Band, o.HistogramBits, o.Splitters,
+				o.CDFBoundsPerRun, o.PresortedPublic, o.PresortedPrivate,
+				o.Scheduler, o.MorselSize, n.DiskOptions)
+		case exec.NodeMap:
+			fmt.Fprintf(&b, "f%x", fnPtr(n.MapFn))
+		case exec.NodeProject:
+			fmt.Fprintf(&b, "f%x", fnPtr(n.ProjectFn))
+		case exec.NodeGroupAggregate:
+			fmt.Fprintf(&b, "g%v m%v", n.Agg, n.AggMode)
+		case exec.NodeSink:
+			// Only nilness matters: a user sink observes the pair order and
+			// pins the build/probe roles, the built-in max-sum sink is
+			// symmetric. The sink's identity does not change the plan.
+			fmt.Fprintf(&b, "nil%t", n.Sink == nil)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// fnPtr returns the code-pointer identity of a function value (0 for nil).
+// Two plans using the same predicate/projection function are the same shape;
+// distinct closures of the same function body also share a code pointer,
+// which is correct here because the planner's decisions depend only on
+// relation statistics, never on what a predicate computes.
+func fnPtr(fn any) uintptr {
+	v := reflect.ValueOf(fn)
+	if !v.IsValid() || v.IsNil() {
+		return 0
+	}
+	return v.Pointer()
+}
+
+// fingerprints hashes the content of every scan relation (indexed by node
+// ID). The fingerprint is a cheap strided sample — length plus up to 64
+// evenly spaced tuples — which catches in-place mutation without rescanning
+// multi-million tuple relations on every lookup.
+func fingerprints(p *exec.Plan) []uint64 {
+	prints := make([]uint64, len(p.Nodes))
+	for id, n := range p.Nodes {
+		if n.Kind == exec.NodeScan {
+			prints[id] = fingerprint(n.Rel)
+		}
+	}
+	return prints
+}
+
+// fingerprint hashes one relation's length and a strided tuple sample.
+func fingerprint(rel *relation.Relation) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	n := rel.Len()
+	write(uint64(n))
+	const samples = 64
+	stride := n / samples
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; i += stride {
+		t := rel.Tuples[i]
+		write(t.Key)
+		write(t.Payload)
+	}
+	return h.Sum64()
+}
+
+// printsMatch compares two fingerprint vectors.
+func printsMatch(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -231,7 +231,7 @@ func (e *Engine) RunPlan(ctx context.Context, p *Plan, opts ...Option) (*PlanRes
 		ep = optimized
 	}
 
-	pr, err := exec.RunPlan(ctx, ep, pool)
+	pr, err := exec.RunPlanFor(ctx, ep, pool, global.owner)
 	if err != nil {
 		return nil, err
 	}

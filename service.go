@@ -1,0 +1,333 @@
+package mpsm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/service"
+)
+
+// Serving errors. ErrBudgetTooLarge, ErrQueueFull and ErrQueueTimeout are the
+// admission controller's rejections; ErrServiceClosed reports a query
+// submitted after Close.
+var (
+	ErrBudgetTooLarge = service.ErrBudgetTooLarge
+	ErrQueueFull      = service.ErrQueueFull
+	ErrQueueTimeout   = service.ErrQueueTimeout
+	ErrServiceClosed  = errors.New("mpsm: service is closed")
+)
+
+// AdmissionStats are the admission controller's counters.
+type AdmissionStats = service.AdmissionStats
+
+// PlanCacheStats are the plan cache's counters.
+type PlanCacheStats = service.PlanCacheStats
+
+// ServiceStats snapshots all serving-layer counters at once.
+type ServiceStats struct {
+	// Admission reports admitted/queued/rejected/canceled queries and the
+	// current queue depth.
+	Admission AdmissionStats
+	// PlanCache reports plan-cache hits, misses, invalidations and
+	// evictions.
+	PlanCache PlanCacheStats
+	// Memory is the scratch pool's snapshot, including the per-query
+	// reserved and in-use attribution of every active query.
+	Memory PoolStats
+	// Active is the number of queries currently executing (admitted, not
+	// yet completed).
+	Active int64
+}
+
+// serviceConfig collects the ServiceOption knobs.
+type serviceConfig struct {
+	maxMemory     int64
+	queueLimit    int
+	queueTimeout  time.Duration
+	fairSlots     int
+	planCacheSize int
+	defaultBudget int64
+}
+
+// ServiceOption configures a Service at construction.
+type ServiceOption func(*serviceConfig)
+
+// WithMaxMemory caps the total bytes concurrently admitted queries may
+// reserve (the engine-wide memory limit admission control enforces); 0
+// selects the scratch pool's parked-byte limit (512 MiB by default).
+func WithMaxMemory(bytes int64) ServiceOption {
+	return func(c *serviceConfig) { c.maxMemory = bytes }
+}
+
+// WithAdmissionQueue bounds the admission queue: at most limit queries wait
+// (0 = unbounded), each for at most timeout (0 = only the query's own
+// context). Queries beyond the limit are rejected with ErrQueueFull; queries
+// whose wait exceeds the timeout fail with ErrQueueTimeout.
+func WithAdmissionQueue(limit int, timeout time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.queueLimit = limit; c.queueTimeout = timeout }
+}
+
+// WithFairSlots sets the number of concurrent execution slots the fair-share
+// scheduler arbitrates (the machine's effective parallelism); 0 selects
+// GOMAXPROCS.
+func WithFairSlots(n int) ServiceOption {
+	return func(c *serviceConfig) { c.fairSlots = n }
+}
+
+// WithPlanCacheSize bounds the number of cached physical plans; 0 selects the
+// default (256).
+func WithPlanCacheSize(n int) ServiceOption {
+	return func(c *serviceConfig) { c.planCacheSize = n }
+}
+
+// WithDefaultBudget sets the per-query memory budget assumed when a query
+// does not declare one with WithQueryBudget; 0 derives the budget from the
+// query's input sizes.
+func WithDefaultBudget(bytes int64) ServiceOption {
+	return func(c *serviceConfig) { c.defaultBudget = bytes }
+}
+
+// queryConfig collects the per-query QueryOption knobs.
+type queryConfig struct {
+	weight     int
+	budget     int64
+	label      string
+	engineOpts []Option
+}
+
+// QueryOption configures one query submitted to a Service.
+type QueryOption func(*queryConfig)
+
+// WithQueryWeight sets the query's fair-share weight (default 1): under
+// contention a weight-2 query receives twice the busy slot time of a
+// weight-1 query.
+func WithQueryWeight(w int) QueryOption {
+	return func(c *queryConfig) { c.weight = w }
+}
+
+// WithQueryBudget declares the query's memory budget in bytes for admission
+// control; 0 derives it from the input sizes. Budgets larger than the
+// service's memory limit are rejected with ErrBudgetTooLarge.
+func WithQueryBudget(bytes int64) QueryOption {
+	return func(c *queryConfig) { c.budget = bytes }
+}
+
+// WithQueryLabel names the query in ServiceStats.Memory.Queries; unnamed
+// queries get a generated "q<N>" label.
+func WithQueryLabel(label string) QueryOption {
+	return func(c *queryConfig) { c.label = label }
+}
+
+// WithQueryOptions passes per-call engine options (algorithm, workers, sink,
+// ...) through to the query's execution, exactly like the opts parameter of
+// Engine.Join.
+func WithQueryOptions(opts ...Option) QueryOption {
+	return func(c *queryConfig) { c.engineOpts = append(c.engineOpts, opts...) }
+}
+
+// Service is the multi-tenant serving layer over one Engine: every query is
+// admission-controlled against a shared memory limit (queueing FIFO with an
+// optional deadline when the limit is reached, rejecting what could never
+// fit), scheduled through a weighted fair-share arbiter so concurrent
+// queries interleave at morsel granularity instead of monopolizing the
+// workers FIFO-style, and planned through a normalized plan cache that
+// reuses physical plans across queries of the same shape, statistics and
+// configuration.
+//
+// A Service is safe for concurrent use from any number of client
+// goroutines; that is its purpose.
+type Service struct {
+	engine *Engine
+	pool   *memory.Pool
+	adm    *service.Admission
+	fs     *sched.FairShare
+	cache  *service.PlanCache
+
+	defaultBudget int64
+	nextID        atomic.Uint64
+	active        atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewService wraps an engine in a serving layer. When the engine has a
+// scratch pool (WithScratchPool), admission budgets are carved out of that
+// pool and the per-query attribution shows up in its PoolStats; otherwise
+// the service creates an accounting-only pool to track reservations.
+// Queries default to the Morsel scheduler — the granularity fair-share
+// interleaving needs — and to an elastic worker count (all fair-share slots
+// when the service is idle, down to one worker per query under fan-in);
+// WithQueryOptions(WithScheduler(Static)) and WithQueryOptions(WithWorkers(n))
+// override either per query.
+func NewService(e *Engine, opts ...ServiceOption) *Service {
+	var cfg serviceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	pool := e.pool
+	if pool == nil {
+		pool = memory.NewPool(cfg.maxMemory)
+	}
+	if cfg.maxMemory > 0 {
+		pool.SetReserveLimit(cfg.maxMemory)
+	}
+	adm := service.NewAdmission(pool)
+	adm.MaxQueue = cfg.queueLimit
+	adm.Timeout = cfg.queueTimeout
+	return &Service{
+		engine:        e,
+		pool:          pool,
+		adm:           adm,
+		fs:            sched.NewFairShare(cfg.fairSlots),
+		cache:         service.NewPlanCache(e.profileFor, cfg.planCacheSize),
+		defaultBudget: cfg.defaultBudget,
+	}
+}
+
+// Close marks the service closed; subsequent queries fail with
+// ErrServiceClosed. In-flight queries finish normally.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// Stats snapshots the serving-layer counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Admission: s.adm.Stats(),
+		PlanCache: s.cache.Stats(),
+		Memory:    s.pool.Stats(),
+		Active:    s.active.Load(),
+	}
+}
+
+// Join executes an equi-join between the private input r and the public
+// input p through the serving layer: admission control, fair-share
+// scheduling, and the plan cache (which, when the engine auto-plans, reuses
+// the planner's physical decisions across repeated joins of the same shape).
+// It is Engine.Join behind the serving layer; see there for the join
+// semantics.
+func (s *Service) Join(ctx context.Context, r, p *Relation, opts ...QueryOption) (*Result, error) {
+	if r == nil || p == nil {
+		return nil, fmt.Errorf("mpsm: Join requires non-nil relations")
+	}
+	var q queryConfig
+	for _, o := range opts {
+		o(&q)
+	}
+	resolvedSink := s.engine.resolve(q.engineOpts).sink
+	plan := NewPlan()
+	rs := plan.Scan(r)
+	ps := plan.Scan(p)
+	j := plan.Join(rs, ps)
+	plan.Sink(j, resolvedSink)
+
+	pr, err := s.run(ctx, plan, q, r.Len()+p.Len())
+	if err != nil {
+		return nil, err
+	}
+	return pr.Joins[0].Result, nil
+}
+
+// RunPlan executes a plan through the serving layer; see Engine.RunPlan for
+// plan semantics.
+func (s *Service) RunPlan(ctx context.Context, p *Plan, opts ...QueryOption) (*PlanResult, error) {
+	var q queryConfig
+	for _, o := range opts {
+		o(&q)
+	}
+	rows := 0
+	if p != nil {
+		for _, n := range p.nodes {
+			if n.rel != nil {
+				rows += n.rel.Len()
+			}
+		}
+	}
+	return s.run(ctx, p, q, rows)
+}
+
+// budgetFor resolves a query's admission budget: the declared one, the
+// service default, or an estimate from the input cardinality (the MPSM runs
+// copy both inputs once and the partition phase copies the private one
+// again, so ~3 tuple copies plus histogram overhead bounds the scratch
+// demand).
+func (s *Service) budgetFor(q queryConfig, inputRows int) int64 {
+	if q.budget > 0 {
+		return q.budget
+	}
+	if s.defaultBudget > 0 {
+		return s.defaultBudget
+	}
+	const tupleBytes = 16
+	b := int64(inputRows) * tupleBytes * 3
+	if b < 1<<20 {
+		b = 1 << 20
+	}
+	return b
+}
+
+// run is the shared serving path: admit, gate, plan through the cache,
+// execute, release.
+func (s *Service) run(ctx context.Context, p *Plan, q queryConfig, inputRows int) (*PlanResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	s.mu.Unlock()
+
+	label := q.label
+	if label == "" {
+		label = fmt.Sprintf("q%d", s.nextID.Add(1))
+	}
+	res, err := s.adm.Admit(ctx, label, s.budgetFor(q, inputRows))
+	if err != nil {
+		return nil, err
+	}
+	defer s.adm.Done(res)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	ticket := s.fs.Ticket(q.weight)
+	// Elastic degree of parallelism: a lone query fans out across every
+	// fair-share slot, a saturated service runs each query narrow — one
+	// worker per query costs the least total work (no partition/barrier
+	// overhead), and the slots stay busy because many queries run at once.
+	// Aggregate throughput under fan-in therefore exceeds solo throughput,
+	// which is what keeps the tail latency of a closed-loop client pool
+	// within a small multiple of the uncontended latency.
+	dop := s.fs.Slots() / int(s.active.Load())
+	if dop < 1 {
+		dop = 1
+	}
+	// The serving defaults go first so per-query options can override them
+	// (an explicit WithWorkers in WithQueryOptions wins over the elastic
+	// choice, WithScheduler(Static) over the Morsel default).
+	opts := append([]Option{WithScheduler(Morsel), WithWorkers(dop)}, q.engineOpts...)
+	opts = append(opts, withGate(ticket), withOwner(res))
+
+	ep, global, err := s.engine.buildExecPlan(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	ep, err = s.cache.Optimize(ep, global.autoPlan)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := exec.RunPlanFor(ctx, ep, s.engine.scratchFor(global), res)
+	if err != nil {
+		return nil, err
+	}
+	return convertPlanResult(pr), nil
+}
