@@ -35,6 +35,7 @@ type settings struct {
 	sink             Sink
 	scheduler        Scheduler
 	morselSize       int
+	batchSize        int
 	scratchPool      bool
 	poolLimit        int64
 	autoPlan         bool
@@ -150,6 +151,20 @@ func WithScheduler(mode Scheduler) Option {
 // and ignores this setting.
 func WithMorselSize(tuples int) Option {
 	return func(s *settings) { s.morselSize = tuples }
+}
+
+// WithBatchSize controls the columnar batch execution path of the inner
+// equi-join match phases: runs are generated as sorted key/payload column
+// pairs (structure-of-arrays) and the merge kernels scan contiguous key
+// columns with software prefetch, emitting matches in batches of n pairs.
+// n == 0 (the default) selects the built-in batch size of 1024 tuples; a
+// negative n disables the columnar path and runs the row-at-a-time kernels;
+// a positive n is the batch size in tuples. Band joins, non-inner kinds,
+// D-MPSM and the hash-join baselines are unaffected (though the hash joins
+// always batch their probe output). Both paths produce identical results;
+// Result.Batch reports the batch traffic.
+func WithBatchSize(n int) Option {
+	return func(s *settings) { s.batchSize = n }
 }
 
 // WithSink directs the joined tuple stream into the given sink instead of the
@@ -320,6 +335,7 @@ func (cfg settings) coreOptions(pool *memory.Pool) core.Options {
 		Topology:         cfg.topology,
 		Scheduler:        cfg.scheduler,
 		MorselSize:       cfg.morselSize,
+		BatchSize:        cfg.batchSize,
 		Scratch:          pool,
 		Owner:            cfg.owner,
 		Gate:             cfg.gate,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/mergejoin"
 	"repro/internal/relation"
 	"repro/internal/result"
@@ -28,6 +29,11 @@ import (
 // than ownership (and the segment-level interpolation skip means
 // PublicScanned reports tuples actually scanned rather than T·|S|).
 //
+// Inner equi-joins run on the columnar batch path unless Options.BatchSize is
+// negative: runs are sorted key/payload column pairs and phase 3 scans
+// contiguous key columns with prefetched, batch-emitting kernels. Results are
+// pair-for-pair identical to the row path.
+//
 // Cancellation is checked at phase boundaries and per chunk inside the sort
 // and merge loops; a canceled context aborts the join and returns ctx.Err().
 func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options) (*result.Result, error) {
@@ -47,9 +53,23 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	publicRuns := make([]*relation.Run, workers)
 	privateRuns := make([]*relation.Run, workers)
 
+	// The columnar batch path covers inner equi-joins: runs are generated as
+	// sorted key/payload column pairs and the match phase scans contiguous key
+	// columns. Other join flavours fall back to the row-at-a-time path.
+	columnar := columnarEligible(opts)
+	var colPublic, colPrivate []*batch.Run
+	if columnar {
+		colPublic = make([]*batch.Run, workers)
+		colPrivate = make([]*batch.Run, workers)
+	}
+
 	// Phase 1: sort the public input chunks into runs, locally per worker.
 	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
-		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
+		if columnar {
+			colPublic[w.ID()] = sortChunkIntoColumnRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
+		} else {
+			publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
+		}
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
@@ -58,7 +78,11 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 2: sort the private input chunks into runs, locally per worker.
 	phase2 := rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
-		privateRuns[w.ID()] = sortChunkIntoRun(privateChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPrivate, w, lease)
+		if columnar {
+			colPrivate[w.ID()] = sortChunkIntoColumnRun(privateChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPrivate, w, lease)
+		} else {
+			privateRuns[w.ID()] = sortChunkIntoRun(privateChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPrivate, w, lease)
+		}
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -73,9 +97,35 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	out := sink.Bind(opts.Sink, workers, lease)
 	scanned := make([]int, workers)
 	var phase3 time.Duration
-	if opts.Scheduler == sched.Morsel {
+	switch {
+	case columnar && opts.Scheduler == sched.Morsel:
+		scratches := workerScratches(workers, opts.BatchSize, lease)
+		phase3 = rt.RunTasks(ctx, "phase 3", columnMatchTasks(ctx, colPrivate, colPublic, scanned, out, opts, scratches))
+		closeScratches(scratches)
+	case columnar:
+		phase3 = rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
+			priv := colPrivate[w.ID()]
+			cons := out.Writer(w.ID())
+			tracker := w.Tracker()
+			sc := batch.NewScratch(opts.BatchSize, lease)
+			defer sc.Close()
+			// Like the row-path static mode, every public run is scanned in
+			// full — B-MPSM's defining O(|S|) per-worker join work.
+			for _, pub := range colPublic {
+				if canceled(ctx) {
+					return
+				}
+				mergejoin.JoinColumns(priv.Keys, priv.Payloads, pub.Keys, pub.Payloads, cons, sc)
+				scanned[w.ID()] += pub.Len()
+				if tracker != nil {
+					tracker.SeqRead(priv.Node, uint64(priv.Len()))
+					tracker.SeqRead(pub.Node, uint64(pub.Len()))
+				}
+			}
+		})
+	case opts.Scheduler == sched.Morsel:
 		phase3 = rt.RunTasks(ctx, "phase 3", matchTasks(ctx, privateRuns, publicRuns, scanned, out, opts))
-	} else {
+	default:
 		phase3 = rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
 			priv := privateRuns[w.ID()]
 			cons := out.Writer(w.ID())
@@ -130,11 +180,16 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 	res.Matches = out.Matches()
 	res.MaxSum = out.MaxSum()
+	res.Batch.Batches, res.Batch.Tuples = out.Batches()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
 		res.PerWorker = rt.Breakdowns([]string{"phase 1", "phase 2", "phase 3"})
 		for w := range res.PerWorker {
-			res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
+			if columnar {
+				res.PerWorker[w].PrivateTuples = colPrivate[w].Len()
+			} else {
+				res.PerWorker[w].PrivateTuples = privateRuns[w].Len()
+			}
 			res.PerWorker[w].PublicScanned = scanned[w]
 			res.PerWorker[w].Matches = out.WorkerMatches(w)
 		}

@@ -115,6 +115,17 @@ type Options struct {
 	// public-run) pairs as its morsels and ignores this setting.
 	MorselSize int
 
+	// BatchSize controls the columnar batch execution path of the inner
+	// equi-join match phases (B-MPSM and P-MPSM, Static and Morsel): runs are
+	// generated in structure-of-arrays form (sorted key column plus permuted
+	// payload column) and the merge kernels scan contiguous key columns,
+	// emitting matches in batches of this many pairs. 0 selects the default
+	// batch size (batch.DefaultSize); a negative value disables the columnar
+	// path and keeps the row-at-a-time kernels; a positive value is the batch
+	// size in tuples. Band joins, non-inner kinds and D-MPSM always use the
+	// row path regardless of this setting.
+	BatchSize int
+
 	// Sink receives the joined tuple stream. A nil Sink selects the built-in
 	// max-sum aggregate of the paper's evaluation query, which preserves the
 	// legacy fire-and-forget Join semantics.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/partition"
@@ -59,20 +60,34 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	privateChunks := private.Split(workers)
 	publicRuns := make([]*relation.Run, workers)
 
+	// The columnar batch path covers inner equi-joins; see columnar.go.
+	columnar := columnarEligible(opts)
+	var colPublic, colPrivate []*batch.Run
+	if columnar {
+		colPublic = make([]*batch.Run, workers)
+		colPrivate = make([]*batch.Run, workers)
+	}
+
 	// Phase 1: sort the public input chunks into local runs.
 	phase1 := rt.Phase(ctx, "phase 1", func(ctx context.Context, w *sched.Worker) {
-		publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
+		if columnar {
+			colPublic[w.ID()] = sortChunkIntoColumnRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
+		} else {
+			publicRuns[w.ID()] = sortChunkIntoRun(publicChunks[w.ID()], chunkSourceNode(w.ID(), workers, opts.Topology), opts.PresortedPublic, w, lease)
+		}
 	})
 	res.AddPhase("phase 1", phase1)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// Phase 2: range partition the private input.
+	// Phase 2: range partition the private input. The partitioning itself is
+	// row-oriented either way (it scatters the input chunks); only the S CDF
+	// bounds are read off whichever public-run representation phase 1 built.
 	var privateRuns []*relation.Run
 	var privateMaxKey uint64
 	phase2 := result.StopwatchPhase(func() {
-		privateRuns, privateMaxKey = rangePartitionPrivate(ctx, rt, privateChunks, publicRuns, opts, lease)
+		privateRuns, privateMaxKey = rangePartitionPrivate(ctx, rt, privateChunks, publicRuns, colPublic, opts, lease)
 	})
 	res.AddPhase("phase 2", phase2)
 	if err := ctx.Err(); err != nil {
@@ -81,10 +96,22 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 
 	// Phase 3: sort each private range partition into a run. Phase 2 already
 	// determined the global maximum private key for its radix histograms, so
-	// the sort skips its own key-domain scan.
+	// the sort skips its own key-domain scan. On the columnar path the sort
+	// doubles as the AoS→SoA conversion: the scattered partition sorts
+	// directly into a column run and its row buffer goes back to the lease.
 	phase3 := rt.Phase(ctx, "phase 3", func(ctx context.Context, w *sched.Worker) {
 		run := privateRuns[w.ID()]
-		sorting.SortWithMax(run.Tuples, privateMaxKey)
+		if columnar {
+			n := len(run.Tuples)
+			col := batch.NewRun(run.Worker, run.Node, n, lease)
+			perm := lease.Int32s(n)
+			sorting.SortTuplesIntoColumns(run.Tuples, col.Keys, col.Payloads, perm)
+			lease.PutInt32s(perm)
+			lease.PutTuples(run.Tuples)
+			colPrivate[w.ID()] = col
+		} else {
+			sorting.SortWithMax(run.Tuples, privateMaxKey)
+		}
 		if tracker := w.Tracker(); tracker != nil {
 			n := uint64(len(run.Tuples))
 			tracker.RandRead(run.Node, 2*n)
@@ -103,9 +130,35 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	out := sink.Bind(opts.Sink, workers, lease)
 	scanned := make([]int, workers)
 	var phase4 time.Duration
-	if opts.Scheduler == sched.Morsel {
+	switch {
+	case columnar && opts.Scheduler == sched.Morsel:
+		scratches := workerScratches(workers, opts.BatchSize, lease)
+		phase4 = rt.RunTasks(ctx, "phase 4", columnMatchTasks(ctx, colPrivate, colPublic, scanned, out, opts, scratches))
+		closeScratches(scratches)
+	case columnar:
+		phase4 = rt.Phase(ctx, "phase 4", func(ctx context.Context, w *sched.Worker) {
+			priv := colPrivate[w.ID()]
+			cons := out.Writer(w.ID())
+			tracker := w.Tracker()
+			sc := batch.NewScratch(opts.BatchSize, lease)
+			defer sc.Close()
+			// Like the row-path static mode, the interpolation-search skip
+			// bounds each public scan to the private run's key range.
+			for _, pub := range colPublic {
+				if canceled(ctx) {
+					return
+				}
+				n := mergejoin.JoinColumnsWithSkip(priv.Keys, priv.Payloads, pub.Keys, pub.Payloads, cons, sc)
+				scanned[w.ID()] += n
+				if tracker != nil {
+					tracker.SeqRead(priv.Node, uint64(priv.Len()))
+					tracker.SeqRead(pub.Node, uint64(n))
+				}
+			}
+		})
+	case opts.Scheduler == sched.Morsel:
 		phase4 = rt.RunTasks(ctx, "phase 4", matchTasks(ctx, privateRuns, publicRuns, scanned, out, opts))
-	} else {
+	default:
 		phase4 = rt.Phase(ctx, "phase 4", func(ctx context.Context, w *sched.Worker) {
 			priv := privateRuns[w.ID()]
 			cons := out.Writer(w.ID())
@@ -166,6 +219,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	}
 	res.Matches = out.Matches()
 	res.MaxSum = out.MaxSum()
+	res.Batch.Batches, res.Batch.Tuples = out.Batches()
 	res.Total = time.Since(start)
 	if opts.CollectPerWorker {
 		res.PerWorker = rt.Breakdowns([]string{"phase 1", "phase 2", "phase 3", "phase 4"})
@@ -192,17 +246,23 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 // the shared runtime, so the per-worker breakdown accumulates them under one
 // label. Histogram, cursor and run buffers come from the join's scratch
 // lease.
-func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks []relation.Chunk, publicRuns []*relation.Run, opts Options, lease *memory.Lease) ([]*relation.Run, uint64) {
+func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks []relation.Chunk, publicRuns []*relation.Run, colPublic []*batch.Run, opts Options, lease *memory.Lease) ([]*relation.Run, uint64) {
 	workers := opts.Workers
 
 	// Phase 2.1: per-run equi-height bounds merged into the global S CDF.
-	// The bounds are read off the already-sorted public runs, so this costs
+	// The bounds are read off the already-sorted public runs — row or
+	// columnar, whichever representation phase 1 built — so this costs
 	// almost nothing.
 	boundsPerRun := make([][]uint64, workers)
 	runLens := make([]int, workers)
 	rt.Phase(ctx, "phase 2", func(ctx context.Context, w *sched.Worker) {
-		boundsPerRun[w.ID()] = partition.EquiHeightBounds(publicRuns[w.ID()].Tuples, opts.CDFBoundsPerRun)
-		runLens[w.ID()] = publicRuns[w.ID()].Len()
+		if colPublic != nil {
+			boundsPerRun[w.ID()] = partition.EquiHeightBoundsKeys(colPublic[w.ID()].Keys, opts.CDFBoundsPerRun)
+			runLens[w.ID()] = colPublic[w.ID()].Len()
+		} else {
+			boundsPerRun[w.ID()] = partition.EquiHeightBounds(publicRuns[w.ID()].Tuples, opts.CDFBoundsPerRun)
+			runLens[w.ID()] = publicRuns[w.ID()].Len()
+		}
 	})
 	if canceled(ctx) {
 		return nil, 0

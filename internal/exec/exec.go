@@ -106,6 +106,27 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // never memory corruption, but not a meaningful result either.
 type Predicate func(relation.Tuple) bool
 
+// KeyRange is the structured form of a key-range selection: it keeps tuples
+// whose key lies in [Low, High). Unlike an opaque Predicate closure, the scan
+// can recognize it and run the selection branch-free — a borrow-bit membership
+// test and a selection-vector gather instead of a per-tuple function call —
+// so range scans filter at a selectivity-independent rate. High <= Low selects
+// nothing.
+type KeyRange struct {
+	Low, High uint64
+}
+
+// Match reports whether a key lies in the range.
+func (r KeyRange) Match(k uint64) bool {
+	return r.Low <= k && k < r.High
+}
+
+// Predicate converts the range into an equivalent opaque predicate, for
+// composing with code that wants a Predicate.
+func (r KeyRange) Predicate() Predicate {
+	return func(t relation.Tuple) bool { return r.Match(t.Key) }
+}
+
 // Query describes one execution of the pipeline
 //
 //	scan(R), scan(S) → filter → join → sink
@@ -120,6 +141,10 @@ type Query struct {
 	R, S *relation.Relation
 	// RFilter and SFilter are optional selections applied during the scan.
 	RFilter, SFilter Predicate
+	// RRange and SRange are optional structured key-range selections. They
+	// run on the branch-free selection path; a filter and a range on the same
+	// input compose (a tuple must satisfy both).
+	RRange, SRange *KeyRange
 	// Algorithm selects the join implementation.
 	Algorithm Algorithm
 	// JoinOptions configures the MPSM variants and, where applicable, the
@@ -180,8 +205,8 @@ func Run(ctx context.Context, q Query) (*QueryResult, error) {
 		return nil, err
 	}
 	p := &Plan{}
-	rID := p.AddScan(q.R, q.RFilter)
-	sID := p.AddScan(q.S, q.SFilter)
+	rID := p.AddScanRange(q.R, q.RRange, q.RFilter)
+	sID := p.AddScanRange(q.S, q.SRange, q.SFilter)
 	jID := p.AddJoin(rID, sID, q.Algorithm, q.JoinOptions, q.DiskOptions)
 	p.AddSink(jID, q.JoinOptions.Sink)
 

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"math/bits"
 	"runtime"
 
 	"repro/internal/memory"
@@ -13,6 +14,111 @@ import (
 // single-threaded: a serial pass over 16K tuples (256 KiB) is faster than
 // spinning up a worker pool for it.
 const filterParallelCutoff = 1 << 14
+
+// applyScanFilter is the scan's selection entry point: a structured key range
+// runs on the branch-free selection path, an opaque predicate on the
+// per-tuple path, and both together compose the predicate into the range scan
+// (the per-tuple call dominates then anyway).
+func applyScanFilter(ctx context.Context, rel *relation.Relation, rng *KeyRange, pred Predicate, workers int, lease *memory.Lease) (out *relation.Relation, leased bool) {
+	if rng == nil {
+		return applyFilter(ctx, rel, pred, workers, lease)
+	}
+	if pred != nil {
+		r := *rng
+		combined := func(t relation.Tuple) bool { return r.Match(t.Key) && pred(t) }
+		return applyFilter(ctx, rel, combined, workers, lease)
+	}
+	return filterKeyRange(ctx, rel, *rng, workers, lease)
+}
+
+// filterKeyRange is the branch-free key-range selection: both passes test
+// membership via the borrow bit of an unsigned subtraction (k-lo < hi-lo) and
+// the copy pass builds a per-chunk selection vector with unconditional writes
+// before gathering survivors, so no pass branches on the data. Output order,
+// sizing and lease behaviour match applyFilter exactly.
+func filterKeyRange(ctx context.Context, rel *relation.Relation, rng KeyRange, workers int, lease *memory.Lease) (out *relation.Relation, leased bool) {
+	if rng.High <= rng.Low {
+		return relation.New(rel.Name, lease.Tuples(0)), lease != nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := rel.Len()
+	lo, width := rng.Low, rng.High-rng.Low
+	if n < filterParallelCutoff || workers == 1 {
+		total := countRangeTuples(rel.Tuples, lo, width)
+		dst := lease.Tuples(total)
+		sel := lease.Int32s(n)
+		selectRangeChunk(rel.Tuples, lo, width, sel, dst)
+		lease.PutInt32s(sel)
+		return relation.New(rel.Name, dst), lease != nil
+	}
+
+	// Pass 1: count the surviving tuples per chunk, branch-free.
+	type chunk struct{ lo, hi int }
+	var chunks []chunk
+	sched.ForEachSegment(n, 0, func(clo, chi int) {
+		chunks = append(chunks, chunk{clo, chi})
+	})
+	counts := make([]int, len(chunks))
+	rt := sched.New(sched.Config{Workers: workers})
+	tasks := make([]sched.Task, len(chunks))
+	for i, c := range chunks {
+		tasks[i] = sched.Task{Node: -1, Run: func(*sched.Worker) {
+			counts[i] = countRangeTuples(rel.Tuples[c.lo:c.hi], lo, width)
+		}}
+	}
+	rt.RunTasks(ctx, "scan", tasks)
+
+	total := 0
+	offsets := make([]int, len(chunks))
+	for i, c := range counts {
+		offsets[i] = total
+		total += c
+	}
+
+	// Pass 2: per chunk, build the selection vector and gather the survivors
+	// into the chunk's disjoint output range.
+	dst := lease.Tuples(total) // nil lease allocates fresh
+	for i, c := range chunks {
+		tasks[i] = sched.Task{Node: -1, Run: func(*sched.Worker) {
+			sel := lease.Int32s(c.hi - c.lo)
+			selectRangeChunk(rel.Tuples[c.lo:c.hi], lo, width, sel, dst[offsets[i]:offsets[i]+counts[i]])
+			lease.PutInt32s(sel)
+		}}
+	}
+	rt.RunTasks(ctx, "filter", tasks)
+	return relation.New(rel.Name, dst), lease != nil
+}
+
+// countRangeTuples counts tuples with key-lo < width (i.e. key in [lo,
+// lo+width)) by accumulating the borrow bit — no data-dependent branch.
+func countRangeTuples(tuples []relation.Tuple, lo, width uint64) int {
+	n := 0
+	for _, t := range tuples {
+		_, borrow := bits.Sub64(t.Key-lo, width, 0)
+		n += int(borrow)
+	}
+	return n
+}
+
+// selectRangeChunk writes the in-range indices of tuples into sel with
+// unconditional writes (the cursor advances by the borrow bit), then gathers
+// the selected tuples into dst. sel must have len(tuples) elements; dst must
+// have exactly the chunk's survivor count (as precomputed by
+// countRangeTuples).
+func selectRangeChunk(tuples []relation.Tuple, lo, width uint64, sel []int32, dst []relation.Tuple) {
+	sel = sel[:len(tuples)]
+	n := 0
+	for i, t := range tuples {
+		sel[n] = int32(i)
+		_, borrow := bits.Sub64(t.Key-lo, width, 0)
+		n += int(borrow)
+	}
+	for j := range dst {
+		dst[j] = tuples[sel[j]]
+	}
+}
 
 // applyFilter returns the input unchanged for a nil predicate, and an
 // exactly-sized filtered copy otherwise, preserving input order. The copy is

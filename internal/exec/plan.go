@@ -107,9 +107,12 @@ type PlanNode struct {
 	// — build first, probe second — and one for everything else).
 	Inputs []NodeID
 
-	// Rel and Pred configure a NodeScan.
-	Rel  *relation.Relation
-	Pred Predicate
+	// Rel and Pred configure a NodeScan. Range is an optional structured
+	// key-range selection that runs on the branch-free selection-vector path;
+	// Range and Pred compose (a tuple must satisfy both).
+	Rel   *relation.Relation
+	Pred  Predicate
+	Range *KeyRange
 
 	// Algorithm, JoinOptions and DiskOptions configure a NodeJoin. The
 	// JoinOptions' Sink and Scratch fields are owned by the executor and
@@ -152,6 +155,12 @@ func (p *Plan) add(n PlanNode) NodeID {
 // every tuple).
 func (p *Plan) AddScan(rel *relation.Relation, pred Predicate) NodeID {
 	return p.add(PlanNode{Kind: NodeScan, Rel: rel, Pred: pred})
+}
+
+// AddScanRange adds a scan of rel with an optional structured key-range
+// selection (run branch-free) and an optional additional predicate.
+func (p *Plan) AddScanRange(rel *relation.Relation, rng *KeyRange, pred Predicate) NodeID {
+	return p.add(PlanNode{Kind: NodeScan, Rel: rel, Pred: pred, Range: rng})
 }
 
 // AddJoin adds a join of the build (private) input against the probe (public)

@@ -184,7 +184,7 @@ func (e *planExec) materialize(id NodeID) (*relation.Relation, error) {
 	case NodeScan:
 		var leased bool
 		e.res.ScanTime += result.StopwatchPhase(func() {
-			rel, leased = applyFilter(e.ctx, n.Rel, n.Pred, e.workers(), e.lease)
+			rel, leased = applyScanFilter(e.ctx, n.Rel, n.Range, n.Pred, e.workers(), e.lease)
 		})
 		owned = leased
 		if err := e.boundary(); err != nil {

@@ -1,0 +1,62 @@
+package hashjoin
+
+import (
+	"repro/internal/batch"
+	"repro/internal/memory"
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+)
+
+// probeBatch buffers the matches a probe loop finds into columnar form and
+// flushes them through mergejoin.EmitColumns, so the sink boundary is crossed
+// once per batch instead of once per match (and batch-capable sinks receive
+// whole columns). It implements mergejoin.Consumer, letting the chain-walking
+// probe kernels stay unchanged; emission order is match-for-match identical
+// to the unbatched path.
+type probeBatch struct {
+	out   mergejoin.Consumer
+	lease *memory.Lease
+	keys  []uint64
+	rp    []uint64
+	sp    []uint64
+	n     int
+}
+
+// newProbeBatch leases one batch of output columns. close returns them.
+func newProbeBatch(out mergejoin.Consumer, lease *memory.Lease) *probeBatch {
+	return &probeBatch{
+		out:   out,
+		lease: lease,
+		keys:  lease.Uint64s(batch.DefaultSize),
+		rp:    lease.Uint64s(batch.DefaultSize),
+		sp:    lease.Uint64s(batch.DefaultSize),
+	}
+}
+
+// Consume implements mergejoin.Consumer by appending the match to the batch.
+func (b *probeBatch) Consume(r, s relation.Tuple) {
+	b.keys[b.n] = r.Key
+	b.rp[b.n] = r.Payload
+	b.sp[b.n] = s.Payload
+	b.n++
+	if b.n == len(b.keys) {
+		b.flush()
+	}
+}
+
+// flush hands the buffered matches to the consumer as one column batch.
+func (b *probeBatch) flush() {
+	if b.n == 0 {
+		return
+	}
+	mergejoin.EmitColumns(b.out, b.keys[:b.n], b.rp[:b.n], b.sp[:b.n])
+	b.n = 0
+}
+
+// close flushes the final partial batch and returns the columns to the lease.
+func (b *probeBatch) close() {
+	b.flush()
+	b.lease.PutUint64s(b.keys)
+	b.lease.PutUint64s(b.rp)
+	b.lease.PutUint64s(b.sp)
+}

@@ -129,6 +129,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 
 	res.Matches = out.Matches()
 	res.MaxSum = out.MaxSum()
+	res.Batch.Batches, res.Batch.Tuples = out.Batches()
 	res.Total = time.Since(start)
 	if o.TrackNUMA {
 		res.NUMA = rt.NUMAStats()
@@ -299,14 +300,18 @@ func joinPartition(build, probe []relation.Tuple, out mergejoin.Consumer, lease 
 		next[i] = slots[b]
 		slots[b] = int32(i)
 	}
+	// Matches are buffered into columnar batches and flushed through the
+	// sink's batch fast path once per batch instead of once per match.
+	pb := newProbeBatch(out, lease)
 	for _, tup := range probe {
 		b := (hashKey(tup.Key) >> 16) & mask
 		for idx := slots[b]; idx >= 0; idx = next[idx] {
 			if build[idx].Key == tup.Key {
-				out.Consume(build[idx], tup)
+				pb.Consume(build[idx], tup)
 			}
 		}
 	}
+	pb.close()
 	lease.PutInt32s(slots)
 	lease.PutInt32s(next)
 }

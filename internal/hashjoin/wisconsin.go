@@ -189,14 +189,18 @@ func insertBlock(table *sharedTable, tuples []relation.Tuple, baseSlot int, ctx 
 }
 
 // probeBlock probes the shared table with one block of a probe chunk,
-// streaming matches into the executing worker's sink writer.
-func probeBlock(table *sharedTable, tuples []relation.Tuple, ctx context.Context, w *sched.Worker, topo numa.Topology, cons mergejoin.Consumer) {
+// streaming matches into the executing worker's sink writer. Matches are
+// buffered into columnar batches and flushed through the sink's batch fast
+// path once per batch.
+func probeBlock(table *sharedTable, tuples []relation.Tuple, ctx context.Context, w *sched.Worker, topo numa.Topology, cons mergejoin.Consumer, lease *memory.Lease) {
+	pb := newProbeBatch(cons, lease)
+	defer pb.close()
 	var inspected uint64
 	for i, tup := range tuples {
 		if i%cancelBlock == 0 && canceled(ctx) {
 			return
 		}
-		inspected += table.probe(tup, cons)
+		inspected += table.probe(tup, pb)
 	}
 	if tracker := w.Tracker(); tracker != nil {
 		// Probing reads the local S chunk sequentially and the shared
@@ -269,11 +273,11 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	var probeTime time.Duration
 	if opts.Scheduler == sched.Morsel {
 		probeTime = rt.RunTasks(ctx, "probe", blockTasks(sChunks, opts.MorselSize, func(block relation.Chunk, w *sched.Worker) {
-			probeBlock(table, block.Tuples, ctx, w, opts.Topology, out.Writer(w.ID()))
+			probeBlock(table, block.Tuples, ctx, w, opts.Topology, out.Writer(w.ID()), lease)
 		}))
 	} else {
 		probeTime = rt.Phase(ctx, "probe", func(ctx context.Context, w *sched.Worker) {
-			probeBlock(table, sChunks[w.ID()].Tuples, ctx, w, opts.Topology, out.Writer(w.ID()))
+			probeBlock(table, sChunks[w.ID()].Tuples, ctx, w, opts.Topology, out.Writer(w.ID()), lease)
 		})
 	}
 	res.AddPhase("probe", probeTime)
@@ -289,6 +293,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 
 	res.Matches = out.Matches()
 	res.MaxSum = out.MaxSum()
+	res.Batch.Batches, res.Batch.Tuples = out.Batches()
 	res.Total = time.Since(start)
 	if opts.TrackNUMA {
 		res.NUMA = rt.NUMAStats()

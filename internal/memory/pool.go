@@ -45,22 +45,24 @@ var ErrOverCommitted = errors.New("memory: reservation exceeds the pool's admiss
 const DefaultLimitBytes = 512 << 20
 
 const (
-	tupleSize = 16 // unsafe.Sizeof(relation.Tuple{})
-	intSize   = 8
-	int32Size = 4
+	tupleSize  = 16 // unsafe.Sizeof(relation.Tuple{})
+	intSize    = 8
+	int32Size  = 4
+	uint64Size = 8
 )
 
 // Pool is a size-classed scratch-buffer pool shared by all joins of one
 // Engine. The zero value is not usable; create pools with NewPool. A nil
 // *Pool is valid and disables pooling.
 type Pool struct {
-	mu     sync.Mutex
-	limit  int64
-	held   int64 // bytes currently parked in free lists
-	tuples [classCount][][]relation.Tuple
-	ints   [classCount][][]int
-	int32s [classCount][][]int32
-	stats  PoolStats
+	mu      sync.Mutex
+	limit   int64
+	held    int64 // bytes currently parked in free lists
+	tuples  [classCount][][]relation.Tuple
+	ints    [classCount][][]int
+	int32s  [classCount][][]int32
+	uint64s [classCount][][]uint64
+	stats   PoolStats
 
 	// Admission-control state: outstanding per-query reservations against
 	// reserveLimit, and the set of checked-out leases for per-query
@@ -323,15 +325,17 @@ type Lease struct {
 	mu    sync.Mutex
 	// all tracks every buffer checked out from the pool or freshly
 	// allocated, for bulk return on Release.
-	allTuples [][]relation.Tuple
-	allInts   [][]int
-	allInt32s [][]int32
+	allTuples  [][]relation.Tuple
+	allInts    [][]int
+	allInt32s  [][]int32
+	allUint64s [][]uint64
 	// free lists hold buffers handed back early via Put* for intra-join
 	// reuse; the buffers remain tracked in the all lists.
-	freeTuples [classCount][][]relation.Tuple
-	freeInts   [classCount][][]int
-	freeInt32s [classCount][][]int32
-	stats      LeaseStats
+	freeTuples  [classCount][][]relation.Tuple
+	freeInts    [classCount][][]int
+	freeInt32s  [classCount][][]int32
+	freeUint64s [classCount][][]uint64
+	stats       LeaseStats
 }
 
 // Stats returns the lease's traffic counters. Safe on a nil lease (all
@@ -433,6 +437,35 @@ func (l *Lease) Int32s(n int) []int32 {
 	return buf[:n]
 }
 
+// Uint64s returns a uint64 buffer of length n, the element type of the
+// columnar batch layer's key and payload columns. The contents are
+// unspecified — callers fully overwrite the buffer (column scatters, sorts
+// and gathers all do).
+func (l *Lease) Uint64s(n int) []uint64 {
+	if l == nil {
+		return make([]uint64, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if list := l.freeUint64s[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		l.freeUint64s[c] = list[:len(list)-1]
+		l.note(c, uint64Size, true)
+		return buf[:n]
+	}
+	buf, hit := l.pool.getUint64s(c)
+	if !hit {
+		buf = make([]uint64, 1<<c)
+	}
+	l.allUint64s = append(l.allUint64s, buf)
+	l.note(c, uint64Size, hit)
+	return buf[:n]
+}
+
 // note updates the lease counters; the caller holds l.mu.
 func (l *Lease) note(class int, elemSize int64, reused bool) {
 	l.stats.Buffers++
@@ -459,6 +492,9 @@ func (l *Lease) attribution() (label string, footprint int64, ok bool) {
 	}
 	for _, buf := range l.allInt32s {
 		footprint += int64(cap(buf)) * int32Size
+	}
+	for _, buf := range l.allUint64s {
+		footprint += int64(cap(buf)) * uint64Size
 	}
 	return l.owner.label, footprint, true
 }
@@ -507,6 +543,20 @@ func (l *Lease) PutInt32s(buf []int32) {
 	l.mu.Unlock()
 }
 
+// PutUint64s is PutTuples for uint64 buffers.
+func (l *Lease) PutUint64s(buf []uint64) {
+	if l == nil || cap(buf) == 0 {
+		return
+	}
+	c := exactClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	l.mu.Lock()
+	l.freeUint64s[c] = append(l.freeUint64s[c], buf[:cap(buf)])
+	l.mu.Unlock()
+}
+
 // exactClass returns the size class of a capacity that must be a power of two
 // (as all pool buffers are), or -1 for foreign buffers, which are silently
 // dropped rather than poisoning a class with an undersized buffer.
@@ -526,13 +576,13 @@ func (l *Lease) Release() {
 		return
 	}
 	l.mu.Lock()
-	tuples, ints, int32s := l.allTuples, l.allInts, l.allInt32s
-	l.allTuples, l.allInts, l.allInt32s = nil, nil, nil
+	tuples, ints, int32s, uint64s := l.allTuples, l.allInts, l.allInt32s, l.allUint64s
+	l.allTuples, l.allInts, l.allInt32s, l.allUint64s = nil, nil, nil, nil
 	for c := range l.freeTuples {
-		l.freeTuples[c], l.freeInts[c], l.freeInt32s[c] = nil, nil, nil
+		l.freeTuples[c], l.freeInts[c], l.freeInt32s[c], l.freeUint64s[c] = nil, nil, nil, nil
 	}
 	l.mu.Unlock()
-	l.pool.put(l, tuples, ints, int32s)
+	l.pool.put(l, tuples, ints, int32s, uint64s)
 }
 
 // getTuples pops a tuple buffer of the class from the shared free list.
@@ -583,10 +633,26 @@ func (p *Pool) getInt32s(c int) ([]int32, bool) {
 	return nil, false
 }
 
+// getUint64s pops a uint64 buffer of the class from the shared free list.
+func (p *Pool) getUint64s(c int) ([]uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Gets++
+	if list := p.uint64s[c]; len(list) > 0 {
+		buf := list[len(list)-1]
+		p.uint64s[c] = list[:len(list)-1]
+		p.held -= int64(cap(buf)) * uint64Size
+		p.stats.Hits++
+		return buf, true
+	}
+	p.stats.Misses++
+	return nil, false
+}
+
 // put returns a lease's batch of buffers to the free lists, dropping buffers
 // beyond the byte limit so the garbage collector reclaims them, and retires
 // the lease from the active set.
-func (p *Pool) put(l *Lease, tuples [][]relation.Tuple, ints [][]int, int32s [][]int32) {
+func (p *Pool) put(l *Lease, tuples [][]relation.Tuple, ints [][]int, int32s [][]int32, uint64s [][]uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.leases, l)
@@ -618,6 +684,16 @@ func (p *Pool) put(l *Lease, tuples [][]relation.Tuple, ints [][]int, int32s [][
 		}
 		c := exactClass(cap(buf))
 		p.int32s[c] = append(p.int32s[c], buf[:cap(buf)])
+		p.held += size
+	}
+	for _, buf := range uint64s {
+		size := int64(cap(buf)) * uint64Size
+		if p.held+size > p.limit {
+			p.stats.Discards++
+			continue
+		}
+		c := exactClass(cap(buf))
+		p.uint64s[c] = append(p.uint64s[c], buf[:cap(buf)])
 		p.held += size
 	}
 	if p.held > p.stats.PeakHeldBytes {

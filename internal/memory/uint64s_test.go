@@ -1,0 +1,39 @@
+package memory
+
+import "testing"
+
+func TestUint64sLeaseAndPoolReuse(t *testing.T) {
+	var nilLease *Lease
+	if got := nilLease.Uint64s(5); len(got) != 5 {
+		t.Fatalf("nil lease Uint64s(5) len = %d", len(got))
+	}
+	nilLease.PutUint64s(nil)
+
+	p := NewPool(1 << 20)
+	l := p.Acquire()
+	if got := l.Uint64s(0); got != nil {
+		t.Fatalf("Uint64s(0) = %v, want nil", got)
+	}
+	l.PutUint64s(nil) // no-op
+
+	// Intra-lease: a returned column must come back from the free list.
+	a := l.Uint64s(1000)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(a))
+	}
+	a[0] = 7
+	l.PutUint64s(a)
+	b := l.Uint64s(900) // same size class
+	if &a[0] != &b[0] {
+		t.Fatal("PutUint64s buffer was not reused by the same lease")
+	}
+	l.Release()
+
+	// Cross-lease: the released buffer must flow through the pool.
+	l2 := p.Acquire()
+	c := l2.Uint64s(1000)
+	if &c[0] != &a[0] {
+		t.Fatal("released Uint64s buffer was not reused by the next lease")
+	}
+	l2.Release()
+}

@@ -29,6 +29,23 @@ func EquiHeightBounds(run []relation.Tuple, numBounds int) []uint64 {
 	return bounds
 }
 
+// EquiHeightBoundsKeys is EquiHeightBounds over a raw sorted key column, the
+// structure-of-arrays variant used by the columnar batch path.
+func EquiHeightBoundsKeys(keys []uint64, numBounds int) []uint64 {
+	if numBounds <= 0 || len(keys) == 0 {
+		return nil
+	}
+	bounds := make([]uint64, numBounds)
+	for j := 1; j <= numBounds; j++ {
+		idx := j*len(keys)/numBounds - 1
+		if idx < 0 {
+			idx = 0
+		}
+		bounds[j-1] = keys[idx]
+	}
+	return bounds
+}
+
 // CDF is a global cumulative distribution function of the public input S,
 // assembled from the per-run equi-height histogram bounds of all workers
 // (Section 4.1 of the paper). Probing the CDF with a key returns an estimate

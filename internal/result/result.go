@@ -42,6 +42,19 @@ type WorkerBreakdown struct {
 	Matches uint64
 }
 
+// BatchStats reports how much of the join output flowed through the columnar
+// batch fast path: Batches is the number of match batches delivered to a
+// BatchConsumer sink, Tuples the number of result pairs they carried. Both are
+// zero when the engine ran on the row-at-a-time path (or the sink had no batch
+// fast path), so the counters double as a cheap assertion that the columnar
+// plumbing was actually exercised.
+type BatchStats struct {
+	// Batches is the number of columnar match batches emitted.
+	Batches uint64
+	// Tuples is the number of result pairs delivered inside those batches.
+	Tuples uint64
+}
+
 // Result describes the outcome of one join execution.
 type Result struct {
 	// Algorithm names the join implementation, e.g. "P-MPSM" or
@@ -69,6 +82,10 @@ type Result struct {
 	// during the join phase, summed over workers. It exposes the |S| vs
 	// |S|/T complexity difference between B-MPSM and P-MPSM.
 	PublicScanned int
+
+	// Batch reports the traffic of the columnar batch fast path; all zeros
+	// when the join ran row at a time.
+	Batch BatchStats
 
 	// Scratch reports the join's scratch-pool traffic (buffers requested,
 	// buffers served from the pool, bytes handed out); all zeros when the

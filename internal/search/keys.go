@@ -1,0 +1,73 @@
+package search
+
+// Columnar variants of the interpolation search for the batch execution
+// path: identical algorithm, operating on a raw sorted key column instead of
+// an array-of-structs run. Keeping them separate (rather than converting at
+// call sites) preserves the contiguous 8-byte stride that makes the columnar
+// merge kernels cache-efficient in the first place.
+
+// LowerBoundKeys returns the index of the first key in the sorted column that
+// is >= probe (len(keys) if every key is smaller). keys must be in ascending
+// order.
+func LowerBoundKeys(keys []uint64, probe uint64) int {
+	lo, hi := 0, len(keys) // invariant: the answer lies in [lo, hi]
+
+	steps := 0
+	for hi-lo > linearCutoff {
+		loKey := keys[lo]
+		hiKey := keys[hi-1]
+		if probe <= loKey {
+			return lo
+		}
+		if probe > hiKey {
+			return hi
+		}
+		steps++
+		if steps > maxInterpolationSteps || hiKey == loKey || hiKey-loKey >= maxExactSpan {
+			return binaryLowerBoundKeys(keys, lo, hi, probe)
+		}
+		// Rule of proportion, as in LowerBound.
+		span := float64(hi - 1 - lo)
+		frac := float64(probe-loKey) / float64(hiKey-loKey)
+		mid := lo + int(span*frac)
+		if mid <= lo {
+			mid = lo + 1
+		}
+		if mid > hi-1 {
+			mid = hi - 1
+		}
+		if keys[mid] < probe {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if keys[i] >= probe {
+			return i
+		}
+	}
+	return hi
+}
+
+// binaryLowerBoundKeys is the classic binary-search lower bound over [lo, hi).
+func binaryLowerBoundKeys(keys []uint64, lo, hi int, probe uint64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < probe {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// UpperBoundKeys returns the index of the first key strictly greater than
+// probe.
+func UpperBoundKeys(keys []uint64, probe uint64) int {
+	if probe == ^uint64(0) {
+		return len(keys)
+	}
+	return LowerBoundKeys(keys, probe+1)
+}

@@ -39,6 +39,14 @@ type Sink interface {
 	Close() error
 }
 
+// BatchWriter is the batch fast path of a sink writer: writers that
+// implement it receive whole columnar match batches (join key plus both
+// payload columns) instead of one Consume call per pair. It is an optional
+// extension — the join's columnar kernels probe for it and fall back to
+// per-pair delivery, so existing sinks keep working unchanged. The built-in
+// MaxSum, Count and Materialize writers implement it.
+type BatchWriter = mergejoin.BatchConsumer
+
 // Pair is one joined (r, s) tuple pair.
 type Pair struct {
 	R, S relation.Tuple
@@ -111,16 +119,40 @@ func (b *Bound) MaxSum() uint64 {
 	return 0
 }
 
+// Batches is the number of columnar match batches flushed through the sink
+// boundary, and BatchedMatches the pairs they carried; both are zero when the
+// join ran row-at-a-time. Call after the join phase barrier.
+func (b *Bound) Batches() (batches, pairs uint64) {
+	for _, w := range b.writers {
+		batches += w.batches
+		pairs += w.batchedPairs
+	}
+	return batches, pairs
+}
+
 // countingWriter counts pairs before forwarding them to the sink's writer.
 type countingWriter struct {
-	inner mergejoin.Consumer
-	count uint64
+	inner        mergejoin.Consumer
+	count        uint64
+	batches      uint64
+	batchedPairs uint64
 }
 
 // Consume implements mergejoin.Consumer.
 func (c *countingWriter) Consume(r, s relation.Tuple) {
 	c.count++
 	c.inner.Consume(r, s)
+}
+
+// ConsumeColumns implements BatchWriter: one count update per batch, then the
+// batch is forwarded — directly when the inner writer is batch-capable,
+// pair by pair otherwise.
+func (c *countingWriter) ConsumeColumns(keys, rPayloads, sPayloads []uint64) {
+	n := uint64(len(keys))
+	c.count += n
+	c.batches++
+	c.batchedPairs += n
+	mergejoin.EmitColumns(c.inner, keys, rPayloads, sPayloads)
 }
 
 // MaxSum implements the paper's evaluation query
@@ -281,6 +313,32 @@ func (b *pairBuffer) Consume(r, s relation.Tuple) {
 	b.buf[b.n] = r
 	b.buf[b.n+1] = s
 	b.n += 2
+}
+
+// ConsumeColumns implements BatchWriter: capacity is ensured once per batch,
+// then the columns are interleaved into the buffer in one pass.
+func (b *pairBuffer) ConsumeColumns(keys, rPayloads, sPayloads []uint64) {
+	if b.lease == nil {
+		for i := range keys {
+			b.pairs = append(b.pairs, Pair{
+				R: relation.Tuple{Key: keys[i], Payload: rPayloads[i]},
+				S: relation.Tuple{Key: keys[i], Payload: sPayloads[i]},
+			})
+		}
+		return
+	}
+	need := 2 * len(keys)
+	for b.n+need > len(b.buf) {
+		grown := b.lease.Tuples(max(initialPairBufferTuples, 2*len(b.buf)))
+		copy(grown, b.buf[:b.n])
+		b.lease.PutTuples(b.buf)
+		b.buf = grown
+	}
+	for i := range keys {
+		b.buf[b.n] = relation.Tuple{Key: keys[i], Payload: rPayloads[i]}
+		b.buf[b.n+1] = relation.Tuple{Key: keys[i], Payload: sPayloads[i]}
+		b.n += 2
+	}
 }
 
 // len returns the number of buffered pairs.

@@ -1,0 +1,368 @@
+package sorting
+
+import "repro/internal/relation"
+
+// Columnar (structure-of-arrays) variants of the multi-level Radix/IntroSort
+// for the batch execution path: the key column is sorted directly — in tandem
+// with a permutation index column recording where each key came from — and
+// the payload column is permuted afterwards in one separate contiguous gather
+// pass. Per element the radix swap cycle then moves 12 bytes (8-byte key +
+// 4-byte index) instead of the 16-byte tuple, every histogram pass streams
+// over a pure uint64 column at full cache-line utilization, and the payload
+// bytes are touched exactly once, at the end, sequentially.
+//
+// All routines reuse the machinery of sort.go unchanged in structure — the
+// same digits, cutoffs, American-flag swap and IntroSort leaves — so the AoS
+// and SoA paths stay behaviourally identical (same ordering guarantees, same
+// instability) and differential tests can compare them directly.
+
+// SortColumns sorts keys in place by ascending value and permutes pays
+// alongside, so (keys[i], pays[i]) remain the same tuples before and after.
+// perm and payScratch are optional scratch buffers of at least len(keys)
+// elements (typically drawn from a memory.Lease); nil scratches allocate.
+// Like Sort it is not stable.
+func SortColumns(keys, pays []uint64, perm []int32, payScratch []uint64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if perm == nil {
+		perm = make([]int32, n)
+	}
+	perm = perm[:n]
+	if payScratch == nil {
+		payScratch = make([]uint64, n)
+	}
+	payScratch = payScratch[:n]
+
+	maxKey := maxKeyOfColumn(keys)
+	if idxBits, ok := packedIndexBits(n, maxKey); ok {
+		sortColumnsPacked(keys, pays, perm, payScratch, maxKey, idxBits)
+		return
+	}
+
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if n <= minRadixSize {
+		leafSortCols(keys, perm)
+	} else {
+		msdRadixSortCols(keys, perm, topShift(maxKey))
+	}
+	gatherPayloads(payScratch, pays, perm)
+	copy(pays[:n], payScratch)
+}
+
+// SortColumnsInto sorts the (srcKeys, srcPays) columns by ascending key into
+// (dstKeys, dstPays), leaving the source untouched. Like SortInto, the first
+// radix digit runs as an out-of-place scatter of the key column; the payload
+// column is written exactly once by the final gather pass. perm is optional
+// scratch of at least len(srcKeys) int32s; nil allocates. Not stable.
+func SortColumnsInto(srcKeys, srcPays, dstKeys, dstPays []uint64, perm []int32) {
+	n := len(srcKeys)
+	dstKeys = dstKeys[:n]
+	dstPays = dstPays[:n]
+	if perm == nil {
+		perm = make([]int32, n)
+	}
+	perm = perm[:n]
+
+	maxKey := maxKeyOfColumn(srcKeys)
+	if idxBits, ok := packedIndexBits(n, maxKey); ok {
+		sortColumnsIntoPacked(srcKeys, srcPays, dstKeys, dstPays, maxKey, idxBits)
+		return
+	}
+
+	if n <= minRadixSize {
+		copy(dstKeys, srcKeys)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		leafSortCols(dstKeys, perm)
+		gatherPayloads(dstPays, srcPays, perm)
+		return
+	}
+
+	shift := topShift(maxKey)
+
+	var histogram [radixBuckets]int
+	for _, k := range srcKeys {
+		histogram[int(k>>shift)&radixMask]++
+	}
+	var cursors [radixBuckets]int
+	sum := 0
+	for b := 0; b < radixBuckets; b++ {
+		cursors[b] = sum
+		sum += histogram[b]
+	}
+	bounds := cursors // start offsets survive as partition bounds
+	for i, k := range srcKeys {
+		b := int(k>>shift) & radixMask
+		dstKeys[cursors[b]] = k
+		perm[cursors[b]] = int32(i)
+		cursors[b]++
+	}
+	sortBucketsCols(dstKeys, perm, bounds[:], cursors[:], shift)
+	gatherPayloads(dstPays, srcPays, perm)
+}
+
+// SortTuplesIntoColumns sorts an array-of-structs chunk into columnar form:
+// dstKeys receives the keys in ascending order and dstPays the payloads in
+// the same permutation. The AoS→SoA deinterleave is fused with the first
+// radix digit — one sequential read of the 16-byte tuples feeding 256
+// streaming key-column write cursors — so the representation change costs no
+// separate pass over the data. perm is optional scratch; nil allocates.
+func SortTuplesIntoColumns(src []relation.Tuple, dstKeys, dstPays []uint64, perm []int32) {
+	n := len(src)
+	dstKeys = dstKeys[:n]
+	dstPays = dstPays[:n]
+	if perm == nil {
+		perm = make([]int32, n)
+	}
+	perm = perm[:n]
+
+	maxKey := maxKeyOf(src)
+	if idxBits, ok := packedIndexBits(n, maxKey); ok {
+		sortTuplesPacked(src, dstKeys, dstPays, maxKey, idxBits)
+		return
+	}
+
+	if n <= minRadixSize {
+		for i, t := range src {
+			dstKeys[i] = t.Key
+			perm[i] = int32(i)
+		}
+		leafSortCols(dstKeys, perm)
+		for i, p := range perm {
+			dstPays[i] = src[p].Payload
+		}
+		return
+	}
+
+	shift := topShift(maxKey)
+
+	var histogram [radixBuckets]int
+	for _, t := range src {
+		histogram[int(t.Key>>shift)&radixMask]++
+	}
+	var cursors [radixBuckets]int
+	sum := 0
+	for b := 0; b < radixBuckets; b++ {
+		cursors[b] = sum
+		sum += histogram[b]
+	}
+	bounds := cursors
+	for i, t := range src {
+		b := int(t.Key>>shift) & radixMask
+		dstKeys[cursors[b]] = t.Key
+		perm[cursors[b]] = int32(i)
+		cursors[b]++
+	}
+	sortBucketsCols(dstKeys, perm, bounds[:], cursors[:], shift)
+	for i, p := range perm {
+		dstPays[i] = src[p].Payload
+	}
+}
+
+// gatherPayloads applies the sorted permutation to the payload column in one
+// contiguous pass: dst[i] = src[perm[i]]. The writes are sequential; the
+// reads are the only random accesses the payload column ever sees.
+func gatherPayloads(dst, src []uint64, perm []int32) {
+	_ = dst[:len(perm)]
+	for i, p := range perm {
+		dst[i] = src[p]
+	}
+}
+
+// maxKeyOfColumn scans a key column for its maximum (0 for empty input).
+func maxKeyOfColumn(keys []uint64) uint64 {
+	var maxKey uint64
+	for _, k := range keys {
+		maxKey = max(maxKey, k)
+	}
+	return maxKey
+}
+
+// msdRadixSortCols is msdRadixSort on a key column with a permutation column
+// carried through every swap.
+func msdRadixSortCols(keys []uint64, perm []int32, shift int) {
+	var histogram [radixBuckets]int
+	for _, k := range keys {
+		histogram[int(k>>shift)&radixMask]++
+	}
+
+	var bounds, next [radixBuckets]int
+	sum := 0
+	for b := 0; b < radixBuckets; b++ {
+		bounds[b] = sum
+		next[b] = sum
+		sum += histogram[b]
+	}
+
+	for b := 0; b < radixBuckets; b++ {
+		end := bounds[b] + histogram[b]
+		for i := next[b]; i < end; {
+			dst := int(keys[i]>>shift) & radixMask
+			if dst == b {
+				i++
+				next[b] = i
+				continue
+			}
+			j := next[dst]
+			keys[i], keys[j] = keys[j], keys[i]
+			perm[i], perm[j] = perm[j], perm[i]
+			next[dst]++
+		}
+	}
+
+	ends := next
+	sortBucketsCols(keys, perm, bounds[:], ends[:], shift)
+}
+
+// sortBucketsCols is sortBuckets for the columnar representation.
+func sortBucketsCols(keys []uint64, perm []int32, bounds, ends []int, shift int) {
+	for b := 0; b < radixBuckets; b++ {
+		pk := keys[bounds[b]:ends[b]]
+		pp := perm[bounds[b]:ends[b]]
+		if len(pk) < 2 {
+			continue
+		}
+		if len(pk) > cacheLeafTuples && shift >= radixBits {
+			msdRadixSortCols(pk, pp, shift-radixBits)
+			continue
+		}
+		if shift == 0 && len(pk) > cacheLeafTuples {
+			// All digits consumed: every key in the bucket is equal.
+			continue
+		}
+		leafSortCols(pk, pp)
+	}
+}
+
+// leafSortCols is leafSort for one sub-cache key/perm partition.
+func leafSortCols(keys []uint64, perm []int32) {
+	if len(keys) > insertionCutoff {
+		introSortLoopCols(keys, perm, 2*log2ceil(len(keys)))
+	}
+	insertionSortCols(keys, perm)
+}
+
+// introSortLoopCols is introSortLoop over key/perm columns.
+func introSortLoopCols(keys []uint64, perm []int32, depthLimit int) {
+	for len(keys) > insertionCutoff {
+		if depthLimit == 0 {
+			heapSortCols(keys, perm)
+			return
+		}
+		depthLimit--
+		p := partitionHoareCols(keys, perm)
+		if p < len(keys)-p {
+			introSortLoopCols(keys[:p], perm[:p], depthLimit)
+			keys, perm = keys[p:], perm[p:]
+		} else {
+			introSortLoopCols(keys[p:], perm[p:], depthLimit)
+			keys, perm = keys[:p], perm[:p]
+		}
+	}
+}
+
+// partitionHoareCols is partitionHoare over key/perm columns.
+func partitionHoareCols(keys []uint64, perm []int32) int {
+	pivot := medianOfThreeKeys(keys)
+	i, j := -1, len(keys)
+	for {
+		for {
+			i++
+			if keys[i] >= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if keys[j] <= pivot {
+				break
+			}
+		}
+		if i >= j {
+			if j+1 <= 0 || j+1 >= len(keys) {
+				return len(keys) / 2
+			}
+			return j + 1
+		}
+		keys[i], keys[j] = keys[j], keys[i]
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+}
+
+// medianOfThreeKeys returns the median of the first, middle and last keys.
+func medianOfThreeKeys(keys []uint64) uint64 {
+	a := keys[0]
+	b := keys[len(keys)/2]
+	c := keys[len(keys)-1]
+	switch {
+	case (a <= b) == (b <= c):
+		return b
+	case (b <= a) == (a <= c):
+		return a
+	default:
+		return c
+	}
+}
+
+// heapSortCols is heapSort over key/perm columns.
+func heapSortCols(keys []uint64, perm []int32) {
+	n := len(keys)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownCols(keys, perm, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		keys[0], keys[end] = keys[end], keys[0]
+		perm[0], perm[end] = perm[end], perm[0]
+		siftDownCols(keys, perm, 0, end)
+	}
+}
+
+// siftDownCols restores the max-heap property within keys[:n].
+func siftDownCols(keys []uint64, perm []int32, i, n int) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && keys[child+1] > keys[child] {
+			child++
+		}
+		if keys[i] >= keys[child] {
+			return
+		}
+		keys[i], keys[child] = keys[child], keys[i]
+		perm[i], perm[child] = perm[child], perm[i]
+		i = child
+	}
+}
+
+// insertionSortCols sorts key/perm columns in place for short partitions.
+func insertionSortCols(keys []uint64, perm []int32) {
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		p := perm[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			perm[j+1] = perm[j]
+			j--
+		}
+		keys[j+1] = k
+		perm[j+1] = p
+	}
+}
+
+// IsSortedKeys reports whether a key column is in non-decreasing order.
+func IsSortedKeys(keys []uint64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package sorting
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/relation"
+)
+
+// checkColumnsAgainstStdlib verifies a columnar sort output against the
+// stdlib baseline: identical keys in identical positions, and the
+// (key, payload) pairs a multiset-permutation of the input. The columnar
+// sorts are unstable, so payload positions within equal-key groups may
+// differ from the stdlib order — SameMultiset is the right comparison.
+func checkColumnsAgainstStdlib(t *testing.T, name string, input []relation.Tuple, keys, pays []uint64) {
+	t.Helper()
+	want := append([]relation.Tuple(nil), input...)
+	SortStdlib(want)
+	if len(keys) != len(want) || len(pays) != len(want) {
+		t.Fatalf("%s: length changed: %d -> keys %d, pays %d", name, len(want), len(keys), len(pays))
+	}
+	for i := range keys {
+		if keys[i] != want[i].Key {
+			t.Fatalf("%s: key mismatch at %d: got %d, stdlib %d", name, i, keys[i], want[i].Key)
+		}
+	}
+	got := make([]relation.Tuple, len(keys))
+	batch.Interleave(keys, pays, got)
+	if !relation.SameMultiset(input, got) {
+		t.Fatalf("%s: output is not a permutation of input", name)
+	}
+}
+
+// TestSortColumnsDifferential runs the columnar sorts against the stdlib
+// baseline over the adversarial distributions at sizes spanning the insertion
+// cutoff, the cache-leaf threshold and multi-level recursion.
+func TestSortColumnsDifferential(t *testing.T) {
+	sizes := []int{0, 1, 3, insertionCutoff, cacheLeafTuples - 1, cacheLeafTuples + 1, 3 * cacheLeafTuples, 20000}
+	for _, n := range sizes {
+		for name, input := range adversarialDistributions(max(n, 1), int64(n)) {
+			input = input[:n]
+
+			// SortColumns: in-place over deinterleaved columns.
+			keys := make([]uint64, n)
+			pays := make([]uint64, n)
+			batch.Deinterleave(input, keys, pays)
+			SortColumns(keys, pays, nil, nil)
+			checkColumnsAgainstStdlib(t, name+"/SortColumns", input, keys, pays)
+
+			// SortColumns with caller-provided scratch.
+			batch.Deinterleave(input, keys, pays)
+			SortColumns(keys, pays, make([]int32, n+5), make([]uint64, n+5))
+			checkColumnsAgainstStdlib(t, name+"/SortColumns(scratch)", input, keys, pays)
+
+			// SortColumnsInto: out-of-place, source untouched.
+			srcKeys := make([]uint64, n)
+			srcPays := make([]uint64, n)
+			batch.Deinterleave(input, srcKeys, srcPays)
+			dstKeys := make([]uint64, n)
+			dstPays := make([]uint64, n)
+			SortColumnsInto(srcKeys, srcPays, dstKeys, dstPays, nil)
+			checkColumnsAgainstStdlib(t, name+"/SortColumnsInto", input, dstKeys, dstPays)
+			for i := range srcKeys {
+				if srcKeys[i] != input[i].Key || srcPays[i] != input[i].Payload {
+					t.Fatalf("%s: SortColumnsInto modified its source at %d", name, i)
+				}
+			}
+
+			// SortTuplesIntoColumns: fused AoS→SoA conversion and sort.
+			clear(dstKeys)
+			clear(dstPays)
+			SortTuplesIntoColumns(input, dstKeys, dstPays, nil)
+			checkColumnsAgainstStdlib(t, name+"/SortTuplesIntoColumns", input, dstKeys, dstPays)
+			if !IsSortedKeys(dstKeys) {
+				t.Fatalf("%s: SortTuplesIntoColumns left keys unsorted", name)
+			}
+		}
+	}
+}
+
+// TestSortColumnsPayloadPairing pins that the payload column really is
+// permuted in tandem with the keys (not merely a multiset of payloads): with
+// unique keys the pairing is fully determined.
+func TestSortColumnsPayloadPairing(t *testing.T) {
+	const n = 10000
+	input := make([]relation.Tuple, n)
+	for i := range input {
+		k := uint64(i)*2654435761 + 12345 // unique keys, scrambled order
+		input[i] = relation.Tuple{Key: k, Payload: k ^ 0xABCDEF}
+	}
+	keys := make([]uint64, n)
+	pays := make([]uint64, n)
+	SortTuplesIntoColumns(input, keys, pays, nil)
+	for i := range keys {
+		if pays[i] != keys[i]^0xABCDEF {
+			t.Fatalf("payload decoupled from key at %d: key %d, payload %d", i, keys[i], pays[i])
+		}
+	}
+}
+
+// FuzzSortColumnsDifferential fuzzes the columnar sorts against the stdlib
+// baseline, mirroring FuzzSortDifferential.
+func FuzzSortColumnsDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.MaxUint64))
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 8; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, uint64(1)<<(8*uint(i)))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 8
+		input := make([]relation.Tuple, n)
+		for i := 0; i < n; i++ {
+			input[i] = relation.Tuple{Key: binary.LittleEndian.Uint64(data[i*8:]), Payload: uint64(i)}
+		}
+
+		keys := make([]uint64, n)
+		pays := make([]uint64, n)
+		batch.Deinterleave(input, keys, pays)
+		SortColumns(keys, pays, nil, nil)
+		checkColumnsAgainstStdlib(t, "SortColumns", input, keys, pays)
+
+		clear(keys)
+		clear(pays)
+		SortTuplesIntoColumns(input, keys, pays, nil)
+		checkColumnsAgainstStdlib(t, "SortTuplesIntoColumns", input, keys, pays)
+	})
+}

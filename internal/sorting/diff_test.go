@@ -27,6 +27,7 @@ func adversarialDistributions(n int, seed int64) map[string][]relation.Tuple {
 		"uniform-32":      make([]relation.Tuple, n),
 		"tiny-domain":     make([]relation.Tuple, n),
 		"sorted-plateaus": make([]relation.Tuple, n),
+		"bucket-skew":     make([]relation.Tuple, n),
 	}
 	for i := 0; i < n; i++ {
 		p := uint64(i)
@@ -39,6 +40,10 @@ func adversarialDistributions(n int, seed int64) map[string][]relation.Tuple {
 		out["uniform-32"][i] = relation.Tuple{Key: rng.Uint64() >> 32, Payload: p}
 		out["tiny-domain"][i] = relation.Tuple{Key: rng.Uint64() % 7, Payload: p}
 		out["sorted-plateaus"][i] = relation.Tuple{Key: uint64(i / 64), Payload: p}
+		// High byte spreads the top radix digit into mid-size buckets whose
+		// middle key bits are all zero — every value in the bucket shares the
+		// next wide digit, forcing the packed sort's counting-scatter refusal.
+		out["bucket-skew"][i] = relation.Tuple{Key: uint64(rng.Intn(256))<<36 | uint64(rng.Intn(3)), Payload: p}
 	}
 	// Push a few keys to the extremes of the domain.
 	for _, name := range []string{"high-bits", "uniform-64"} {

@@ -1,0 +1,344 @@
+package sorting
+
+import (
+	"math/bits"
+	"slices"
+
+	"repro/internal/relation"
+)
+
+// Packed fast path of the columnar sorts. The tandem key/perm sort pays for
+// its narrow elements with a second array in every swap cycle and insertion
+// shift — two cache lines touched and two bounds checks where the AoS sort
+// touches one. When the key domain leaves enough low bits free (the paper's
+// datasets use 32-bit keys in 64-bit slots), the source index can be packed
+// into those bits instead:
+//
+//	packed[i] = key << idxBits | sourceIndex
+//
+// and the sort runs over ONE uint64 array — 8 bytes moved per element
+// against the AoS sort's 16 and the tandem path's 12-in-two-arrays — with
+// the index recovered by a mask when the payload column is gathered. Equal
+// keys tie-break on the packed index, which makes this path stable as a side
+// effect (the contract stays "not stable"; the tandem fallback is not).
+//
+// The fallback condition is exact: packing applies iff the maximum key and
+// the index width together fit in 64 bits, so full-width keys silently take
+// the tandem path and nothing is lost.
+
+// packedIndexBits returns the low-bit width needed to address n source
+// indices and whether key<<idxBits|index packing fits in 64 bits for maxKey.
+func packedIndexBits(n int, maxKey uint64) (idxBits int, ok bool) {
+	if n > 1 {
+		idxBits = bits.Len(uint(n - 1))
+	}
+	return idxBits, idxBits == 0 || maxKey>>(64-idxBits) == 0
+}
+
+// packedLeafCutoff is the bucket size below which the packed radix recursion
+// hands off to insertion sort. Packed values are single uint64s, so the sweet
+// spot sits far below cacheLeafTuples: measured on 2^20 uniform keys, 64 beats
+// both pdqsort leaves at 2048 (1.7x slower) and deeper recursion.
+const packedLeafCutoff = 64
+
+// packedTopShift picks the first radix digit for packed values. Unlike the
+// byte-aligned topShift, it aligns the digit to the TOP of the value: packing
+// shifts the key up by idxBits, so a byte-aligned digit would often catch only
+// a few significant key bits (a 2^52 bound byte-aligns to shift 48, leaving a
+// 16-way first pass) and waste the widest, most cache-hostile level. Aligning
+// to bits.Len puts a full 256-way fanout on the first pass; recursion below
+// steps by whole digits, which needs no alignment.
+func packedTopShift(maxPacked uint64) int {
+	s := bits.Len64(maxPacked) - radixBits
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// sortPackedU64 sorts packed values with the multi-level radix scheme;
+// maxPacked bounds the values (it seeds the top digit shift).
+func sortPackedU64(packed []uint64, maxPacked uint64) {
+	if len(packed) <= minRadixSize {
+		slices.Sort(packed)
+		return
+	}
+	msdRadixSortU64(packed, packedTopShift(maxPacked))
+}
+
+// msdRadixSortU64 is msdRadixSortCols for a single packed column: one
+// histogram, prefix-sum bounds and an American-flag swap cycle per level.
+func msdRadixSortU64(packed []uint64, shift int) {
+	var histogram [radixBuckets]int
+	for _, p := range packed {
+		histogram[int(p>>shift)&radixMask]++
+	}
+
+	var bounds, next [radixBuckets]int
+	sum := 0
+	for b := 0; b < radixBuckets; b++ {
+		bounds[b] = sum
+		next[b] = sum
+		sum += histogram[b]
+	}
+
+	for b := 0; b < radixBuckets; b++ {
+		end := bounds[b] + histogram[b]
+		for i := next[b]; i < end; {
+			dst := int(packed[i]>>shift) & radixMask
+			if dst == b {
+				i++
+				next[b] = i
+				continue
+			}
+			j := next[dst]
+			packed[i], packed[j] = packed[j], packed[i]
+			next[dst]++
+		}
+	}
+
+	sortBucketsU64(packed, bounds[:], next[:], shift)
+}
+
+// sortBucketsU64 finishes the buckets of one radix level: recurse while a
+// bucket exceeds the leaf cutoff and digits remain, insertion-sort small
+// leaves, and fall back to the standard library for the rare large bucket
+// whose digits ran out (possible only when more than packedLeafCutoff values
+// agree on every bit from shift+radixBits up — the distinct index bits keep
+// such buckets small).
+func sortBucketsU64(packed []uint64, bounds, ends []int, shift int) {
+	for b := 0; b < radixBuckets; b++ {
+		sortPackedBucket(packed[bounds[b]:ends[b]], shift)
+	}
+}
+
+// insertionSortU64 sorts a short packed leaf in place.
+func insertionSortU64(packed []uint64) {
+	for i := 1; i < len(packed); i++ {
+		p := packed[i]
+		j := i - 1
+		for j >= 0 && packed[j] > p {
+			packed[j+1] = packed[j]
+			j--
+		}
+		packed[j+1] = p
+	}
+}
+
+// sortTuplesPacked is the packed path of SortTuplesIntoColumns: the AoS→SoA
+// deinterleave, the first radix digit and the index packing fuse into one
+// scatter pass; dstPays doubles as the packed scratch until the final unpack
+// writes it (reading each slot just before overwriting it, so no extra
+// buffer is needed).
+func sortTuplesPacked(src []relation.Tuple, dstKeys, dstPays []uint64, maxKey uint64, idxBits int) {
+	n := len(src)
+	packed := dstPays
+	maxPacked := maxKey<<idxBits | uint64(n-1)
+	var mask uint64
+	if idxBits > 0 {
+		mask = uint64(1)<<idxBits - 1
+	}
+
+	if n <= minRadixSize {
+		for i, t := range src {
+			packed[i] = t.Key<<idxBits | uint64(i)
+		}
+		slices.Sort(packed)
+		for i, p := range packed {
+			dstKeys[i] = p >> idxBits
+			dstPays[i] = src[p&mask].Payload
+		}
+		return
+	}
+
+	shift := packedTopShift(maxPacked)
+	var histogram [radixBuckets]int
+	for i, t := range src {
+		histogram[int((t.Key<<idxBits|uint64(i))>>shift)&radixMask]++
+	}
+	var cursors [radixBuckets]int
+	sum := 0
+	for b := 0; b < radixBuckets; b++ {
+		cursors[b] = sum
+		sum += histogram[b]
+	}
+	bounds := cursors
+	for i, t := range src {
+		p := t.Key<<idxBits | uint64(i)
+		b := int(p>>shift) & radixMask
+		packed[cursors[b]] = p
+		cursors[b]++
+	}
+	sortBucketsU64(packed, bounds[:], cursors[:], shift)
+	for i, p := range packed {
+		dstKeys[i] = p >> idxBits
+		dstPays[i] = src[p&mask].Payload
+	}
+}
+
+// sortPackedBucket finishes one bucket left over from a radix level at shift,
+// applying the same recursion policy as sortBucketsU64.
+func sortPackedBucket(part []uint64, shift int) {
+	if len(part) < 2 {
+		return
+	}
+	if len(part) > packedLeafCutoff {
+		if len(part) <= wideBuckets && shift >= wideBits && sortWideU64(part, shift) {
+			return
+		}
+		if shift >= radixBits {
+			msdRadixSortU64(part, shift-radixBits)
+		} else {
+			slices.Sort(part)
+		}
+		return
+	}
+	sortLeafU64(part, shift)
+}
+
+// wideBits is the digit width of the one-shot counting scatter that finishes
+// mid-size buckets: a bucket of up to 4096 values takes a single out-of-place
+// 4096-way scatter (counter array and scratch both cache-resident) instead of
+// another American-flag level plus per-leaf sorting — three sequential passes
+// with L1-local random writes in place of the flag's dependent swap chains.
+const (
+	wideBits    = 12
+	wideBuckets = 1 << wideBits
+)
+
+// sortWideU64 finishes one mid-size bucket with the wide counting scatter and
+// a near-linear insertion fix-up. It refuses (returns false, having done
+// nothing) when the digit is too skewed for the fix-up to stay near-linear —
+// more than packedLeafCutoff values sharing one digit — which sends the
+// caller down the recursive path instead.
+func sortWideU64(part []uint64, shift int) bool {
+	ws := shift - wideBits
+	var cnt [wideBuckets]int32
+	for _, p := range part {
+		cnt[int(p>>ws)&(wideBuckets-1)]++
+	}
+	var sum, maxCnt int32
+	for b := range cnt {
+		c := cnt[b]
+		if c > maxCnt {
+			maxCnt = c
+		}
+		cnt[b] = sum
+		sum += c
+	}
+	if maxCnt > packedLeafCutoff {
+		return false
+	}
+	var tmp [wideBuckets]uint64
+	for _, p := range part {
+		b := int(p>>ws) & (wideBuckets - 1)
+		tmp[cnt[b]] = p
+		cnt[b]++
+	}
+	copy(part, tmp[:len(part)])
+	insertionSortU64(part)
+	return true
+}
+
+// sortLeafU64 sorts a small leaf. Pure insertion sort pays a hard-to-predict
+// branch per shifted element — ~n²/4 mispredict opportunities on a random
+// leaf — and dominated the packed sort's profile. One branch-free 16-way
+// counting scatter on the top remaining nibble first spreads the leaf nearly
+// into place, after which the insertion pass runs in near-linear time with a
+// well-predicted inner branch.
+func sortLeafU64(part []uint64, shift int) {
+	if len(part) > 8 && shift >= 4 {
+		ns := shift - 4
+		var cnt [16]int
+		var tmp [packedLeafCutoff]uint64
+		for _, p := range part {
+			cnt[int(p>>ns)&15]++
+		}
+		sum := 0
+		for b := 0; b < 16; b++ {
+			c := cnt[b]
+			cnt[b] = sum
+			sum += c
+		}
+		for _, p := range part {
+			b := int(p>>ns) & 15
+			tmp[cnt[b]] = p
+			cnt[b]++
+		}
+		copy(part, tmp[:len(part)])
+	}
+	insertionSortU64(part)
+}
+
+// sortColumnsIntoPacked is the packed path of SortColumnsInto; like
+// sortTuplesPacked it fuses packing with the first radix scatter and uses
+// dstPays as the packed scratch.
+func sortColumnsIntoPacked(srcKeys, srcPays, dstKeys, dstPays []uint64, maxKey uint64, idxBits int) {
+	n := len(srcKeys)
+	packed := dstPays
+	maxPacked := maxKey<<idxBits | uint64(n-1)
+	var mask uint64
+	if idxBits > 0 {
+		mask = uint64(1)<<idxBits - 1
+	}
+
+	if n <= minRadixSize {
+		for i, k := range srcKeys {
+			packed[i] = k<<idxBits | uint64(i)
+		}
+		slices.Sort(packed)
+		for i, p := range packed {
+			dstKeys[i] = p >> idxBits
+			dstPays[i] = srcPays[p&mask]
+		}
+		return
+	}
+
+	shift := packedTopShift(maxPacked)
+	var histogram [radixBuckets]int
+	for i, k := range srcKeys {
+		histogram[int((k<<idxBits|uint64(i))>>shift)&radixMask]++
+	}
+	var cursors [radixBuckets]int
+	sum := 0
+	for b := 0; b < radixBuckets; b++ {
+		cursors[b] = sum
+		sum += histogram[b]
+	}
+	bounds := cursors
+	for i, k := range srcKeys {
+		p := k<<idxBits | uint64(i)
+		b := int(p>>shift) & radixMask
+		packed[cursors[b]] = p
+		cursors[b]++
+	}
+	sortBucketsU64(packed, bounds[:], cursors[:], shift)
+	for i, p := range packed {
+		dstKeys[i] = p >> idxBits
+		dstPays[i] = srcPays[p&mask]
+	}
+}
+
+// sortColumnsPacked is the packed path of the in-place SortColumns: keys and
+// indices pack into payScratch, the sorted packed values unpack into keys and
+// perm, and the payload gather then reuses payScratch as its destination
+// before copying back.
+func sortColumnsPacked(keys, pays []uint64, perm []int32, payScratch []uint64, maxKey uint64, idxBits int) {
+	n := len(keys)
+	packed := payScratch[:n]
+	for i, k := range keys {
+		packed[i] = k<<idxBits | uint64(i)
+	}
+	sortPackedU64(packed, maxKey<<idxBits|uint64(n-1))
+
+	var mask uint64
+	if idxBits > 0 {
+		mask = uint64(1)<<idxBits - 1
+	}
+	for i, p := range packed {
+		keys[i] = p >> idxBits
+		perm[i] = int32(p & mask)
+	}
+	gatherPayloads(payScratch, pays, perm)
+	copy(pays[:n], payScratch)
+}

@@ -143,6 +143,11 @@ type DiskStats = core.DiskStats
 // ScratchStats reports one join's scratch-pool traffic (see Result.Scratch).
 type ScratchStats = memory.LeaseStats
 
+// BatchStats reports a join's columnar batch traffic (see Result.Batch): all
+// zeros when the join ran row at a time, batch/pair counts when the columnar
+// path or a batched hash-join probe delivered the output.
+type BatchStats = result.BatchStats
+
 // PoolStats reports the cumulative behaviour of an Engine's scratch pool
 // (see Engine.PoolStats).
 type PoolStats = memory.PoolStats
