@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	mpsm "repro"
@@ -41,7 +42,16 @@ func main() {
 		cacheSize     = flag.Int("cache-size", 0, "plan cache capacity (0 = default 256)")
 		defaultBudget = flag.Int64("default-budget", 0, "per-query memory budget in bytes when the request declares none (0 = derive from input sizes)")
 	)
+	execDeadline := flag.Duration("exec-deadline", 0, "per-query execution deadline (0 = none)")
 	flag.Parse()
+
+	// MPSM_FAULTS arms deterministic fault injection across the whole
+	// service, e.g. MPSM_FAULTS='seed:42,panic:0.05,stall:0.1@200us'.
+	faults, err := mpsm.ParseFaultSpec(os.Getenv("MPSM_FAULTS"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsmd: MPSM_FAULTS:", err)
+		os.Exit(2)
+	}
 
 	engine := mpsm.New(
 		mpsm.WithWorkers(*workers),
@@ -54,23 +64,37 @@ func main() {
 		mpsm.WithFairSlots(*fairSlots),
 		mpsm.WithPlanCacheSize(*cacheSize),
 		mpsm.WithDefaultBudget(*defaultBudget),
+		mpsm.WithExecDeadline(*execDeadline),
+		mpsm.WithServiceFaults(faults),
 	)
-	defer svc.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: newServer(svc)}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight HTTP requests (bounded by the shutdown timeout), then
+	// close the service — Close itself waits for queries already admitted
+	// or queued, so the drain order is connections first, queries second.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		<-ctx.Done()
+		fmt.Println("mpsmd: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
+		_ = svc.Close()
 	}()
 
+	if faults != nil {
+		fmt.Printf("mpsmd: fault injection armed: %v\n", faults)
+	}
 	fmt.Printf("mpsmd listening on %s\n", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "mpsmd:", err)
 		os.Exit(1)
 	}
+	<-done
+	fmt.Println("mpsmd: drained")
 }

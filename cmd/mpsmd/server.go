@@ -226,7 +226,13 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.svc.Join(r.Context(), rRel, sRel, qopts...)
 	if err != nil {
-		writeError(w, joinErrorStatus(err), "%v", err)
+		status := joinErrorStatus(err)
+		if status == http.StatusTooManyRequests {
+			// The service already walked its degradation ladder; tell the
+			// client when to come back.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, joinResponse{

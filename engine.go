@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/planner"
 	"repro/internal/relation"
@@ -45,6 +46,10 @@ type settings struct {
 	// by, and the admission reservation its scratch leases are attributed to.
 	gate  *sched.Ticket
 	owner *memory.Reservation
+
+	// faults arms deterministic fault injection (WithFaultInjection); nil
+	// injects nothing.
+	faults *faultinject.Set
 }
 
 // withGate gates every worker goroutine of the call through the given
@@ -339,6 +344,7 @@ func (cfg settings) coreOptions(pool *memory.Pool) core.Options {
 		Scratch:          pool,
 		Owner:            cfg.owner,
 		Gate:             cfg.gate,
+		Faults:           cfg.faults,
 	}
 }
 

@@ -2,7 +2,9 @@
 // layer — admission control carves per-query memory budgets out of the
 // engine's scratch pool, weighted fair-share scheduling interleaves the
 // queries' morsels, and the plan cache amortizes the cost-based planner to
-// one miss per plan shape.
+// one miss per plan shape. Client errors are collected, not panicked on:
+// transient admission pressure (mpsm.Retryable) is retried with backoff,
+// anything else fails the run cleanly.
 //
 // Run with:
 //
@@ -12,11 +14,43 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	mpsm "repro"
 )
+
+// runTenant issues perClient joins for one tenant, retrying transient
+// admission pressure with doubling backoff, and reports the first permanent
+// error (or nil) on errs.
+func runTenant(svc *mpsm.Service, r, s *mpsm.Relation, tenant string, weight, perClient int, done *int, errs chan<- error) {
+	for i := 0; i < perClient; i++ {
+		var res *mpsm.Result
+		var err error
+		backoff := time.Millisecond
+		for attempt := 0; attempt < 5; attempt++ {
+			res, err = svc.Join(context.Background(), r, s,
+				mpsm.WithQueryWeight(weight),
+				mpsm.WithQueryLabel(tenant))
+			if err == nil || !mpsm.Retryable(err) {
+				break
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err != nil {
+			errs <- fmt.Errorf("%s query %d: %w", tenant, i, err)
+			return
+		}
+		if res.Matches == 0 {
+			errs <- fmt.Errorf("%s query %d: join produced no matches", tenant, i)
+			return
+		}
+		*done++
+	}
+	errs <- nil
+}
 
 func main() {
 	r := mpsm.GenerateUniform("R", 100_000, 42)
@@ -35,30 +69,31 @@ func main() {
 	const perClient = 8
 	var wg sync.WaitGroup
 	counts := make([]int, 2)
+	errs := make(chan error, 2)
 	for c, tenant := range []string{"free", "gold"} {
 		wg.Add(1)
 		go func(c int, tenant string, weight int) {
 			defer wg.Done()
-			for i := 0; i < perClient; i++ {
-				res, err := svc.Join(context.Background(), r, s,
-					mpsm.WithQueryWeight(weight),
-					mpsm.WithQueryLabel(tenant))
-				if err != nil {
-					panic(err)
-				}
-				if res.Matches == 0 {
-					panic("join produced no matches")
-				}
-				counts[c]++
-			}
+			runTenant(svc, r, s, tenant, weight, perClient, &counts[c], errs)
 		}(c, tenant, c+1)
 	}
 	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service example:", err)
+			os.Exit(1)
+		}
+	}
 
 	st := svc.Stats()
 	fmt.Printf("completed %d + %d queries across two tenants\n", counts[0], counts[1])
 	fmt.Printf("admission: %d admitted, %d queued, %d rejected\n",
 		st.Admission.Admitted, st.Admission.Queued, st.Admission.Rejected)
+	if st.Degradation.AdmissionRetries > 0 {
+		fmt.Printf("degradation: %d admission retries, %d budget shrinks, %d narrowed queries\n",
+			st.Degradation.AdmissionRetries, st.Degradation.BudgetShrinks, st.Degradation.NarrowedQueries)
+	}
 	total := st.PlanCache.Hits + st.PlanCache.Misses
 	fmt.Printf("plan cache: %d/%d hits (%.0f%%)\n",
 		st.PlanCache.Hits, total, 100*float64(st.PlanCache.Hits)/float64(total))

@@ -44,7 +44,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "B-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.AcquireFor(opts.Owner)
+	lease := leaseFor(opts)
 	defer lease.Release()
 	start := time.Now()
 
@@ -72,7 +72,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		}
 	})
 	res.AddPhase("phase 1", phase1)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 
@@ -85,7 +85,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		}
 	})
 	res.AddPhase("phase 2", phase2)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 
@@ -168,7 +168,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
 	closeErr := out.Close()
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 	if closeErr != nil {

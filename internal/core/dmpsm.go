@@ -87,7 +87,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "D-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.AcquireFor(opts.Owner)
+	lease := leaseFor(opts)
 	defer lease.Release()
 	start := time.Now()
 
@@ -111,7 +111,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		lease.PutTuples(tuples)
 	})
 	res.AddPhase("phase 1", phase1)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, DiskStats{}, err
 	}
 
@@ -127,7 +127,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		lease.PutTuples(tuples)
 	})
 	res.AddPhase("phase 2", phase2)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, DiskStats{}, err
 	}
 
@@ -155,7 +155,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
 	closeErr := out.Close()
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, stats, err
 	}
 	if closeErr != nil {
@@ -227,7 +227,7 @@ func dmpsmJoinMorsel(ctx context.Context, rt *sched.Runtime, disk *storage.Disk,
 		}
 		privTuples[w.ID()] = priv
 	})
-	if canceled(ctx) {
+	if canceled(ctx) || rt.Err() != nil {
 		return readDuration
 	}
 

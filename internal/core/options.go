@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
@@ -146,6 +147,11 @@ type Options struct {
 	// morsel (Morsel) acquires an execution slot before running, so
 	// concurrent queries interleave instead of contending FIFO-style.
 	Gate *sched.Ticket
+
+	// Faults, when non-nil, arms deterministic fault injection inside the
+	// join's workers and scratch lease; see internal/faultinject. Nil (the
+	// default) injects nothing.
+	Faults *faultinject.Set
 
 	// TrackNUMA enables simulated NUMA access accounting.
 	TrackNUMA bool

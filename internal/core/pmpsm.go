@@ -52,7 +52,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "P-MPSM", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.AcquireFor(opts.Owner)
+	lease := leaseFor(opts)
 	defer lease.Release()
 	start := time.Now()
 
@@ -77,7 +77,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		}
 	})
 	res.AddPhase("phase 1", phase1)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 
@@ -90,7 +90,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		privateRuns, privateMaxKey = rangePartitionPrivate(ctx, rt, privateChunks, publicRuns, colPublic, opts, lease)
 	})
 	res.AddPhase("phase 2", phase2)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 
@@ -119,7 +119,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 		}
 	})
 	res.AddPhase("phase 3", phase3)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 
@@ -207,7 +207,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// consumed tuples, so it must learn the execution ended. The context
 	// error still wins as the join's outcome.
 	closeErr := out.Close()
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 	if closeErr != nil {
@@ -264,7 +264,7 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 			runLens[w.ID()] = publicRuns[w.ID()].Len()
 		}
 	})
-	if canceled(ctx) {
+	if canceled(ctx) || rt.Err() != nil {
 		return nil, 0
 	}
 	cdf := partition.BuildCDF(boundsPerRun, runLens)
@@ -285,7 +285,7 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 			tracker.SeqRead(chunkSourceNode(w.ID(), workers, opts.Topology), uint64(len(privateChunks[w.ID()].Tuples)))
 		}
 	})
-	if canceled(ctx) {
+	if canceled(ctx) || rt.Err() != nil {
 		return nil, 0
 	}
 	var maxKey uint64
@@ -303,7 +303,7 @@ func rangePartitionPrivate(ctx context.Context, rt *sched.Runtime, privateChunks
 			tracker.SeqRead(chunkSourceNode(w.ID(), workers, opts.Topology), uint64(len(privateChunks[w.ID()].Tuples)))
 		}
 	})
-	if canceled(ctx) {
+	if canceled(ctx) || rt.Err() != nil {
 		return nil, 0
 	}
 

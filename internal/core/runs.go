@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/memory"
 	"repro/internal/numa"
 	"repro/internal/relation"
@@ -16,7 +18,26 @@ func runtimeFor(opts Options) *sched.Runtime {
 		Topology:  opts.Topology,
 		TrackNUMA: opts.TrackNUMA,
 		Gate:      opts.Gate,
+		Label:     opts.Owner.Label(),
+		Faults:    opts.Faults,
 	})
+}
+
+// leaseFor checks out the join's scratch lease with fault injection armed.
+func leaseFor(opts Options) *memory.Lease {
+	return opts.Scratch.AcquireFor(opts.Owner).InjectFaults(opts.Faults)
+}
+
+// checkpoint is the phase-boundary error check of every algorithm: a
+// recovered worker panic poisons the runtime and wins over plain
+// cancellation; either way the lease is poisoned on panic so its buffers are
+// quarantined rather than reused.
+func checkpoint(ctx context.Context, rt *sched.Runtime, lease *memory.Lease) error {
+	if err := rt.Err(); err != nil {
+		lease.Poison()
+		return err
+	}
+	return ctx.Err()
 }
 
 // sortChunkIntoRun sorts one chunk of the input relation into a worker-local

@@ -35,6 +35,7 @@ import (
 	"repro/internal/hashjoin"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 )
 
 // Algorithm selects the join implementation used by a query.
@@ -230,7 +231,18 @@ func Run(ctx context.Context, q Query) (*QueryResult, error) {
 // context and the sink carried in opts.Sink. It is the single entry point the
 // public Engine and the Query pipeline share. DiskStats is non-nil only for
 // AlgorithmDMPSM.
-func Join(ctx context.Context, alg Algorithm, r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) (*result.Result, *core.DiskStats, error) {
+func Join(ctx context.Context, alg Algorithm, r, s *relation.Relation, opts core.Options, diskOpts core.DiskOptions) (res *result.Result, disk *core.DiskStats, err error) {
+	// Worker panics are already recovered inside sched and arrive here as
+	// *sched.PanicError return values; this recover is the coordinator-side
+	// backstop for panics on the calling goroutine itself (splitter
+	// computation, prefix sums, lease draws between phases). Either way the
+	// failure domain is this query, not the process.
+	defer func() {
+		if r := recover(); r != nil {
+			res, disk = nil, nil
+			err = sched.Recovered(opts.Owner.Label(), "join", -1, r)
+		}
+	}()
 	switch alg {
 	case AlgorithmPMPSM:
 		res, err := core.PMPSM(ctx, r, s, opts)
@@ -270,6 +282,7 @@ func hashJoinOptions(opts core.Options) hashjoin.Options {
 		Scratch:    opts.Scratch,
 		Owner:      opts.Owner,
 		Gate:       opts.Gate,
+		Faults:     opts.Faults,
 	}
 }
 

@@ -372,11 +372,27 @@ func (p *Plan) reachesJoin(id NodeID, consumers [][]NodeID) bool {
 	return false
 }
 
-// validateJoin rejects unsupported algorithm/kind/band combinations; it is
-// shared between the classic Query pipeline and plan validation.
+// maxWorkers bounds caller-requested parallelism: beyond it, the per-worker
+// state (goroutines, runs, histograms) stops being a configuration and
+// becomes a resource-exhaustion attack on the process.
+const maxWorkers = 1 << 16
+
+// validateJoin rejects unsupported algorithm/kind/band/scheduler
+// combinations and out-of-range knobs; it is shared between the classic
+// Query pipeline and plan validation. Everything a caller can get wrong
+// through the public API must be caught here with a returned error — the
+// kernels below this boundary panic on invariant violations and rely on
+// sched's recovery only as a backstop (see the panic-policy comment in
+// internal/sched).
 func validateJoin(alg Algorithm, opts core.Options) error {
 	if !opts.Kind.Valid() {
 		return fmt.Errorf("unknown join kind %d", int(opts.Kind))
+	}
+	if !opts.Scheduler.Valid() {
+		return fmt.Errorf("unknown scheduler mode %d", int(opts.Scheduler))
+	}
+	if opts.Workers > maxWorkers {
+		return fmt.Errorf("worker count %d exceeds the supported maximum %d", opts.Workers, maxWorkers)
 	}
 	if opts.Kind != mergejoin.Inner && alg != AlgorithmPMPSM && alg != AlgorithmBMPSM {
 		return fmt.Errorf("join kind %v is only supported by the B-MPSM and P-MPSM algorithms, not %v",

@@ -10,6 +10,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/relation"
 	"repro/internal/result"
+	"repro/internal/sched"
 	"repro/internal/sink"
 )
 
@@ -90,6 +91,16 @@ func RunPlanFor(ctx context.Context, p *Plan, pool *memory.Pool, owner *memory.R
 
 	var runErr error
 	e.res.Total = result.StopwatchPhase(func() {
+		// Coordinator-side backstop: operator code running on this goroutine
+		// (scan filters, aggregation, intermediate materialization) may
+		// panic; contain it to this plan and quarantine the plan lease,
+		// whose buffers may be mid-write.
+		defer func() {
+			if r := recover(); r != nil {
+				e.lease.Poison()
+				runErr = sched.Recovered(owner.Label(), "plan", -1, r)
+			}
+		}()
 		runErr = e.runRoot(root)
 	})
 	if runErr != nil {

@@ -64,7 +64,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	workers := o.Workers
 	res := &result.Result{Algorithm: "Radix HJ", Workers: workers}
 	rt := runtimeFor(o)
-	lease := o.Scratch.AcquireFor(o.Owner)
+	lease := leaseFor(o)
 	defer lease.Release()
 	start := time.Now()
 
@@ -87,7 +87,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 		sParts = partitionMultiPass(ctx, rt, s, bitsUsed, passes, maxKey, o.Topology, lease)
 	})
 	res.AddPhase("partition", partitionTime)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 	parts := len(rParts)
@@ -120,7 +120,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
 	closeErr := out.Close()
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 	if closeErr != nil {

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/mergejoin"
 	"repro/internal/numa"
@@ -63,6 +64,9 @@ type Options struct {
 	// Gate subjects the join's workers to the serving layer's weighted
 	// fair-share arbiter; nil disables gating.
 	Gate *sched.Ticket
+	// Faults arms deterministic fault injection inside the join's workers
+	// and scratch lease; nil (the default) injects nothing.
+	Faults *faultinject.Set
 }
 
 // cancelBlock is how many tuples a hash-join worker processes between two
@@ -92,7 +96,30 @@ func (o Options) normalize() Options {
 
 // runtimeFor creates the shared parallel runtime for one hash join.
 func runtimeFor(o Options) *sched.Runtime {
-	return sched.New(sched.Config{Workers: o.Workers, Topology: o.Topology, TrackNUMA: o.TrackNUMA, Gate: o.Gate})
+	return sched.New(sched.Config{
+		Workers:   o.Workers,
+		Topology:  o.Topology,
+		TrackNUMA: o.TrackNUMA,
+		Gate:      o.Gate,
+		Label:     o.Owner.Label(),
+		Faults:    o.Faults,
+	})
+}
+
+// leaseFor checks out the join's scratch lease with fault injection armed.
+func leaseFor(o Options) *memory.Lease {
+	return o.Scratch.AcquireFor(o.Owner).InjectFaults(o.Faults)
+}
+
+// checkpoint is the phase-boundary error check: a recovered worker panic
+// poisons the runtime and wins over plain cancellation; either way the lease
+// is poisoned on panic so its buffers are quarantined rather than reused.
+func checkpoint(ctx context.Context, rt *sched.Runtime, lease *memory.Lease) error {
+	if err := rt.Err(); err != nil {
+		lease.Poison()
+		return err
+	}
+	return ctx.Err()
 }
 
 // sharedTable is the global hash table of the no-partitioning join. Bucket
@@ -241,7 +268,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	workers := opts.Workers
 	res := &result.Result{Algorithm: "Wisconsin", Workers: workers}
 	rt := runtimeFor(opts)
-	lease := opts.Scratch.AcquireFor(opts.Owner)
+	lease := leaseFor(opts)
 	defer lease.Release()
 	start := time.Now()
 
@@ -263,7 +290,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 		})
 	}
 	res.AddPhase("build", buildTime)
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 
@@ -284,7 +311,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 	// Close runs even on cancellation (the sink lifecycle promises it); the
 	// context error still wins as the join's outcome.
 	closeErr := out.Close()
-	if err := ctx.Err(); err != nil {
+	if err := checkpoint(ctx, rt, lease); err != nil {
 		return nil, err
 	}
 	if closeErr != nil {

@@ -1,0 +1,120 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func TestPoisonedLeaseQuarantinesBuffers(t *testing.T) {
+	p := NewPool(1 << 24)
+	l := p.Acquire()
+	l.Tuples(1000)
+	l.Ints(500)
+	l.Poison()
+	l.Release()
+
+	st := p.Stats()
+	if st.PoisonedLeases != 1 {
+		t.Fatalf("PoisonedLeases = %d, want 1", st.PoisonedLeases)
+	}
+	if st.QuarantinedBytes == 0 {
+		t.Fatal("quarantined lease reported zero quarantined bytes")
+	}
+	if st.ActiveLeases != 0 {
+		t.Fatalf("ActiveLeases = %d after release", st.ActiveLeases)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("pool integrity after quarantine: %v", err)
+	}
+
+	// A fresh lease must not see the poisoned lease's buffers: everything
+	// it draws comes from clean free lists or fresh allocation.
+	l2 := p.Acquire()
+	buf := l2.Tuples(1000)
+	if len(buf) != 1000 {
+		t.Fatalf("fresh draw returned %d tuples", len(buf))
+	}
+	if l2.Stats().Reused != 0 {
+		t.Fatal("fresh lease reused a buffer that should be quarantined")
+	}
+	l2.Release()
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("pool integrity after clean reuse: %v", err)
+	}
+}
+
+func TestHealthyLeaseStillRecycles(t *testing.T) {
+	p := NewPool(1 << 24)
+	l := p.Acquire()
+	l.Tuples(1000)
+	l.Release()
+	l2 := p.Acquire()
+	l2.Tuples(1000)
+	if l2.Stats().Reused != 1 {
+		t.Fatalf("healthy release did not recycle: reused = %d", l2.Stats().Reused)
+	}
+	l2.Release()
+}
+
+func TestPoisonNilSafe(t *testing.T) {
+	var l *Lease
+	l.Poison() // must not panic
+	l.Release()
+}
+
+func TestInjectedLeaseAllocPanics(t *testing.T) {
+	p := NewPool(1 << 24)
+	f := faultinject.New(5).Enable(faultinject.LeaseAlloc, 1)
+	l := p.Acquire().InjectFaults(f)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("injected lease allocation did not panic")
+			}
+			var inj *faultinject.Injected
+			if err, ok := r.(error); !ok || !errors.As(err, &inj) || inj.Point != faultinject.LeaseAlloc {
+				t.Fatalf("panic value %v is not Injected{LeaseAlloc}", r)
+			}
+		}()
+		l.Tuples(100)
+	}()
+	// The recovery path poisons and releases; the pool must stay coherent.
+	l.Poison()
+	l.Release()
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("pool integrity after injected alloc failure: %v", err)
+	}
+	if p.Stats().PoisonedLeases != 1 {
+		t.Fatalf("PoisonedLeases = %d", p.Stats().PoisonedLeases)
+	}
+}
+
+func TestCheckIntegrityDetectsCorruptedFreeList(t *testing.T) {
+	p := NewPool(1 << 24)
+	l := p.Acquire()
+	l.Tuples(100)
+	l.Release()
+	// Corrupt a parked buffer's capacity by replacing it with a wrong-class
+	// slice; the audit must notice.
+	p.mu.Lock()
+	for c := range p.tuples {
+		if len(p.tuples[c]) > 0 {
+			p.tuples[c][0] = p.tuples[c][0][:0:1]
+			break
+		}
+	}
+	p.mu.Unlock()
+	if err := p.CheckIntegrity(); err == nil {
+		t.Fatal("CheckIntegrity missed a corrupted free-list buffer")
+	}
+}
+
+func TestCheckIntegrityNilPool(t *testing.T) {
+	var p *Pool
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("nil pool integrity: %v", err)
+	}
+}

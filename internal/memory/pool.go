@@ -25,10 +25,12 @@ package memory
 
 import (
 	"errors"
+	"fmt"
 	"math/bits"
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/relation"
 )
 
@@ -92,6 +94,13 @@ type PoolStats struct {
 	HeldBytes int64
 	// PeakHeldBytes is the high-water mark of HeldBytes.
 	PeakHeldBytes int64
+	// PoisonedLeases counts leases released after being poisoned (their
+	// query panicked); their buffers were quarantined rather than parked.
+	PoisonedLeases uint64
+	// QuarantinedBytes is the total capacity of quarantined buffers — memory
+	// handed back to the garbage collector instead of the free lists because
+	// a panicking query may have left it in an undefined state.
+	QuarantinedBytes int64
 
 	// ReservedBytes is the total of outstanding admission reservations
 	// (Reserve minus Release), the number the serving layer's admission
@@ -320,9 +329,13 @@ type LeaseStats struct {
 // exactly once, after the join's final barrier, and returns every buffer to
 // the pool at once. A nil *Lease is valid and allocates plainly.
 type Lease struct {
-	pool  *Pool
-	owner *Reservation // admission reservation this lease is attributed to, or nil
-	mu    sync.Mutex
+	pool   *Pool
+	owner  *Reservation // admission reservation this lease is attributed to, or nil
+	faults *faultinject.Set
+	mu     sync.Mutex
+	// poisoned marks the lease's buffers as possibly mid-write garbage from a
+	// panicked query; Release quarantines them instead of parking them.
+	poisoned bool
 	// all tracks every buffer checked out from the pool or freshly
 	// allocated, for bulk return on Release.
 	allTuples  [][]relation.Tuple
@@ -336,6 +349,29 @@ type Lease struct {
 	freeInt32s  [classCount][][]int32
 	freeUint64s [classCount][][]uint64
 	stats       LeaseStats
+}
+
+// InjectFaults arms the lease's allocation fault-injection point and returns
+// the lease for chaining. Safe on a nil lease or nil set.
+func (l *Lease) InjectFaults(f *faultinject.Set) *Lease {
+	if l != nil {
+		l.faults = f
+	}
+	return l
+}
+
+// Poison marks the lease as belonging to a failed (panicked) query: its
+// buffers may hold partially-written garbage or still be referenced from a
+// dying goroutine's stack, so Release will quarantine them — hand them to the
+// garbage collector and retire the lease — rather than park them for reuse.
+// Idempotent, safe on a nil lease.
+func (l *Lease) Poison() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.poisoned = true
+	l.mu.Unlock()
 }
 
 // Stats returns the lease's traffic counters. Safe on a nil lease (all
@@ -358,6 +394,16 @@ func (l *Lease) Tuples(n int) []relation.Tuple {
 	}
 	if n == 0 {
 		return nil
+	}
+	// The injection must fire before taking l.mu: a panic while holding the
+	// lease lock would deadlock the deferred Release. Poison first, so the
+	// unwinding Release quarantines this lease no matter which goroutine
+	// the allocation ran on (a worker's panic also poisons via sched, but a
+	// coordinator-side allocation between phases unwinds straight through
+	// the lease's own deferred Release).
+	if l.faults.Should(faultinject.LeaseAlloc) {
+		l.Poison()
+		panic(&faultinject.Injected{Point: faultinject.LeaseAlloc})
 	}
 	c := sizeClass(n)
 	l.mu.Lock()
@@ -576,13 +622,101 @@ func (l *Lease) Release() {
 		return
 	}
 	l.mu.Lock()
+	poisoned := l.poisoned
 	tuples, ints, int32s, uint64s := l.allTuples, l.allInts, l.allInt32s, l.allUint64s
 	l.allTuples, l.allInts, l.allInt32s, l.allUint64s = nil, nil, nil, nil
 	for c := range l.freeTuples {
 		l.freeTuples[c], l.freeInts[c], l.freeInt32s[c], l.freeUint64s[c] = nil, nil, nil, nil
 	}
 	l.mu.Unlock()
+	if poisoned {
+		l.pool.quarantine(l, tuples, ints, int32s, uint64s)
+		return
+	}
 	l.pool.put(l, tuples, ints, int32s, uint64s)
+}
+
+// quarantine retires a poisoned lease without parking any of its buffers:
+// the lease leaves the active set (so reservations and lease counts do not
+// leak), the buffers go to the garbage collector, and the quarantine counters
+// record the event for the pool-integrity audit.
+func (p *Pool) quarantine(l *Lease, tuples [][]relation.Tuple, ints [][]int, int32s [][]int32, uint64s [][]uint64) {
+	var bytes int64
+	for _, buf := range tuples {
+		bytes += int64(cap(buf)) * tupleSize
+	}
+	for _, buf := range ints {
+		bytes += int64(cap(buf)) * intSize
+	}
+	for _, buf := range int32s {
+		bytes += int64(cap(buf)) * int32Size
+	}
+	for _, buf := range uint64s {
+		bytes += int64(cap(buf)) * uint64Size
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.leases, l)
+	p.stats.PoisonedLeases++
+	p.stats.QuarantinedBytes += bytes
+}
+
+// CheckIntegrity audits the pool's internal accounting: every parked buffer
+// sits in its exact size class, the parked-byte counter matches the free
+// lists, the byte limit holds, and the outstanding-reservation counter
+// matches the live reservations. It returns nil when the pool is consistent;
+// the chaos suite runs it after absorbing injected faults. Safe on a nil
+// pool.
+func (p *Pool) CheckIntegrity() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var held int64
+	for c := 0; c < classCount; c++ {
+		for _, buf := range p.tuples[c] {
+			if cap(buf) != 1<<c {
+				return fmt.Errorf("memory: tuple buffer of capacity %d parked in class %d", cap(buf), c)
+			}
+			held += int64(cap(buf)) * tupleSize
+		}
+		for _, buf := range p.ints[c] {
+			if cap(buf) != 1<<c {
+				return fmt.Errorf("memory: int buffer of capacity %d parked in class %d", cap(buf), c)
+			}
+			held += int64(cap(buf)) * intSize
+		}
+		for _, buf := range p.int32s[c] {
+			if cap(buf) != 1<<c {
+				return fmt.Errorf("memory: int32 buffer of capacity %d parked in class %d", cap(buf), c)
+			}
+			held += int64(cap(buf)) * int32Size
+		}
+		for _, buf := range p.uint64s[c] {
+			if cap(buf) != 1<<c {
+				return fmt.Errorf("memory: uint64 buffer of capacity %d parked in class %d", cap(buf), c)
+			}
+			held += int64(cap(buf)) * uint64Size
+		}
+	}
+	if held != p.held {
+		return fmt.Errorf("memory: parked-byte accounting drifted: tracked %d bytes, free lists hold %d", p.held, held)
+	}
+	if p.held > p.limit {
+		return fmt.Errorf("memory: parked bytes %d exceed the pool limit %d", p.held, p.limit)
+	}
+	var reserved int64
+	for r := range p.resv {
+		reserved += r.bytes
+	}
+	if reserved != p.reserved {
+		return fmt.Errorf("memory: reservation accounting drifted: tracked %d bytes, live reservations hold %d", p.reserved, reserved)
+	}
+	if p.reserved > p.reserveLimit {
+		return fmt.Errorf("memory: reserved bytes %d exceed the admission limit %d", p.reserved, p.reserveLimit)
+	}
+	return nil
 }
 
 // getTuples pops a tuple buffer of the class from the shared free list.

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func TestPhaseRecoversPanic(t *testing.T) {
+	rt := New(Config{Workers: 4, Label: "q1"})
+	var ran atomic.Int32
+	rt.Phase(context.Background(), "build", func(ctx context.Context, w *Worker) {
+		ran.Add(1)
+		if w.ID() == 2 {
+			panic("boom")
+		}
+	})
+	err := rt.Err()
+	if err == nil {
+		t.Fatal("panic was not surfaced through Err")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Err() = %T, want *PanicError", err)
+	}
+	if pe.Query != "q1" || pe.Phase != "build" || pe.Worker != 2 || pe.Value != "boom" {
+		t.Fatalf("unexpected PanicError: %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panic_test") {
+		t.Fatal("PanicError did not capture the panicking stack")
+	}
+	// Siblings that had not yet entered fn when the poison cancellation
+	// landed short-circuit by design, so anywhere from 1 to 4 workers ran.
+	if n := ran.Load(); n < 1 || n > 4 {
+		t.Fatalf("%d workers ran", n)
+	}
+}
+
+func TestPoisonedRuntimeShortCircuits(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	rt.Phase(context.Background(), "p1", func(ctx context.Context, w *Worker) {
+		panic("first")
+	})
+	var later atomic.Int32
+	rt.Phase(context.Background(), "p2", func(ctx context.Context, w *Worker) {
+		later.Add(1)
+	})
+	rt.RunTasks(context.Background(), "p3", []Task{{Node: -1, Run: func(w *Worker) { later.Add(1) }}})
+	if later.Load() != 0 {
+		t.Fatalf("poisoned runtime ran %d later units of work", later.Load())
+	}
+	// The first failure is kept, not overwritten.
+	var pe *PanicError
+	if !errors.As(rt.Err(), &pe) || pe.Phase != "p1" {
+		t.Fatalf("poisoned runtime reports %v, want phase p1 failure", rt.Err())
+	}
+}
+
+func TestPhasePanicCancelsSiblings(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	var sawCancel atomic.Int32
+	var entered sync.WaitGroup
+	entered.Add(4)
+	rt.Phase(context.Background(), "p", func(ctx context.Context, w *Worker) {
+		// Hold every worker inside the phase until all four have entered,
+		// so none short-circuits on the poison check before running fn.
+		entered.Done()
+		entered.Wait()
+		if w.ID() == 0 {
+			panic("die")
+		}
+		// Siblings unwind via the poisoned phase context at their next
+		// cancellation check, exactly like a user cancellation.
+		select {
+		case <-ctx.Done():
+			sawCancel.Add(1)
+		case <-time.After(5 * time.Second):
+			t.Error("sibling was not canceled after a panic")
+		}
+	})
+	if sawCancel.Load() != 3 {
+		t.Fatalf("%d of 3 siblings observed the poison cancellation", sawCancel.Load())
+	}
+}
+
+func TestPhasePoisonDoesNotCancelCaller(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt.Phase(ctx, "p", func(ctx context.Context, w *Worker) { panic("contained") })
+	if ctx.Err() != nil {
+		t.Fatal("poisoning a phase canceled the caller's context")
+	}
+}
+
+func TestRunTasksRecoversPanicAndStopsQueue(t *testing.T) {
+	rt := New(Config{Workers: 2, Label: "q7"})
+	var done atomic.Int32
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Node: -1, Run: func(w *Worker) {
+			if i == 5 {
+				panic(errors.New("task exploded"))
+			}
+			done.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		}}
+	}
+	rt.RunTasks(context.Background(), "probe", tasks)
+	var pe *PanicError
+	if !errors.As(rt.Err(), &pe) {
+		t.Fatalf("Err() = %v, want *PanicError", rt.Err())
+	}
+	if pe.Query != "q7" || pe.Phase != "probe" {
+		t.Fatalf("unexpected PanicError: %+v", pe)
+	}
+	// Unwrap reaches the error the task panicked with.
+	if !errors.Is(rt.Err(), pe.Value.(error)) {
+		t.Fatal("PanicError does not unwrap to the panic value")
+	}
+	if int(done.Load()) >= len(tasks) {
+		t.Fatal("queue ran every task despite the poison cancellation")
+	}
+}
+
+func TestPanicReleasesGateSlots(t *testing.T) {
+	fs := NewFairShare(2)
+	rt := New(Config{Workers: 4, Gate: fs.Ticket(1)})
+	rt.Phase(context.Background(), "p", func(ctx context.Context, w *Worker) {
+		panic("slot test")
+	})
+	// If the panicking workers leaked their slots, this second runtime's
+	// workers would block in Acquire forever.
+	rt2 := New(Config{Workers: 4, Gate: fs.Ticket(1)})
+	donech := make(chan struct{})
+	go func() {
+		rt2.RunTasks(context.Background(), "after", []Task{
+			{Node: -1, Run: func(w *Worker) {}},
+			{Node: -1, Run: func(w *Worker) {}},
+		})
+		close(donech)
+	}()
+	select {
+	case <-donech:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate slots leaked across a panicking phase")
+	}
+}
+
+func TestInjectedWorkerPanicIsTyped(t *testing.T) {
+	f := faultinject.New(1).Enable(faultinject.WorkerPanic, 1).Limit(faultinject.WorkerPanic, 1)
+	rt := New(Config{Workers: 2, Label: "q9", Faults: f})
+	rt.Phase(context.Background(), "p", func(ctx context.Context, w *Worker) {})
+	var inj *faultinject.Injected
+	if !errors.As(rt.Err(), &inj) || inj.Point != faultinject.WorkerPanic {
+		t.Fatalf("Err() = %v, want wrapped Injected{WorkerPanic}", rt.Err())
+	}
+	if f.Fired(faultinject.WorkerPanic) != 1 {
+		t.Fatalf("fired %d times, want 1", f.Fired(faultinject.WorkerPanic))
+	}
+}

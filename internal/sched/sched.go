@@ -25,13 +25,30 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/numa"
 	"repro/internal/result"
 )
+
+// Panic policy. A panic that reaches a worker goroutine would kill the whole
+// process, so the runtime draws the failure domain at the query: Phase and
+// RunTasks recover panics, capture the stack, poison the barrier (canceling
+// the phase-scoped context so sibling workers unwind at their existing
+// cancellation checks), and surface the first panic as a *PanicError from
+// Runtime.Err, which the algorithms turn into a returned error at the next
+// phase boundary. Conditions a caller can trigger through the public API —
+// unknown algorithms or schedulers, invalid join kinds, out-of-range worker
+// counts — must be rejected with returned errors by exec's plan validation
+// before execution starts; `panic` below that boundary is reserved for
+// genuine programmer-error invariants (histogram length mismatches, split
+// counts the normalization layer guarantees, unreachable switch arms), and
+// this recovery layer is the backstop that keeps even those contained to the
+// query that hit them.
 
 // Mode selects how join-phase work is mapped onto workers.
 type Mode int
@@ -97,6 +114,54 @@ type Config struct {
 	// the ticket's arbiter before running, so concurrent queries sharing one
 	// FairShare interleave by weighted fair queueing instead of FIFO.
 	Gate *Ticket
+	// Label identifies the query in PanicError reports (typically the
+	// service's per-query label); empty is fine for standalone joins.
+	Label string
+	// Faults, when non-nil, arms deterministic fault injection inside the
+	// runtime's workers (WorkerPanic, MorselStall).
+	Faults *faultinject.Set
+}
+
+// PanicError reports a panic recovered during a query's execution: which
+// query, which phase, which worker (or -1 for the coordinating goroutine),
+// the recovered value and the stack captured at the panic site. It is the
+// error the engine returns for the panicking query; sibling queries and the
+// process are unaffected.
+type PanicError struct {
+	Query  string
+	Phase  string
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	who := fmt.Sprintf("worker %d", e.Worker)
+	if e.Worker < 0 {
+		who = "coordinator"
+	}
+	query := e.Query
+	if query == "" {
+		query = "query"
+	}
+	return fmt.Sprintf("sched: recovered panic on %s in phase %q of %s: %v", who, e.Phase, query, e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error (injected faults
+// are), so errors.Is/As reach through.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recovered wraps a value recovered outside the runtime's workers — the
+// coordinator-side recover in exec uses it with worker -1. It captures the
+// stack, so it must be called directly from the deferred recover.
+func Recovered(query, phase string, worker int, v any) *PanicError {
+	return &PanicError{Query: query, Phase: phase, Worker: worker, Value: v, Stack: debug.Stack()}
 }
 
 // Worker is the per-worker state the runtime hands to phase functions and
@@ -138,6 +203,11 @@ type Runtime struct {
 	topo    numa.Topology
 	states  []*Worker
 	gate    *Ticket
+	label   string
+	faults  *faultinject.Set
+
+	failMu  sync.Mutex
+	failure *PanicError
 }
 
 // New creates a runtime with one worker state per worker.
@@ -150,7 +220,14 @@ func New(cfg Config) *Runtime {
 	if topo.Nodes == 0 {
 		topo = numa.DefaultTopology()
 	}
-	rt := &Runtime{workers: workers, topo: topo, states: make([]*Worker, workers), gate: cfg.Gate}
+	rt := &Runtime{
+		workers: workers,
+		topo:    topo,
+		states:  make([]*Worker, workers),
+		gate:    cfg.Gate,
+		label:   cfg.Label,
+		faults:  cfg.Faults,
+	}
 	for w := 0; w < workers; w++ {
 		rt.states[w] = &Worker{
 			id:        w,
@@ -170,6 +247,32 @@ func (rt *Runtime) Workers() int { return rt.workers }
 // Worker returns the state of worker w.
 func (rt *Runtime) Worker(w int) *Worker { return rt.states[w] }
 
+// Err returns the first panic recovered from any worker of this runtime as a
+// *PanicError, or nil. Once non-nil the runtime is poisoned: subsequent
+// Phase and RunTasks calls return without running anything, so the algorithm
+// falls through to its next phase-boundary error check.
+func (rt *Runtime) Err() error {
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	if rt.failure == nil {
+		return nil
+	}
+	return rt.failure
+}
+
+// poison records the first recovered panic and cancels the phase so sibling
+// workers unwind. It must be called from the panicking goroutine's deferred
+// recover so the stack identifies the panic site.
+func (rt *Runtime) poison(phase string, worker int, v any, cancel context.CancelFunc) {
+	stack := debug.Stack()
+	rt.failMu.Lock()
+	if rt.failure == nil {
+		rt.failure = &PanicError{Query: rt.label, Phase: phase, Worker: worker, Value: v, Stack: stack}
+	}
+	rt.failMu.Unlock()
+	cancel()
+}
+
 // Canceled reports whether the context has been canceled, without blocking.
 func Canceled(ctx context.Context) bool {
 	select {
@@ -188,22 +291,39 @@ func Canceled(ctx context.Context) bool {
 // wall-clock time of the whole phase.
 func (rt *Runtime) Phase(ctx context.Context, name string, fn func(ctx context.Context, w *Worker)) time.Duration {
 	return result.StopwatchPhase(func() {
+		if rt.Err() != nil {
+			return // poisoned by an earlier phase; nothing more may run
+		}
+		// Each phase gets a derived context so that poisoning cancels only
+		// this query's siblings, not the caller's context.
+		pctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		var wg sync.WaitGroup
 		for _, w := range rt.states {
 			wg.Add(1)
 			go func(w *Worker) {
 				defer wg.Done()
-				if Canceled(ctx) {
+				if Canceled(pctx) {
 					return
 				}
-				if err := rt.gate.Acquire(ctx); err != nil {
+				if err := rt.gate.Acquire(pctx); err != nil {
 					return
 				}
 				t0 := time.Now()
-				fn(ctx, w)
-				d := time.Since(t0)
-				rt.gate.Release(d)
-				w.Record(name, d)
+				// The gate slot is released in the same deferred function
+				// that recovers: a panicking worker must not strand a
+				// fair-share slot, or sibling queries' workers block forever.
+				defer func() {
+					d := time.Since(t0)
+					rt.gate.Release(d)
+					if r := recover(); r != nil {
+						rt.poison(name, w.id, r, cancel)
+						return
+					}
+					w.Record(name, d)
+				}()
+				rt.faults.Panic(faultinject.WorkerPanic)
+				fn(pctx, w)
 			}(w)
 		}
 		wg.Wait()
@@ -234,17 +354,28 @@ type Task struct {
 func (rt *Runtime) RunTasks(ctx context.Context, name string, tasks []Task) time.Duration {
 	q := newTaskQueue(rt.topo.Nodes, tasks)
 	return result.StopwatchPhase(func() {
+		if rt.Err() != nil {
+			return // poisoned by an earlier phase; nothing more may run
+		}
+		pctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		var wg sync.WaitGroup
 		for _, w := range rt.states {
 			wg.Add(1)
 			go func(w *Worker) {
 				defer wg.Done()
 				var busy time.Duration
+				defer func() {
+					w.Record(name, busy)
+					if r := recover(); r != nil {
+						rt.poison(name, w.id, r, cancel)
+					}
+				}()
 				for {
-					if Canceled(ctx) {
+					if Canceled(pctx) {
 						break
 					}
-					if err := rt.gate.Acquire(ctx); err != nil {
+					if err := rt.gate.Acquire(pctx); err != nil {
 						break
 					}
 					task, ok := q.pop(w.node)
@@ -252,18 +383,26 @@ func (rt *Runtime) RunTasks(ctx context.Context, name string, tasks []Task) time
 						rt.gate.Release(0)
 						break
 					}
+					rt.faults.Stall(faultinject.MorselStall)
 					t0 := time.Now()
-					task.Run(w)
-					d := time.Since(t0)
-					busy += d
-					rt.gate.Release(d)
+					// The inner closure releases the gate slot even when the
+					// task panics; the panic then unwinds into the recover
+					// above, which poisons the phase.
+					func() {
+						defer func() {
+							d := time.Since(t0)
+							busy += d
+							rt.gate.Release(d)
+						}()
+						rt.faults.Panic(faultinject.WorkerPanic)
+						task.Run(w)
+					}()
 					// Yield between morsels so that co-scheduled workers
 					// get to steal even when the machine has fewer cores
 					// than workers; without this, one goroutine could
 					// drain the whole queue between preemption points.
 					runtime.Gosched()
 				}
-				w.Record(name, busy)
 			}(w)
 		}
 		wg.Wait()

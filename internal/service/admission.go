@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 )
 
@@ -65,6 +66,11 @@ type Admission struct {
 	// Timeout bounds how long one query may wait in the queue; zero means
 	// no deadline beyond the caller's context.
 	Timeout time.Duration
+	// Faults, when non-nil, arms the GrantRace injection point: Done stalls
+	// between releasing the finished query's reservation and granting queued
+	// waiters, widening the window in which an abandoning waiter races its
+	// own grant. Set before the controller serves queries.
+	Faults *faultinject.Set
 
 	mu    sync.Mutex
 	queue []*admWaiter
@@ -161,6 +167,7 @@ func (a *Admission) abandon(w *admWaiter, counter *uint64) {
 // now fit, in FIFO order. Safe with a nil reservation.
 func (a *Admission) Done(res *memory.Reservation) {
 	res.Release()
+	a.Faults.Stall(faultinject.GrantRace)
 	a.mu.Lock()
 	for len(a.queue) > 0 {
 		w := a.queue[0]

@@ -1,0 +1,271 @@
+package mpsm
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- Service close semantics -------------------------------------------------
+
+func TestServiceCloseIdempotent(t *testing.T) {
+	svc := NewService(New())
+	for i := 0; i < 3; i++ {
+		if err := svc.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	// Concurrent closes must all return without deadlock.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Close()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent Close calls deadlocked")
+	}
+}
+
+func TestServiceCloseDrainsInFlight(t *testing.T) {
+	r := GenerateUniform("R", 200_000, 1)
+	s := GenerateForeignKey("S", r, 400_000, 2)
+	svc := NewService(New(WithScratchPool(true)))
+
+	started := make(chan struct{})
+	var joinErr error
+	var res *Result
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		res, joinErr = svc.Join(context.Background(), r, s)
+	}()
+	<-started
+
+	// Close while the query runs: it must block until the query finishes,
+	// and the query itself must succeed.
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if joinErr != nil {
+		t.Fatalf("in-flight query failed under Close: %v", joinErr)
+	}
+	if res.Matches == 0 {
+		t.Fatal("in-flight query returned no matches")
+	}
+	if svc.Stats().Active != 0 {
+		t.Fatal("Active != 0 after Close returned")
+	}
+	// After Close, new queries are rejected.
+	if _, err := svc.Join(context.Background(), r, s); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("post-Close join returned %v, want ErrServiceClosed", err)
+	}
+}
+
+func TestServiceCloseDrainsQueued(t *testing.T) {
+	r := GenerateUniform("R", 50_000, 1)
+	s := GenerateForeignKey("S", r, 100_000, 2)
+	// A budget equal to the limit: queries serialize through admission, so
+	// while one runs the others wait in the queue.
+	svc := NewService(New(WithScratchPool(true)),
+		WithMaxMemory(4<<20),
+		WithDefaultBudget(4<<20),
+		WithAdmissionQueue(16, 10*time.Second),
+		WithDegradationSteps(0))
+
+	const n = 4
+	var ok atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := svc.Join(context.Background(), r, s); err == nil {
+				ok.Add(1)
+			} else {
+				t.Errorf("queued query failed under Close: %v", err)
+			}
+		}()
+	}
+	// Give the group time to admit one query and queue the rest, then close.
+	time.Sleep(20 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	if int(ok.Load()) != n {
+		t.Fatalf("%d/%d queued queries completed across Close", ok.Load(), n)
+	}
+	st := svc.Stats()
+	if st.Admission.Waiting != 0 || st.Memory.ReservedBytes != 0 {
+		t.Fatalf("post-Close state: waiting=%d reserved=%d", st.Admission.Waiting, st.Memory.ReservedBytes)
+	}
+}
+
+// --- Degradation ladder ------------------------------------------------------
+
+func TestDegradationLadderAdmitsUnderPressure(t *testing.T) {
+	r := GenerateUniform("R", 20_000, 1)
+	s := GenerateForeignKey("S", r, 60_000, 2)
+	// Budgets of 8 MiB against a 8 MiB limit: two concurrent queries cannot
+	// both be admitted at full budget, and the queue is disabled — without
+	// the ladder, the second query would be rejected with ErrQueueFull.
+	svc := NewService(New(WithScratchPool(true)),
+		WithMaxMemory(8<<20),
+		WithDefaultBudget(8<<20),
+		WithAdmissionQueue(1, time.Millisecond))
+	defer svc.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = svc.Join(context.Background(), r, s)
+		}(i)
+	}
+	wg.Wait()
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			if !Retryable(err) {
+				t.Errorf("pressured query failed non-retryably: %v", err)
+			}
+			failed++
+		}
+	}
+	st := svc.Stats()
+	t.Logf("degradation: %+v, %d/%d failed", st.Degradation, failed, n)
+	if failed == n {
+		t.Fatal("every query failed; the ladder admitted nothing")
+	}
+	if st.Degradation.AdmissionRetries == 0 {
+		t.Fatal("no admission retries despite contention beyond the queue")
+	}
+	if st.Degradation.BudgetShrinks == 0 {
+		t.Fatal("no budget shrinks despite 8MiB budgets colliding")
+	}
+}
+
+func TestDegradationDisabled(t *testing.T) {
+	r := GenerateUniform("R", 1000, 1)
+	s := GenerateForeignKey("S", r, 2000, 2)
+	svc := NewService(New(), WithDegradationSteps(0), WithDefaultBudget(1<<20))
+	defer svc.Close()
+	if _, err := svc.Join(context.Background(), r, s); err != nil {
+		t.Fatalf("join with ladder disabled: %v", err)
+	}
+	if st := svc.Stats(); st.Degradation.AdmissionRetries != 0 {
+		t.Fatalf("disabled ladder retried admission %d times", st.Degradation.AdmissionRetries)
+	}
+}
+
+func TestExecDeadlineExpires(t *testing.T) {
+	r := GenerateUniform("R", 500_000, 1)
+	s := GenerateForeignKey("S", r, 2_000_000, 2)
+	svc := NewService(New(WithScratchPool(true), WithWorkers(1)))
+	defer svc.Close()
+	_, err := svc.Join(context.Background(), r, s, WithQueryDeadline(time.Microsecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1µs-deadline query returned %v, want DeadlineExceeded", err)
+	}
+	st := svc.Stats()
+	if st.Degradation.DeadlineExpired != 1 {
+		t.Fatalf("DeadlineExpired = %d, want 1", st.Degradation.DeadlineExpired)
+	}
+	if st.Memory.ReservedBytes != 0 || st.Memory.ActiveLeases != 0 {
+		t.Fatalf("expired query leaked memory: %+v", st.Memory)
+	}
+}
+
+// --- Morsel cancellation mid-phase (satellite: cancellation under work
+// stealing) ------------------------------------------------------------------
+
+func TestMorselCancelMidPhase(t *testing.T) {
+	r := GenerateUniform("R", 300_000, 1)
+	s := GenerateForeignKey("S", r, 1_200_000, 2)
+	engine := New(WithScratchPool(true), WithWorkers(4))
+
+	// Warm up so the pool's lists are populated and a baseline goroutine
+	// count is meaningful.
+	if _, err := engine.Join(context.Background(), r, s, WithScheduler(Morsel)); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for _, alg := range []Algorithm{PMPSM, BMPSM, Wisconsin, RadixHash} {
+		for _, delay := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+			ctx, cancel := context.WithCancel(context.Background())
+			if delay == 0 {
+				cancel() // canceled before the join even starts
+			} else {
+				timer := time.AfterFunc(delay, cancel) // mid-phase, mid-steal
+				defer timer.Stop()
+			}
+			_, err := engine.Join(ctx, r, s, WithAlgorithm(alg), WithScheduler(Morsel))
+			cancel()
+			if err == nil {
+				// The join beat the cancel; acceptable for the longest delay.
+				continue
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%v (cancel after %v): returned %v, want context.Canceled", alg, delay, err)
+			}
+		}
+	}
+
+	// Full lease return: no canceled join may leave a lease checked out.
+	st, ok := engine.PoolStats()
+	if !ok {
+		t.Fatal("engine has no pool")
+	}
+	if st.ActiveLeases != 0 {
+		t.Fatalf("ActiveLeases = %d after canceled joins", st.ActiveLeases)
+	}
+	// Worker goroutines unwind: allow a small slack for runtime background
+	// goroutines.
+	deadline := time.After(5 * time.Second)
+	for runtime.NumGoroutine() > before+8 {
+		select {
+		case <-deadline:
+			t.Fatalf("goroutines grew from %d to %d across canceled morsel joins", before, runtime.NumGoroutine())
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestMorselCancelDuringStalls(t *testing.T) {
+	r := GenerateUniform("R", 100_000, 1)
+	s := GenerateForeignKey("S", r, 400_000, 2)
+	engine := New(WithScratchPool(true), WithWorkers(4))
+	// Stalls widen the window in which workers sit between morsels when the
+	// cancellation lands.
+	f := NewFaultSet(3).EnableDelay(FaultMorselStall, 0.5, 300*time.Microsecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	_, err := engine.Join(ctx, r, s, WithScheduler(Morsel), WithFaultInjection(f))
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled canceled join returned %v", err)
+	}
+	if st, _ := engine.PoolStats(); st.ActiveLeases != 0 {
+		t.Fatalf("ActiveLeases = %d", st.ActiveLeases)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/memory"
 	"repro/internal/sched"
 	"repro/internal/service"
@@ -23,6 +24,17 @@ var (
 	ErrQueueTimeout   = service.ErrQueueTimeout
 	ErrServiceClosed  = errors.New("mpsm: service is closed")
 )
+
+// Retryable reports whether an error is transient pressure — a full or timed
+// out admission queue, or an over-committed memory budget — that a client (or
+// the service's own degradation ladder) may retry with backoff. Permanent
+// rejections (ErrBudgetTooLarge, ErrServiceClosed, validation errors) and
+// query failures (PanicError, cancellation) are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrQueueTimeout) ||
+		errors.Is(err, memory.ErrOverCommitted)
+}
 
 // AdmissionStats are the admission controller's counters.
 type AdmissionStats = service.AdmissionStats
@@ -44,16 +56,61 @@ type ServiceStats struct {
 	// Active is the number of queries currently executing (admitted, not
 	// yet completed).
 	Active int64
+	// Degradation counts the graceful-degradation ladder's interventions
+	// and the failures the service absorbed.
+	Degradation DegradationStats
+}
+
+// DegradationStats count the service's graceful-degradation events.
+type DegradationStats struct {
+	// AdmissionRetries counts admission attempts beyond each query's first
+	// (the degradation ladder re-queueing with backoff).
+	AdmissionRetries uint64
+	// BudgetShrinks counts budget halvings taken by the ladder before
+	// re-attempting admission.
+	BudgetShrinks uint64
+	// NarrowedQueries counts queries that executed with degraded
+	// parallelism/batch size after retried admission.
+	NarrowedQueries uint64
+	// DeadlineExpired counts queries aborted by their execution deadline.
+	DeadlineExpired uint64
+	// PanicsRecovered counts queries that failed with a recovered
+	// PanicError while the service carried on.
+	PanicsRecovered uint64
+}
+
+// degCounters is the internal atomic mirror of DegradationStats.
+type degCounters struct {
+	admissionRetries atomic.Uint64
+	budgetShrinks    atomic.Uint64
+	narrowed         atomic.Uint64
+	deadlineExpired  atomic.Uint64
+	panicsRecovered  atomic.Uint64
+}
+
+// snapshot converts the counters into their public form.
+func (d *degCounters) snapshot() DegradationStats {
+	return DegradationStats{
+		AdmissionRetries: d.admissionRetries.Load(),
+		BudgetShrinks:    d.budgetShrinks.Load(),
+		NarrowedQueries:  d.narrowed.Load(),
+		DeadlineExpired:  d.deadlineExpired.Load(),
+		PanicsRecovered:  d.panicsRecovered.Load(),
+	}
 }
 
 // serviceConfig collects the ServiceOption knobs.
 type serviceConfig struct {
-	maxMemory     int64
-	queueLimit    int
-	queueTimeout  time.Duration
-	fairSlots     int
-	planCacheSize int
-	defaultBudget int64
+	maxMemory       int64
+	queueLimit      int
+	queueTimeout    time.Duration
+	fairSlots       int
+	planCacheSize   int
+	defaultBudget   int64
+	execDeadline    time.Duration
+	degradeSteps    int
+	degradeStepsSet bool
+	faults          *faultinject.Set
 }
 
 // ServiceOption configures a Service at construction.
@@ -94,11 +151,46 @@ func WithDefaultBudget(bytes int64) ServiceOption {
 	return func(c *serviceConfig) { c.defaultBudget = bytes }
 }
 
+// WithExecDeadline bounds every query's execution time (admission wait
+// excluded), enforced at phase boundaries and chunk granularity like any
+// context deadline; expired queries fail with context.DeadlineExceeded and
+// count in DegradationStats.DeadlineExpired. Per-query WithQueryDeadline
+// overrides it; 0 (the default) sets no deadline.
+func WithExecDeadline(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.execDeadline = d }
+}
+
+// WithDegradationSteps sets how many times the degradation ladder re-attempts
+// admission for one query under transient pressure — each retry backs off,
+// halves the query's budget (floored at 1 MiB) and narrows its parallelism —
+// before the rejection surfaces to the caller. 0 disables the ladder
+// (immediate hard rejection, the pre-degradation behaviour); the default is 2.
+func WithDegradationSteps(n int) ServiceOption {
+	return func(c *serviceConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.degradeSteps = n
+		c.degradeStepsSet = true
+	}
+}
+
+// WithServiceFaults arms service-wide deterministic fault injection: the
+// admission controller's GrantRace point, per-query CancelStorm, and — unless
+// a query overrides with its own WithFaultInjection — the engine-side points
+// of every query the service runs. Nil (the default) injects nothing. See
+// internal/faultinject for the points and NewFaultSet/ParseFaultSpec for
+// construction.
+func WithServiceFaults(f *FaultSet) ServiceOption {
+	return func(c *serviceConfig) { c.faults = f }
+}
+
 // queryConfig collects the per-query QueryOption knobs.
 type queryConfig struct {
 	weight     int
 	budget     int64
 	label      string
+	deadline   time.Duration
 	engineOpts []Option
 }
 
@@ -132,6 +224,13 @@ func WithQueryOptions(opts ...Option) QueryOption {
 	return func(c *queryConfig) { c.engineOpts = append(c.engineOpts, opts...) }
 }
 
+// WithQueryDeadline bounds this query's execution time (admission wait
+// excluded), overriding the service-wide WithExecDeadline; 0 keeps the
+// service default.
+func WithQueryDeadline(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.deadline = d }
+}
+
 // Service is the multi-tenant serving layer over one Engine: every query is
 // admission-controlled against a shared memory limit (queueing FIFO with an
 // optional deadline when the limit is reached, rejecting what could never
@@ -151,11 +250,17 @@ type Service struct {
 	cache  *service.PlanCache
 
 	defaultBudget int64
+	execDeadline  time.Duration
+	degradeSteps  int
+	faults        *faultinject.Set
 	nextID        atomic.Uint64
 	active        atomic.Int64
+	deg           degCounters
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	closed   bool
+	inflight int
+	drained  *sync.Cond // signaled when inflight reaches 0, for Close
 }
 
 // NewService wraps an engine in a serving layer. When the engine has a
@@ -182,32 +287,72 @@ func NewService(e *Engine, opts ...ServiceOption) *Service {
 	adm := service.NewAdmission(pool)
 	adm.MaxQueue = cfg.queueLimit
 	adm.Timeout = cfg.queueTimeout
-	return &Service{
+	adm.Faults = cfg.faults
+	if !cfg.degradeStepsSet {
+		cfg.degradeSteps = defaultDegradeSteps
+	}
+	s := &Service{
 		engine:        e,
 		pool:          pool,
 		adm:           adm,
 		fs:            sched.NewFairShare(cfg.fairSlots),
 		cache:         service.NewPlanCache(e.profileFor, cfg.planCacheSize),
 		defaultBudget: cfg.defaultBudget,
+		execDeadline:  cfg.execDeadline,
+		degradeSteps:  cfg.degradeSteps,
+		faults:        cfg.faults,
 	}
+	s.drained = sync.NewCond(&s.mu)
+	return s
 }
 
-// Close marks the service closed; subsequent queries fail with
-// ErrServiceClosed. In-flight queries finish normally.
+// Close marks the service closed and drains: subsequent queries fail with
+// ErrServiceClosed, while queries already submitted — executing or still
+// waiting in the admission queue — finish normally before Close returns.
+// Close is idempotent and safe to call concurrently with in-flight Join and
+// RunPlan calls (and with other Close calls); every call blocks until the
+// service is drained.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	for s.inflight > 0 {
+		s.drained.Wait()
+	}
 	return nil
+}
+
+// beginQuery registers a query as in-flight; it fails once the service is
+// closed. Every successful begin must be paired with endQuery.
+func (s *Service) beginQuery() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServiceClosed
+	}
+	s.inflight++
+	return nil
+}
+
+// endQuery retires an in-flight query and wakes Close when the last one
+// finishes.
+func (s *Service) endQuery() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 {
+		s.drained.Broadcast()
+	}
+	s.mu.Unlock()
 }
 
 // Stats snapshots the serving-layer counters.
 func (s *Service) Stats() ServiceStats {
 	return ServiceStats{
-		Admission: s.adm.Stats(),
-		PlanCache: s.cache.Stats(),
-		Memory:    s.pool.Stats(),
-		Active:    s.active.Load(),
+		Admission:   s.adm.Stats(),
+		PlanCache:   s.cache.Stats(),
+		Memory:      s.pool.Stats(),
+		Active:      s.active.Load(),
+		Degradation: s.deg.snapshot(),
 	}
 }
 
@@ -279,25 +424,96 @@ func (s *Service) budgetFor(q queryConfig, inputRows int) int64 {
 
 // run is the shared serving path: admit, gate, plan through the cache,
 // execute, release.
-func (s *Service) run(ctx context.Context, p *Plan, q queryConfig, inputRows int) (*PlanResult, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrServiceClosed
+// Degradation-ladder constants: a degraded query's budget never shrinks
+// below minDegradedBudget, admission retries back off starting at
+// degradeBackoff (doubling, capped at degradeBackoffMax), and degraded
+// queries run with degradedBatchSize-tuple batches to bound the memory each
+// worker holds between checkpoints.
+const (
+	defaultDegradeSteps = 2
+	minDegradedBudget   = 1 << 20 // 1 MiB
+	degradeBackoff      = 500 * time.Microsecond
+	degradeBackoffMax   = 4 * time.Millisecond
+	degradedBatchSize   = 256
+)
+
+// admit runs the graceful-degradation ladder in front of the admission
+// controller: on transient pressure (Retryable errors — queue full, queue
+// timeout, over-committed budget) it retries admission up to s.degradeSteps
+// times, each time backing off and halving the requested budget (floored at
+// minDegradedBudget). It returns the granted reservation together with the
+// number of degradation steps taken, so the caller can narrow the query's
+// parallelism to match its shrunken budget. Non-retryable errors and
+// exhausted ladders surface immediately.
+func (s *Service) admit(ctx context.Context, label string, budget int64) (*memory.Reservation, int, error) {
+	backoff := degradeBackoff
+	for step := 0; ; step++ {
+		res, err := s.adm.Admit(ctx, label, budget)
+		if err == nil {
+			return res, step, nil
+		}
+		if step >= s.degradeSteps || !Retryable(err) || ctx.Err() != nil {
+			return nil, step, err
+		}
+		s.deg.admissionRetries.Add(1)
+		if half := budget / 2; half >= minDegradedBudget {
+			budget = half
+			s.deg.budgetShrinks.Add(1)
+		} else if budget > minDegradedBudget {
+			budget = minDegradedBudget
+			s.deg.budgetShrinks.Add(1)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, step, ctx.Err()
+		}
+		if backoff *= 2; backoff > degradeBackoffMax {
+			backoff = degradeBackoffMax
+		}
 	}
-	s.mu.Unlock()
+}
+
+func (s *Service) run(ctx context.Context, p *Plan, q queryConfig, inputRows int) (*PlanResult, error) {
+	if err := s.beginQuery(); err != nil {
+		return nil, err
+	}
+	defer s.endQuery()
 
 	label := q.label
 	if label == "" {
 		label = fmt.Sprintf("q%d", s.nextID.Add(1))
 	}
-	res, err := s.adm.Admit(ctx, label, s.budgetFor(q, inputRows))
+
+	// CancelStorm injection: abort this query's context shortly after it
+	// enters the service, exercising the cancellation paths under load.
+	if s.faults.Should(faultinject.CancelStorm) {
+		stormCtx, cancel := context.WithCancel(ctx)
+		timer := time.AfterFunc(s.faults.Delay(faultinject.CancelStorm), cancel)
+		defer timer.Stop()
+		defer cancel()
+		ctx = stormCtx
+	}
+
+	res, degraded, err := s.admit(ctx, label, s.budgetFor(q, inputRows))
 	if err != nil {
 		return nil, err
 	}
 	defer s.adm.Done(res)
 	s.active.Add(1)
 	defer s.active.Add(-1)
+
+	// Execution deadline (admission wait excluded): per-query override
+	// first, service-wide default otherwise.
+	deadline := q.deadline
+	if deadline == 0 {
+		deadline = s.execDeadline
+	}
+	if deadline > 0 {
+		dctx, cancel := context.WithTimeout(ctx, deadline)
+		defer cancel()
+		ctx = dctx
+	}
 
 	ticket := s.fs.Ticket(q.weight)
 	// Elastic degree of parallelism: a lone query fans out across every
@@ -314,18 +530,51 @@ func (s *Service) run(ctx context.Context, p *Plan, q queryConfig, inputRows int
 	// The serving defaults go first so per-query options can override them
 	// (an explicit WithWorkers in WithQueryOptions wins over the elastic
 	// choice, WithScheduler(Static) over the Morsel default).
-	opts := append([]Option{WithScheduler(Morsel), WithWorkers(dop)}, q.engineOpts...)
+	defaults := []Option{WithScheduler(Morsel), WithWorkers(dop)}
+	if degraded > 0 {
+		// A query admitted through the degradation ladder runs on a
+		// fraction of its requested budget: narrow its parallelism to
+		// match (each step halves the worker count) and shrink its batch
+		// size so less memory sits in flight between checkpoints.
+		ndop := dop >> degraded
+		if ndop < 1 {
+			ndop = 1
+		}
+		defaults = append(defaults, WithWorkers(ndop), WithBatchSize(degradedBatchSize))
+		s.deg.narrowed.Add(1)
+	}
+	if s.faults != nil {
+		defaults = append(defaults, WithFaultInjection(s.faults))
+	}
+	opts := append(defaults, q.engineOpts...)
 	opts = append(opts, withGate(ticket), withOwner(res))
 
-	ep, global, err := s.engine.buildExecPlan(p, opts)
+	pr, err := s.execute(ctx, p, opts, res)
+	if err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			s.deg.panicsRecovered.Add(1)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deg.deadlineExpired.Add(1)
+		}
+		return nil, err
+	}
+	return pr, nil
+}
+
+// execute builds, optimizes and runs the plan with the resolved options,
+// attributing the plan-level lease to the query's admission reservation.
+func (s *Service) execute(ctx context.Context, p *Plan, opts []Option, res *memory.Reservation) (*PlanResult, error) {
+	ep, g, err := s.engine.buildExecPlan(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	ep, err = s.cache.Optimize(ep, global.autoPlan)
+	ep, err = s.cache.Optimize(ep, g.autoPlan)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := exec.RunPlanFor(ctx, ep, s.engine.scratchFor(global), res)
+	pr, err := exec.RunPlanFor(ctx, ep, s.engine.scratchFor(g), res)
 	if err != nil {
 		return nil, err
 	}
