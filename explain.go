@@ -72,6 +72,13 @@ type ExplainNode struct {
 	// GroupAggregate nodes.
 	AggStrategy string `json:"agg_strategy,omitempty"`
 
+	// Keys describes the key-schema regime of scans over normalized-key
+	// relations and of joins consuming them: prefix width, fast-path vs
+	// tie-break choice, and the sampled prefix-collision estimate. Empty
+	// for raw uint64 keys. Present with and without auto-planning — the
+	// key path is decided by the schema, not the optimizer.
+	Keys string `json:"keys,omitempty"`
+
 	// Reason summarizes the planner's rationale; empty without auto-planning.
 	Reason string `json:"reason,omitempty"`
 }
@@ -138,6 +145,7 @@ func (e *Engine) explain(p *Plan, opts []Option) (*Explain, *exec.Plan, error) {
 			ActualRows:  -1,
 			EstDistinct: d.EstDistinct,
 			Skew:        d.Skew,
+			Keys:        d.Keys,
 			Reason:      d.Reason,
 		}
 		for _, in := range d.Inputs {
@@ -243,6 +251,9 @@ func (n ExplainNode) describe() string {
 	}
 	if n.AggStrategy != "" && n.AggStrategy != "auto" {
 		attrs = append(attrs, n.AggStrategy)
+	}
+	if n.Keys != "" {
+		attrs = append(attrs, n.Keys)
 	}
 	if len(attrs) > 0 {
 		b.WriteString(" [" + strings.Join(attrs, ", ") + "]")

@@ -1,0 +1,53 @@
+package batch
+
+// Bytes is a byte-sliced variable-length column: all values live
+// back-to-back in one arena with an offsets vector marking the slice
+// boundaries, the standard columnar representation for strings and other
+// variable-width data. Value i occupies Data[Offsets[i]:Offsets[i+1]], so
+// Offsets always holds Len()+1 entries and random access is two loads with
+// no per-value allocation.
+//
+// The normalized-key tie-break path stores each tuple's full normalized
+// key here, addressed by the row index the tuple carries as its payload.
+type Bytes struct {
+	Offsets []uint32
+	Data    []byte
+}
+
+// NewBytes returns a column with capacity hints for n values totalling
+// dataCap bytes.
+func NewBytes(n, dataCap int) *Bytes {
+	return &Bytes{
+		Offsets: append(make([]uint32, 0, n+1), 0),
+		Data:    make([]byte, 0, dataCap),
+	}
+}
+
+// Len returns the number of values.
+func (b *Bytes) Len() int {
+	if len(b.Offsets) == 0 {
+		return 0
+	}
+	return len(b.Offsets) - 1
+}
+
+// Append adds one value and returns its index, growing the arena; it
+// panics if the arena would exceed the 4 GiB the uint32 offsets address.
+func (b *Bytes) Append(v []byte) int {
+	if len(b.Offsets) == 0 {
+		b.Offsets = append(b.Offsets, 0)
+	}
+	end := uint64(len(b.Data)) + uint64(len(v))
+	if end > 1<<32-1 {
+		panic("batch: Bytes column exceeds 4 GiB arena limit")
+	}
+	b.Data = append(b.Data, v...)
+	b.Offsets = append(b.Offsets, uint32(end))
+	return len(b.Offsets) - 2
+}
+
+// At returns value i as a sub-slice of the arena; callers must not modify
+// or retain it across Appends.
+func (b *Bytes) At(i int) []byte {
+	return b.Data[b.Offsets[i]:b.Offsets[i+1]]
+}

@@ -94,7 +94,7 @@ func BMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// single synchronization point required by the algorithm — all public
 	// runs must be sorted before the join starts — is the phase barrier
 	// above. In morsel mode the same pairings run as stolen tasks instead.
-	out := sink.Bind(opts.Sink, workers, lease)
+	out := sink.BindChecked(opts.Sink, workers, lease, opts.KeyCheck)
 	scanned := make([]int, workers)
 	var phase3 time.Duration
 	switch {

@@ -137,7 +137,7 @@ func DMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	index := storage.BuildPageIndex(publicRuns)
 	pool := storage.NewBufferPool(disk, diskOpts.PageBudget)
 
-	out := sink.Bind(opts.Sink, workers, lease)
+	out := sink.BindChecked(opts.Sink, workers, lease, opts.KeyCheck)
 	scanned := make([]int, workers)
 	var phase3 time.Duration
 	if opts.Scheduler == sched.Morsel {

@@ -132,6 +132,13 @@ type Options struct {
 	// legacy fire-and-forget Join semantics.
 	Sink sink.Sink
 
+	// KeyCheck, when non-nil, verifies every candidate pair before it is
+	// counted or handed to the sink — the tie-break path of normalized-key
+	// execution, where equal uint64 keys are only 8-byte prefixes of the
+	// full composite key. Nil (the default, and the raw-uint64 fast path)
+	// delivers pairs unverified at zero overhead.
+	KeyCheck sink.PairCheck
+
 	// Scratch, when non-nil, is the engine-wide scratch pool the join draws
 	// its run, partition, histogram and cursor buffers from instead of
 	// allocating fresh ones; see internal/memory. Every join checks out its

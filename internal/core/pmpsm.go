@@ -127,7 +127,7 @@ func PMPSM(ctx context.Context, private, public *relation.Relation, opts Options
 	// every public run, located via interpolation search. Matching pairs
 	// stream into the sink through per-worker writers (no synchronization).
 	// In morsel mode the same work runs as stolen segment morsels instead.
-	out := sink.Bind(opts.Sink, workers, lease)
+	out := sink.BindChecked(opts.Sink, workers, lease, opts.KeyCheck)
 	scanned := make([]int, workers)
 	var phase4 time.Duration
 	switch {

@@ -243,6 +243,17 @@ func Join(ctx context.Context, alg Algorithm, r, s *relation.Relation, opts core
 			err = sched.Recovered(opts.Owner.Label(), "join", -1, r)
 		}
 	}()
+	// Normalized-key inputs select their verification regime here, at plan
+	// time: raw or exact-schema inputs keep KeyCheck nil (the zero-overhead
+	// fast path), inexact inputs get the tie-break verifier. Callers that
+	// pre-set KeyCheck keep their own.
+	if opts.KeyCheck == nil {
+		check, cerr := keyCheckFor(r, s, opts)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		opts.KeyCheck = check
+	}
 	switch alg {
 	case AlgorithmPMPSM:
 		res, err := core.PMPSM(ctx, r, s, opts)
@@ -277,6 +288,7 @@ func hashJoinOptions(opts core.Options) hashjoin.Options {
 		TrackNUMA:  opts.TrackNUMA,
 		CostModel:  opts.CostModel,
 		Sink:       opts.Sink,
+		KeyCheck:   opts.KeyCheck,
 		Scheduler:  opts.Scheduler,
 		MorselSize: opts.MorselSize,
 		Scratch:    opts.Scratch,

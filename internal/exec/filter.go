@@ -10,6 +10,18 @@ import (
 	"repro/internal/sched"
 )
 
+// derived builds a filter output relation over dst, carrying the input's
+// key metadata forward: selection copies tuples whole, so prefix keys and
+// row-index payloads stay valid against the original metadata. A KeyRange
+// on a schema-keyed relation therefore selects on the normalized prefix —
+// exact key order for exact schemas, prefix order (a superset at the range
+// edges) for tie-break schemas.
+func derived(rel *relation.Relation, dst []relation.Tuple) *relation.Relation {
+	out := relation.New(rel.Name, dst)
+	out.Meta = rel.Meta
+	return out
+}
+
 // filterParallelCutoff is the input size below which scan+filter runs
 // single-threaded: a serial pass over 16K tuples (256 KiB) is faster than
 // spinning up a worker pool for it.
@@ -38,7 +50,7 @@ func applyScanFilter(ctx context.Context, rel *relation.Relation, rng *KeyRange,
 // sizing and lease behaviour match applyFilter exactly.
 func filterKeyRange(ctx context.Context, rel *relation.Relation, rng KeyRange, workers int, lease *memory.Lease) (out *relation.Relation, leased bool) {
 	if rng.High <= rng.Low {
-		return relation.New(rel.Name, lease.Tuples(0)), lease != nil
+		return derived(rel, lease.Tuples(0)), lease != nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -51,7 +63,7 @@ func filterKeyRange(ctx context.Context, rel *relation.Relation, rng KeyRange, w
 		sel := lease.Int32s(n)
 		selectRangeChunk(rel.Tuples, lo, width, sel, dst)
 		lease.PutInt32s(sel)
-		return relation.New(rel.Name, dst), lease != nil
+		return derived(rel, dst), lease != nil
 	}
 
 	// Pass 1: count the surviving tuples per chunk, branch-free.
@@ -88,7 +100,7 @@ func filterKeyRange(ctx context.Context, rel *relation.Relation, rng KeyRange, w
 		}}
 	}
 	rt.RunTasks(ctx, "filter", tasks)
-	return relation.New(rel.Name, dst), lease != nil
+	return derived(rel, dst), lease != nil
 }
 
 // countRangeTuples counts tuples with key-lo < width (i.e. key in [lo,
@@ -190,7 +202,7 @@ func applyFilter(ctx context.Context, rel *relation.Relation, pred Predicate, wo
 		}}
 	}
 	rt.RunTasks(ctx, "filter", tasks)
-	return relation.New(rel.Name, dst), lease != nil
+	return derived(rel, dst), lease != nil
 }
 
 // filterSerial is the small-input path: one counting pass, one exactly-sized
@@ -213,7 +225,7 @@ func filterSerial(rel *relation.Relation, pred Predicate, lease *memory.Lease) (
 			pos++
 		}
 	}
-	return relation.New(rel.Name, dst), lease != nil
+	return derived(rel, dst), lease != nil
 }
 
 // mapChunks applies fn element-wise from src to dst (equal lengths), in

@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+	"repro/internal/sink"
+)
+
+// keyCheckFor derives the tie-break verifier a join needs from its inputs'
+// key metadata (see internal/keys and relation.KeyMeta). The regimes:
+//
+//   - Neither input carries metadata, or both carry exact metadata: the
+//     uint64 keys are complete, so no verifier is needed — the raw fast
+//     path, selected here at plan time at zero per-tuple cost.
+//   - Both inputs carry inexact metadata with equal signatures: the keys
+//     are 8-byte normalized prefixes and payloads are row indices; the
+//     returned verifier compares the full normalized keys of every
+//     prefix-equal candidate pair and rewrites surviving payloads to the
+//     callers' original payloads.
+//   - Anything else (inexact against raw, mismatched signatures) is a
+//     schema error: prefix equality against a foreign key space is
+//     meaningless, so the join is rejected rather than silently wrong.
+func keyCheckFor(r, s *relation.Relation, opts core.Options) (sink.PairCheck, error) {
+	rm, sm := r.Meta, s.Meta
+	if rm == nil && sm == nil {
+		return nil, nil
+	}
+	if rm == nil || sm == nil {
+		with, without := r, s
+		if rm == nil {
+			with, without = s, r
+		}
+		if with.Meta.Exact() {
+			// An exact prefix is the whole normalized key, so joining it
+			// against a raw-uint64 relation is well-defined; the caller
+			// vouches that the raw keys live in the normalized domain.
+			return nil, nil
+		}
+		return nil, fmt.Errorf("exec: cannot join schema-keyed relation %q (%s) with raw-keyed relation %q",
+			with.Name, with.Meta.Signature(), without.Name)
+	}
+	if rm.Signature() != sm.Signature() {
+		return nil, fmt.Errorf("exec: key schema mismatch: %q has [%s], %q has [%s]",
+			r.Name, rm.Signature(), s.Name, sm.Signature())
+	}
+	if rm.Exact() {
+		return nil, nil
+	}
+	// Tie-break verification happens per emitted pair at the sink boundary,
+	// after the kernels have already classified tuples as matched — only
+	// inner equi-joins stay correct under that late filtering.
+	if opts.Kind != mergejoin.Inner {
+		return nil, fmt.Errorf("exec: %v join on tie-break keys [%s] is not supported (inner only)",
+			opts.Kind, rm.Signature())
+	}
+	if opts.Band != 0 {
+		return nil, fmt.Errorf("exec: band join on tie-break keys [%s] is not supported (prefix distance is not key distance)",
+			rm.Signature())
+	}
+	return func(rp, sp uint64) (uint64, uint64, bool) {
+		if !bytes.Equal(rm.FullKey(int(rp)), sm.FullKey(int(sp))) {
+			return 0, 0, false
+		}
+		return rm.UserPayload(int(rp)), sm.UserPayload(int(sp)), true
+	}, nil
+}

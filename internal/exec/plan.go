@@ -264,6 +264,74 @@ func (p *Plan) Validate() error {
 				id, n.JoinOptions.Kind)
 		}
 	}
+	return p.validateKeyMetadata()
+}
+
+// validateKeyMetadata enforces the composition rules of normalized-key
+// (tie-break) inputs, whose uint64 keys are 8-byte prefixes of the full
+// composite key: a join verifies prefix-equal pairs against the key
+// metadata, but everything downstream of it sees bare prefix keys again.
+// Operators that would silently compute on prefixes as if they were full
+// keys — grouping by prefix merges distinct groups, a Map rewrites the
+// row-index payloads the metadata is addressed by, a second join can no
+// longer verify — are rejected here, at plan validation, rather than
+// producing quietly wrong results. Exact schemas (whole key fits the
+// prefix) carry no such hazard and pass everywhere.
+func (p *Plan) validateKeyMetadata() error {
+	// inexactAt reports whether a node's output keys are unverifiable
+	// prefixes; memoized over the (already acyclicity-checked) DAG.
+	memo := make([]int8, len(p.Nodes))
+	var inexactAt func(id NodeID) bool
+	inexactAt = func(id NodeID) bool {
+		if memo[id] != 0 {
+			return memo[id] > 0
+		}
+		n := p.Nodes[id]
+		v := false
+		switch n.Kind {
+		case NodeScan:
+			v = n.Rel.Meta != nil && !n.Rel.Meta.Exact()
+		default:
+			for _, in := range n.Inputs {
+				v = v || inexactAt(in)
+			}
+		}
+		if v {
+			memo[id] = 1
+		} else {
+			memo[id] = -1
+		}
+		return v
+	}
+	for id, n := range p.Nodes {
+		switch n.Kind {
+		case NodeJoin:
+			for _, in := range n.Inputs {
+				if !inexactAt(in) {
+					continue
+				}
+				if p.Nodes[in].Kind != NodeScan {
+					return fmt.Errorf("exec: plan node %d: join over node %d (%v) with tie-break keys is not supported (its output carries unverifiable prefix keys; join scans directly)",
+						id, in, p.Nodes[in].Kind)
+				}
+				if n.JoinOptions.Kind != mergejoin.Inner {
+					return fmt.Errorf("exec: plan node %d: %v join on tie-break keys is not supported (inner only)",
+						id, n.JoinOptions.Kind)
+				}
+				if n.JoinOptions.Band != 0 {
+					return fmt.Errorf("exec: plan node %d: band join on tie-break keys is not supported (prefix distance is not key distance)", id)
+				}
+			}
+		case NodeGroupAggregate:
+			if inexactAt(n.Inputs[0]) {
+				return fmt.Errorf("exec: plan node %d: GroupAggregate over tie-break keys is not supported (grouping by key prefix would merge distinct groups)", id)
+			}
+		case NodeMap:
+			if inexactAt(n.Inputs[0]) {
+				return fmt.Errorf("exec: plan node %d: Map over tie-break keys is not supported (the mapped relation loses its key metadata)", id)
+			}
+		}
+	}
 	return nil
 }
 

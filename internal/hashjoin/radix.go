@@ -96,7 +96,7 @@ func Radix(ctx context.Context, r, s *relation.Relation, opts RadixOptions) (*re
 	// over its R partition, probed with the matching S partition, streaming
 	// matches into the executing worker's sink writer. Cancellation is
 	// checked per partition — the chunk unit of this loop.
-	out := sink.Bind(o.Sink, workers, lease)
+	out := sink.BindChecked(o.Sink, workers, lease, o.KeyCheck)
 	joinPair := func(p int, w *sched.Worker) {
 		joinPartition(rParts[p], sParts[p], out.Writer(w.ID()), lease)
 		if tracker := w.Tracker(); tracker != nil {

@@ -48,6 +48,10 @@ type Options struct {
 	// Sink receives the joined tuple stream. A nil Sink selects the built-in
 	// max-sum aggregate of the paper's evaluation query.
 	Sink sink.Sink
+	// KeyCheck, when non-nil, verifies every candidate pair before it is
+	// counted or handed to the sink — the tie-break path of normalized-key
+	// execution (see internal/keys). Nil delivers pairs unverified.
+	KeyCheck sink.PairCheck
 	// Scheduler selects static per-worker loops (the default) or
 	// morsel-driven scheduling, where build/probe blocks and partition
 	// pairs are stolen by idle workers.
@@ -296,7 +300,7 @@ func Wisconsin(ctx context.Context, r, s *relation.Relation, opts Options) (*res
 
 	// Probe phase: every worker probes with its chunk of S, streaming
 	// matches into its private sink writer.
-	out := sink.Bind(opts.Sink, workers, lease)
+	out := sink.BindChecked(opts.Sink, workers, lease, opts.KeyCheck)
 	var probeTime time.Duration
 	if opts.Scheduler == sched.Morsel {
 		probeTime = rt.RunTasks(ctx, "probe", blockTasks(sChunks, opts.MorselSize, func(block relation.Chunk, w *sched.Worker) {

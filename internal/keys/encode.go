@@ -1,0 +1,102 @@
+package keys
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/relation"
+)
+
+// Encoded is the relation.KeyMeta a schema encoding produces. For an exact
+// schema it is a pure marker (the prefix is the whole key and tuples carry
+// user payloads); for an inexact schema it owns the full-key arena and the
+// payload column the tie-break path consults.
+type Encoded struct {
+	schema *Schema
+	// full holds each row's complete normalized key, addressed by the row
+	// index the tuple carries as its payload. Nil for exact schemas.
+	full *batch.Bytes
+	// payloads holds the caller's payload per row. Nil for exact schemas,
+	// where tuples carry the user payload directly.
+	payloads []uint64
+}
+
+var _ relation.KeyMeta = (*Encoded)(nil)
+
+// Schema returns the schema the relation was encoded under.
+func (e *Encoded) Schema() *Schema { return e.schema }
+
+// Exact implements relation.KeyMeta.
+func (e *Encoded) Exact() bool { return e.schema.Exact() }
+
+// Signature implements relation.KeyMeta.
+func (e *Encoded) Signature() string { return e.schema.Signature() }
+
+// FullKey implements relation.KeyMeta.
+func (e *Encoded) FullKey(i int) []byte { return e.full.At(i) }
+
+// UserPayload implements relation.KeyMeta.
+func (e *Encoded) UserPayload(i int) uint64 { return e.payloads[i] }
+
+// Describe implements relation.KeyMeta.
+func (e *Encoded) Describe() string {
+	if e.Exact() {
+		return fmt.Sprintf("normalized keys [%s]: exact 8-byte prefix (fast path)", e.schema.Signature())
+	}
+	return fmt.Sprintf("normalized keys [%s]: 8-byte prefix + tie-break verify", e.schema.Signature())
+}
+
+// Encode normalizes one row per entry of rows and builds the relation the
+// engine executes on. Under an exact schema each tuple is
+// {prefix, payloads[i]} and no side state exists; otherwise each tuple is
+// {prefix, i} with the full normalized keys and user payloads retained in
+// the returned metadata for tie-break verification and payload recovery.
+// rows and payloads must have equal length.
+func (s *Schema) Encode(name string, rows [][]Value, payloads []uint64) (*relation.Relation, error) {
+	if len(rows) != len(payloads) {
+		return nil, fmt.Errorf("keys: %d rows but %d payloads", len(rows), len(payloads))
+	}
+	rel := relation.NewWithCapacity(name, len(rows))
+	if s.exact {
+		var scratch []byte
+		for i, row := range rows {
+			norm, err := s.AppendNormalized(scratch[:0], row)
+			if err != nil {
+				return nil, fmt.Errorf("keys: row %d: %w", i, err)
+			}
+			scratch = norm
+			rel.Append(relation.Tuple{Key: Prefix(norm), Payload: payloads[i]})
+		}
+		rel.Meta = &Encoded{schema: s}
+		return rel, nil
+	}
+	// Inexact: keep the full keys. Sizing the arena by the fixed parts plus
+	// a modest per-string guess avoids most growth copies without a
+	// pre-pass over the data.
+	meta := &Encoded{
+		schema:   s,
+		full:     batch.NewBytes(len(rows), len(rows)*(len(s.cols)*8+8)),
+		payloads: append([]uint64(nil), payloads...),
+	}
+	var scratch []byte
+	for i, row := range rows {
+		norm, err := s.AppendNormalized(scratch[:0], row)
+		if err != nil {
+			return nil, fmt.Errorf("keys: row %d: %w", i, err)
+		}
+		scratch = norm
+		meta.full.Append(norm)
+		rel.Append(relation.Tuple{Key: Prefix(norm), Payload: uint64(i)})
+	}
+	rel.Meta = meta
+	return rel, nil
+}
+
+// MustEncode is Encode for known-good inputs; it panics on error.
+func (s *Schema) MustEncode(name string, rows [][]Value, payloads []uint64) *relation.Relation {
+	rel, err := s.Encode(name, rows, payloads)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}

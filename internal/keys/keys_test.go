@@ -1,0 +1,413 @@
+package keys
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mustNorm encodes one row or fails the test.
+func mustNorm(t *testing.T, s *Schema, row []Value) []byte {
+	t.Helper()
+	norm, err := s.AppendNormalized(nil, row)
+	if err != nil {
+		t.Fatalf("AppendNormalized(%v): %v", row, err)
+	}
+	return norm
+}
+
+// checkOrder asserts that the encodings of rows (given in strictly
+// ascending semantic order) are in strictly ascending memcmp order, that
+// CompareRows agrees, and that the uint64 prefixes are monotone.
+func checkOrder(t *testing.T, s *Schema, rows [][]Value) {
+	t.Helper()
+	for i := 0; i < len(rows); i++ {
+		for j := 0; j < len(rows); j++ {
+			want := 0
+			switch {
+			case i < j:
+				want = -1
+			case i > j:
+				want = 1
+			}
+			if got := s.CompareRows(rows[i], rows[j]); got != want {
+				t.Errorf("CompareRows(rows[%d], rows[%d]) = %d, want %d", i, j, got, want)
+			}
+			a, b := mustNorm(t, s, rows[i]), mustNorm(t, s, rows[j])
+			if got := bytes.Compare(a, b); got != want {
+				t.Errorf("bytes.Compare(norm[%d]=%x, norm[%d]=%x) = %d, want %d", i, a, j, b, got, want)
+			}
+			pa, pb := Prefix(a), Prefix(b)
+			if want < 0 && pa > pb {
+				t.Errorf("Prefix not monotone: rows[%d] < rows[%d] but prefix %x > %x", i, j, pa, pb)
+			}
+		}
+	}
+}
+
+func TestInt64Order(t *testing.T) {
+	s := MustNew(Column{Type: Int64})
+	checkOrder(t, s, [][]Value{
+		{Int64Value(math.MinInt64)},
+		{Int64Value(-1 << 40)},
+		{Int64Value(-2)},
+		{Int64Value(-1)},
+		{Int64Value(0)},
+		{Int64Value(1)},
+		{Int64Value(1 << 40)},
+		{Int64Value(math.MaxInt64)},
+	})
+	if !s.Exact() {
+		t.Error("single non-nullable int64 column should be exact")
+	}
+}
+
+func TestUint64PrefixIsIdentity(t *testing.T) {
+	s := MustNew(Column{Type: Uint64})
+	for _, v := range []uint64{0, 1, 1 << 32, math.MaxUint64} {
+		norm := mustNorm(t, s, []Value{Uint64Value(v)})
+		if got := Prefix(norm); got != v {
+			t.Errorf("Prefix(norm(%d)) = %d, want the identity", v, got)
+		}
+	}
+	if !s.Exact() {
+		t.Error("single non-nullable uint64 column should be exact")
+	}
+}
+
+func TestFloat64Order(t *testing.T) {
+	s := MustNew(Column{Type: Float64})
+	checkOrder(t, s, [][]Value{
+		{Float64Value(math.Inf(-1))},
+		{Float64Value(-math.MaxFloat64)},
+		{Float64Value(-1.5)},
+		{Float64Value(-math.SmallestNonzeroFloat64)},
+		{Float64Value(0)},
+		{Float64Value(math.SmallestNonzeroFloat64)},
+		{Float64Value(1.5)},
+		{Float64Value(math.MaxFloat64)},
+		{Float64Value(math.Inf(1))},
+		{Float64Value(math.NaN())},
+	})
+}
+
+func TestFloatZeroAndNaNCanonical(t *testing.T) {
+	s := MustNew(Column{Type: Float64})
+	negZero := mustNorm(t, s, []Value{Float64Value(math.Copysign(0, -1))})
+	posZero := mustNorm(t, s, []Value{Float64Value(0)})
+	if !bytes.Equal(negZero, posZero) {
+		t.Errorf("-0.0 (%x) and +0.0 (%x) must encode identically", negZero, posZero)
+	}
+	// Distinct NaN payloads must collapse to one encoding.
+	nan1 := mustNorm(t, s, []Value{Float64Value(math.NaN())})
+	nan2 := mustNorm(t, s, []Value{Float64Value(math.Float64frombits(0x7FF0000000000001))})
+	nan3 := mustNorm(t, s, []Value{Float64Value(math.Float64frombits(0xFFF8000000000005))})
+	if !bytes.Equal(nan1, nan2) || !bytes.Equal(nan1, nan3) {
+		t.Errorf("NaN encodings differ: %x, %x, %x", nan1, nan2, nan3)
+	}
+}
+
+func TestBytesOrderSharedPrefixes(t *testing.T) {
+	s := MustNew(Column{Type: Bytes})
+	checkOrder(t, s, [][]Value{
+		{BytesValue(nil)},
+		{StringValue("a")},
+		{BytesValue([]byte("a\x00"))},
+		{BytesValue([]byte("a\x00\x00"))},
+		{BytesValue([]byte("a\x00\x01"))},
+		{BytesValue([]byte("a\x01"))},
+		{StringValue("aa")},
+		{StringValue("ab")},
+		{StringValue("abcdefghij")}, // longer than the 8-byte prefix
+		{StringValue("abcdefghik")}, // differs past the prefix
+		{StringValue("b")},
+	})
+	if s.Exact() {
+		t.Error("bytes column must not be exact")
+	}
+}
+
+func TestDescColumn(t *testing.T) {
+	s := MustNew(Column{Type: Int64, Desc: true})
+	checkOrder(t, s, [][]Value{
+		{Int64Value(math.MaxInt64)},
+		{Int64Value(5)},
+		{Int64Value(0)},
+		{Int64Value(-5)},
+		{Int64Value(math.MinInt64)},
+	})
+	sb := MustNew(Column{Type: Bytes, Desc: true})
+	checkOrder(t, sb, [][]Value{
+		{StringValue("zz")},
+		{StringValue("b")},
+		{StringValue("ab")},
+		{StringValue("aa")},
+		{StringValue("a\x00")},
+		{StringValue("a")},
+		{StringValue("")},
+	})
+}
+
+func TestNullOrdering(t *testing.T) {
+	first := MustNew(Column{Type: Int64, Nullable: true})
+	checkOrder(t, first, [][]Value{
+		{NullValue()},
+		{Int64Value(math.MinInt64)},
+		{Int64Value(7)},
+	})
+	last := MustNew(Column{Type: Int64, Nullable: true, NullsLast: true})
+	checkOrder(t, last, [][]Value{
+		{Int64Value(math.MinInt64)},
+		{Int64Value(math.MaxInt64)},
+		{NullValue()},
+	})
+	// DESC flips the null placement along with the value order.
+	descFirst := MustNew(Column{Type: Int64, Desc: true, Nullable: true})
+	checkOrder(t, descFirst, [][]Value{
+		{Int64Value(7)},
+		{Int64Value(-7)},
+		{NullValue()},
+	})
+}
+
+func TestCompositeOrder(t *testing.T) {
+	s := MustNew(
+		Column{Name: "name", Type: Bytes},
+		Column{Name: "score", Type: Float64, Desc: true},
+		Column{Name: "id", Type: Int64},
+	)
+	checkOrder(t, s, [][]Value{
+		{StringValue("alice"), Float64Value(9.5), Int64Value(1)},
+		{StringValue("alice"), Float64Value(9.5), Int64Value(2)},
+		{StringValue("alice"), Float64Value(1.0), Int64Value(-3)},
+		{StringValue("bob"), Float64Value(100), Int64Value(0)},
+	})
+	if s.Exact() {
+		t.Error("composite schema must not be exact")
+	}
+}
+
+func TestExactness(t *testing.T) {
+	cases := []struct {
+		cols  []Column
+		exact bool
+	}{
+		{[]Column{{Type: Int64}}, true},
+		{[]Column{{Type: Uint64}}, true},
+		{[]Column{{Type: Float64, Desc: true}}, true},
+		{[]Column{{Type: Int64, Nullable: true}}, false}, // marker byte makes it 9 bytes
+		{[]Column{{Type: Int64}, {Type: Int64}}, false},
+		{[]Column{{Type: Bytes}}, false},
+	}
+	for _, c := range cases {
+		if got := MustNew(c.cols...).Exact(); got != c.exact {
+			t.Errorf("Exact(%+v) = %v, want %v", c.cols, got, c.exact)
+		}
+	}
+}
+
+func TestSignature(t *testing.T) {
+	s := MustNew(
+		Column{Type: Bytes},
+		Column{Type: Int64, Desc: true, Nullable: true, NullsLast: true},
+	)
+	want := "bytes,int64:desc:nullslast"
+	if s.Signature() != want {
+		t.Errorf("Signature() = %q, want %q", s.Signature(), want)
+	}
+	// Names must not affect the signature: joins match on key semantics.
+	named := MustNew(
+		Column{Name: "x", Type: Bytes},
+		Column{Name: "y", Type: Int64, Desc: true, Nullable: true, NullsLast: true},
+	)
+	if named.Signature() != want {
+		t.Errorf("named Signature() = %q, want %q", named.Signature(), want)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("New() with no columns should fail")
+	}
+	if _, err := New(Column{Type: Type(42)}); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := New(Column{Type: Int64, NullsLast: true}); err == nil {
+		t.Error("NullsLast without Nullable should fail")
+	}
+	s := MustNew(Column{Type: Int64})
+	if _, err := s.AppendNormalized(nil, []Value{StringValue("x")}); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if _, err := s.AppendNormalized(nil, []Value{NullValue()}); err == nil {
+		t.Error("null for non-nullable column should fail")
+	}
+	if _, err := s.AppendNormalized(nil, nil); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestEncodeExact(t *testing.T) {
+	s := MustNew(Column{Type: Int64})
+	rel, err := s.Encode("r", [][]Value{
+		{Int64Value(-5)}, {Int64Value(3)},
+	}, []uint64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Meta == nil || !rel.Meta.Exact() {
+		t.Fatal("exact schema must produce exact metadata")
+	}
+	// Payloads pass through untouched on the exact path.
+	if rel.Tuples[0].Payload != 100 || rel.Tuples[1].Payload != 200 {
+		t.Errorf("exact encode must carry user payloads, got %v", rel.Tuples)
+	}
+	if rel.Tuples[0].Key >= rel.Tuples[1].Key {
+		t.Errorf("keys must order -5 < 3, got %x >= %x", rel.Tuples[0].Key, rel.Tuples[1].Key)
+	}
+}
+
+func TestEncodeTieBreak(t *testing.T) {
+	s := MustNew(Column{Type: Bytes})
+	rows := [][]Value{
+		{StringValue("prefix-collision-a")},
+		{StringValue("prefix-collision-b")},
+	}
+	rel, err := s.Encode("r", rows, []uint64{11, 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Meta.Exact() {
+		t.Fatal("bytes schema must produce tie-break metadata")
+	}
+	// Equal 8-byte prefixes, distinct full keys, row-index payloads.
+	if rel.Tuples[0].Key != rel.Tuples[1].Key {
+		t.Errorf("shared 18-byte prefix must collide in the 8-byte key: %x vs %x",
+			rel.Tuples[0].Key, rel.Tuples[1].Key)
+	}
+	if rel.Tuples[0].Payload != 0 || rel.Tuples[1].Payload != 1 {
+		t.Errorf("tie-break encode must carry row indices, got %v", rel.Tuples)
+	}
+	if bytes.Equal(rel.Meta.FullKey(0), rel.Meta.FullKey(1)) {
+		t.Error("full keys must distinguish the rows")
+	}
+	if rel.Meta.UserPayload(0) != 11 || rel.Meta.UserPayload(1) != 22 {
+		t.Error("user payloads must be recoverable from the metadata")
+	}
+}
+
+// randomSchema draws a random 1–3 column schema.
+func randomSchema(rng *rand.Rand) *Schema {
+	n := 1 + rng.Intn(3)
+	cols := make([]Column, n)
+	for i := range cols {
+		cols[i] = Column{
+			Type:     Type(rng.Intn(4)),
+			Desc:     rng.Intn(2) == 0,
+			Nullable: rng.Intn(2) == 0,
+		}
+		if cols[i].Nullable {
+			cols[i].NullsLast = rng.Intn(2) == 0
+		}
+	}
+	return MustNew(cols...)
+}
+
+// randomRow draws one row for s, biased toward adversarial values: shared
+// string prefixes, boundary integers, signed zeros, NaN and infinities.
+func randomRow(rng *rand.Rand, s *Schema) []Value {
+	row := make([]Value, len(s.cols))
+	for i, col := range s.cols {
+		if col.Nullable && rng.Intn(4) == 0 {
+			row[i] = NullValue()
+			continue
+		}
+		switch col.Type {
+		case Int64:
+			picks := []int64{math.MinInt64, -1, 0, 1, math.MaxInt64, rng.Int63(), -rng.Int63()}
+			row[i] = Int64Value(picks[rng.Intn(len(picks))])
+		case Uint64:
+			picks := []uint64{0, 1, math.MaxUint64, rng.Uint64()}
+			row[i] = Uint64Value(picks[rng.Intn(len(picks))])
+		case Float64:
+			picks := []float64{0, math.Copysign(0, -1), math.NaN(), math.Inf(1),
+				math.Inf(-1), -1.5, rng.NormFloat64()}
+			row[i] = Float64Value(picks[rng.Intn(len(picks))])
+		case Bytes:
+			prefixes := []string{"", "a", "aa", "shared-prefix-", "shared-prefix-longer-than-eight"}
+			b := []byte(prefixes[rng.Intn(len(prefixes))])
+			for k := rng.Intn(4); k > 0; k-- {
+				b = append(b, byte(rng.Intn(3))) // dense in 0x00..0x02 to stress escaping
+			}
+			row[i] = BytesValue(b)
+		}
+	}
+	return row
+}
+
+// TestDifferentialRandomized is the deterministic differential sweep: for
+// random schemas and adversarial values, the normalized encoding's memcmp
+// order must equal the reference comparator and the prefix must be
+// monotone. It runs on every `go test`; FuzzNormalizedOrder extends it
+// under the fuzzer.
+func TestDifferentialRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 300; trial++ {
+		s := randomSchema(rng)
+		a, b := randomRow(rng, s), randomRow(rng, s)
+		na, nb := mustNorm(t, s, a), mustNorm(t, s, b)
+		want := s.CompareRows(a, b)
+		if got := bytes.Compare(na, nb); got != want {
+			t.Fatalf("schema %s: bytes.Compare = %d, CompareRows = %d\na=%v (%x)\nb=%v (%x)",
+				s.Signature(), got, want, a, na, b, nb)
+		}
+		pa, pb := Prefix(na), Prefix(nb)
+		if pa < pb && want >= 0 || pa > pb && want <= 0 {
+			t.Fatalf("schema %s: prefix order (%x vs %x) contradicts key order %d",
+				s.Signature(), pa, pb, want)
+		}
+	}
+}
+
+// FuzzNormalizedOrder differentially fuzzes the encoder against the
+// reference comparator on a composite (bytes, int64 DESC, nullable
+// float64) schema, the shape that exercises escaping, inversion and
+// marker bytes at once.
+func FuzzNormalizedOrder(f *testing.F) {
+	f.Add([]byte("alpha"), int64(-1), 1.5, false, []byte("alpha\x00"), int64(-1), -1.5, true)
+	f.Add([]byte(""), int64(0), 0.0, true, []byte("\x00"), int64(math.MinInt64), math.Inf(-1), false)
+	f.Add([]byte("same"), int64(7), math.NaN(), false, []byte("same"), int64(7), math.NaN(), false)
+	s := MustNew(
+		Column{Type: Bytes},
+		Column{Type: Int64, Desc: true},
+		Column{Type: Float64, Nullable: true},
+	)
+	f.Fuzz(func(t *testing.T, b1 []byte, i1 int64, f1 float64, n1 bool,
+		b2 []byte, i2 int64, f2 float64, n2 bool) {
+		mk := func(b []byte, i int64, fl float64, null bool) []Value {
+			v := Float64Value(fl)
+			if null {
+				v = NullValue()
+			}
+			return []Value{BytesValue(b), Int64Value(i), v}
+		}
+		a, c := mk(b1, i1, f1, n1), mk(b2, i2, f2, n2)
+		na, err := s.AppendNormalized(nil, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := s.AppendNormalized(nil, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.CompareRows(a, c)
+		if got := bytes.Compare(na, nc); got != want {
+			t.Fatalf("bytes.Compare = %d, CompareRows = %d\na=%v (%x)\nc=%v (%x)", got, want, a, na, c, nc)
+		}
+		pa, pc := Prefix(na), Prefix(nc)
+		if pa < pc && want >= 0 || pa > pc && want <= 0 {
+			t.Fatalf("prefix order (%x vs %x) contradicts key order %d", pa, pc, want)
+		}
+	})
+}

@@ -64,6 +64,12 @@ type CostModel struct {
 	// top of the B-MPSM data flow (excluding configured simulated
 	// latencies).
 	DiskPerTuple float64
+	// TieBreakPerMatch prices verifying one candidate pair of a
+	// normalized-key tie-break join: two metadata loads plus a full-key
+	// bytes.Equal and the payload rewrite. It applies to every emitted
+	// candidate, scaled up by the sampled prefix-collision rate (collisions
+	// produce candidates that verify and then vanish).
+	TieBreakPerMatch float64
 }
 
 // DefaultCostModel returns the calibrated model.
@@ -83,6 +89,7 @@ func DefaultCostModel() CostModel {
 		RadixPerTuple:     26,
 		RadixHitPerMatch:  6,
 		DiskPerTuple:      6,
+		TieBreakPerMatch:  18,
 	}
 }
 
@@ -126,6 +133,8 @@ type joinInputs struct {
 	presortedProbe   bool
 	workers          int
 	simulatedLatency float64 // configured D-MPSM per-tuple latency, ns
+	tieBreak         bool    // inputs carry inexact normalized keys
+	collision        float64 // sampled prefix-collision rate of the inputs
 }
 
 // Estimate returns the modelled wall-clock cost (in nanoseconds) of one join
@@ -134,6 +143,22 @@ type joinInputs struct {
 // the public scan, which is the O(|S|)-per-worker complexity the paper
 // trades for skew immunity.
 func (c CostModel) Estimate(alg exec.Algorithm, in joinInputs) float64 {
+	cost := c.estimateBase(alg, in)
+	if in.tieBreak {
+		t := math.Max(1, float64(in.workers))
+		// Every emitted candidate passes the full-key verifier, and prefix
+		// collisions inflate the candidate stream beyond the true matches.
+		// The surcharge is algorithm-independent (the verifier sits at the
+		// sink boundary), so it shifts absolute costs without distorting the
+		// ranking — exactly the behaviour the fast-path/tie-break split
+		// needs.
+		cost += c.TieBreakPerMatch * in.matches * (1 + in.collision) / t
+	}
+	return cost
+}
+
+// estimateBase is the per-algorithm cost before key-regime surcharges.
+func (c CostModel) estimateBase(alg exec.Algorithm, in joinInputs) float64 {
 	t := float64(in.workers)
 	if t < 1 {
 		t = 1
@@ -154,7 +179,7 @@ func (c CostModel) Estimate(alg exec.Algorithm, in joinInputs) float64 {
 		merge := c.MergePerTuple * (n + m) / t
 		return sort + merge + emit
 	case exec.AlgorithmDMPSM:
-		base := c.Estimate(exec.AlgorithmBMPSM, in)
+		base := c.estimateBase(exec.AlgorithmBMPSM, in)
 		return base + (c.DiskPerTuple+in.simulatedLatency)*(n+m)/t
 	case exec.AlgorithmWisconsin:
 		return (c.hashOp(n)*(n+m) + c.hashHit(n)*in.matches) / t
@@ -185,5 +210,7 @@ func inputsFor(build, probe *stats.Profile, matches float64, workers int, latenc
 		presortedProbe:   probe.LikelySorted(),
 		workers:          workers,
 		simulatedLatency: latencyNs,
+		tieBreak:         build.KeyTieBreak || probe.KeyTieBreak,
+		collision:        math.Max(build.PrefixCollisionRate, probe.PrefixCollisionRate),
 	}
 }

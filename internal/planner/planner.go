@@ -85,6 +85,10 @@ type Choice struct {
 	// Costs holds the per-algorithm modelled costs (for the final
 	// orientation), most attractive first.
 	Costs []AlgorithmCost
+	// Keys describes the key-schema regime of the join (empty for raw
+	// uint64 keys): prefix width, fast-path vs tie-break, and the sampled
+	// collision-rate estimate that priced the tie-break path.
+	Keys string
 	// Reason summarizes the decision for Explain output.
 	Reason string
 }
@@ -200,8 +204,28 @@ func ChooseJoin(build, probe *stats.Profile, c Constraints, cm CostModel) Choice
 		choice.Scheduler = sched.Static
 	}
 
+	choice.Keys = keysClause(build, probe)
 	choice.Reason = reasonFor(choice, c, skew, clustered)
+	if choice.Keys != "" {
+		choice.Reason += "; " + choice.Keys
+	}
 	return choice
+}
+
+// keysClause renders the key-regime description of a join's inputs: empty
+// for raw uint64 keys, the fast-path note for exact normalized schemas,
+// and the tie-break note — with the sampled prefix-collision rate that
+// priced the verification — for inexact ones.
+func keysClause(build, probe *stats.Profile) string {
+	if !build.KeyNormalized && !probe.KeyNormalized {
+		return ""
+	}
+	if !build.KeyTieBreak && !probe.KeyTieBreak {
+		return "normalized keys: exact 8-byte prefix (fast path)"
+	}
+	collision := math.Max(build.PrefixCollisionRate, probe.PrefixCollisionRate)
+	return fmt.Sprintf("normalized keys: 8-byte prefix + tie-break verify (est collision %.1f%%)",
+		100*collision)
 }
 
 // reasonFor renders the one-line rationale of a join choice.
@@ -258,6 +282,12 @@ type NodeDecision struct {
 
 	// AggMode is the chosen aggregation strategy for GroupAggregate nodes.
 	AggMode exec.AggMode
+
+	// Keys describes the key-schema regime (join and scan nodes over
+	// normalized-key relations); empty for raw uint64 keys. Unlike Reason
+	// it survives the non-rewrite annotate mode: the key path is a fact of
+	// the schema, not a planner choice.
+	Keys string
 
 	// Reason summarizes why, empty for nodes without decisions.
 	Reason string
@@ -462,6 +492,10 @@ func (s *planState) decideNodes() {
 		}
 
 		switch n.Kind {
+		case exec.NodeScan:
+			if n.Rel.Meta != nil {
+				d.Keys = n.Rel.Meta.Describe()
+			}
 		case exec.NodeJoin:
 			s.decideJoin(exec.NodeID(id), n, d)
 		case exec.NodeGroupAggregate:
@@ -486,6 +520,7 @@ func (s *planState) decideJoin(id exec.NodeID, n *exec.PlanNode, d *NodeDecision
 	ch := ChooseJoin(build, probe, c, s.cm)
 	d.EstRows = ch.EstRows
 	d.Costs = ch.Costs
+	d.Keys = ch.Keys
 	d.Reason = ch.Reason
 
 	if !s.opt.Rewrite {

@@ -31,6 +31,36 @@ type Relation struct {
 
 	// Name is an optional human-readable identifier used in diagnostics.
 	Name string
+
+	// Meta, when non-nil, records that the tuple keys are normalized-key
+	// prefixes derived from a richer schema (see internal/keys). Exact
+	// metadata means prefix order and equality are exact and tuples carry
+	// caller payloads; inexact metadata means tuples carry row indices as
+	// payloads and joins must verify prefix-equal pairs against FullKey.
+	Meta KeyMeta
+}
+
+// KeyMeta describes how a relation's uint64 keys were derived from a key
+// schema. It is declared here (and implemented by internal/keys) so that
+// relation stays dependency-free while every layer that moves relations
+// around can propagate the metadata.
+type KeyMeta interface {
+	// Exact reports whether prefix order and equality equal full-key order
+	// and equality, i.e. whether the raw uint64 fast path is semantically
+	// complete for this relation.
+	Exact() bool
+	// Signature is the canonical schema description; tie-break joins
+	// require both sides to have equal signatures.
+	Signature() string
+	// FullKey returns row i's full normalized key. Valid only for inexact
+	// metadata, where tuple payloads are row indices.
+	FullKey(i int) []byte
+	// UserPayload returns row i's caller-supplied payload. Valid only for
+	// inexact metadata.
+	UserPayload(i int) uint64
+	// Describe renders a short human-readable summary for diagnostics and
+	// EXPLAIN output.
+	Describe() string
 }
 
 // ErrEmptyRelation is returned by operations that need at least one tuple.
@@ -58,7 +88,7 @@ func (r *Relation) Append(t Tuple) { r.Tuples = append(r.Tuples, t) }
 func (r *Relation) Clone() *Relation {
 	cp := make([]Tuple, len(r.Tuples))
 	copy(cp, r.Tuples)
-	return &Relation{Name: r.Name, Tuples: cp}
+	return &Relation{Name: r.Name, Tuples: cp, Meta: r.Meta}
 }
 
 // MinMaxKey returns the minimum and maximum join key present in the relation.

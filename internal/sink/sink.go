@@ -62,6 +62,7 @@ func (p Pair) Sum() uint64 { return p.R.Payload + p.S.Payload }
 type Bound struct {
 	sink    Sink
 	writers []*countingWriter
+	check   PairCheck
 }
 
 // Scratcher is implemented by sinks that can draw their per-worker buffers
@@ -73,10 +74,28 @@ type Scratcher interface {
 	SetScratch(lease *memory.Lease)
 }
 
+// PairCheck verifies one candidate match before it reaches the sink. It is
+// the tie-break hook of normalized-key execution: candidate pairs are equal
+// on the uint64 key prefix, and the check compares the full normalized keys
+// addressed by the two payloads (row indices under inexact key metadata).
+// On a genuine match it returns the payloads the sink should observe —
+// typically the caller's original payloads recovered from the key metadata
+// — and ok=true; on a prefix collision it returns ok=false and the pair is
+// dropped before it is counted.
+type PairCheck func(rPayload, sPayload uint64) (rOut, sOut uint64, ok bool)
+
 // Bind opens the sink for a join with the given worker count. A nil sink
 // selects a fresh MaxSum aggregate. A non-nil lease is offered to sinks
 // implementing Scratcher; pass nil when the join runs without a scratch pool.
 func Bind(s Sink, workers int, lease *memory.Lease) *Bound {
+	return BindChecked(s, workers, lease, nil)
+}
+
+// BindChecked is Bind with an optional tie-break verifier: when check is
+// non-nil every worker's writer first filters candidate pairs through it,
+// so both the match count and the sink observe verified pairs only. A nil
+// check is the zero-overhead fast path and is exactly Bind.
+func BindChecked(s Sink, workers int, lease *memory.Lease, check PairCheck) *Bound {
 	if s == nil {
 		s = NewMaxSum()
 	}
@@ -84,15 +103,21 @@ func Bind(s Sink, workers int, lease *memory.Lease) *Bound {
 		sc.SetScratch(lease)
 	}
 	s.Open(workers)
-	b := &Bound{sink: s, writers: make([]*countingWriter, workers)}
+	b := &Bound{sink: s, writers: make([]*countingWriter, workers), check: check}
 	for w := range b.writers {
 		b.writers[w] = &countingWriter{inner: s.Writer(w)}
 	}
 	return b
 }
 
-// Writer returns worker w's counting consumer.
-func (b *Bound) Writer(w int) mergejoin.Consumer { return b.writers[w] }
+// Writer returns worker w's consumer: the counting writer, wrapped in the
+// tie-break verifier when one is bound.
+func (b *Bound) Writer(w int) mergejoin.Consumer {
+	if b.check != nil {
+		return &checkingWriter{check: b.check, inner: b.writers[w]}
+	}
+	return b.writers[w]
+}
 
 // Close closes the underlying sink.
 func (b *Bound) Close() error { return b.sink.Close() }
@@ -153,6 +178,43 @@ func (c *countingWriter) ConsumeColumns(keys, rPayloads, sPayloads []uint64) {
 	c.batches++
 	c.batchedPairs += n
 	mergejoin.EmitColumns(c.inner, keys, rPayloads, sPayloads)
+}
+
+// checkingWriter interposes the tie-break verifier in front of a worker's
+// counting writer: candidate pairs that fail the check vanish before they
+// are counted, and surviving pairs carry the payloads the check returned
+// (the user payloads recovered from the key metadata). It sits outside the
+// countingWriter so Matches() reports verified pairs only.
+type checkingWriter struct {
+	check PairCheck
+	inner *countingWriter
+}
+
+// Consume implements mergejoin.Consumer.
+func (c *checkingWriter) Consume(r, s relation.Tuple) {
+	rp, sp, ok := c.check(r.Payload, s.Payload)
+	if !ok {
+		return
+	}
+	r.Payload, s.Payload = rp, sp
+	c.inner.Consume(r, s)
+}
+
+// ConsumeColumns implements BatchWriter: the batch is verified and
+// compacted in place — surviving pairs slide forward over rejected ones —
+// then the shortened batch flows on, keeping the columnar boundary intact
+// under tie-break verification.
+func (c *checkingWriter) ConsumeColumns(keys, rPayloads, sPayloads []uint64) {
+	n := 0
+	for i := range keys {
+		if rp, sp, ok := c.check(rPayloads[i], sPayloads[i]); ok {
+			keys[n], rPayloads[n], sPayloads[n] = keys[i], rp, sp
+			n++
+		}
+	}
+	if n > 0 {
+		c.inner.ConsumeColumns(keys[:n], rPayloads[:n], sPayloads[:n])
+	}
 }
 
 // MaxSum implements the paper's evaluation query

@@ -104,6 +104,19 @@ type Profile struct {
 	// then prefers the containment estimate over the independence estimate.
 	Correlated bool
 
+	// KeyNormalized marks a relation whose uint64 keys are normalized-key
+	// prefixes derived from a schema (relation.Meta != nil).
+	KeyNormalized bool
+	// KeyTieBreak marks a normalized relation whose prefixes are inexact:
+	// joins verify prefix-equal pairs against the full keys.
+	KeyTieBreak bool
+	// PrefixCollisionRate estimates, for tie-break relations, the fraction
+	// of distinct full keys that share their 8-byte prefix with another key
+	// — the fraction of candidate pairs the tie-break comparator must
+	// reject. Sampled as (distinct full keys − distinct prefixes) /
+	// distinct full keys.
+	PrefixCollisionRate float64
+
 	// keySet is the sample's distinct keys, for join probes. It is built
 	// eagerly with the profile so that profiles can be shared between
 	// concurrent planning sessions without synchronization.
@@ -155,7 +168,32 @@ func CollectSample(rel *relation.Relation, sampleSize int) *Profile {
 	p.SampleSize = len(sample)
 
 	p.fillFromSample()
+
+	if rel.Meta != nil {
+		p.KeyNormalized = true
+		if !rel.Meta.Exact() {
+			p.KeyTieBreak = true
+			p.PrefixCollisionRate = prefixCollisionRate(sample, rel.Meta)
+		}
+	}
 	return p
+}
+
+// prefixCollisionRate samples how often distinct full normalized keys
+// collapse onto one 8-byte prefix. Tuple payloads of tie-break relations
+// are row indices, so the sample reaches the full keys through the
+// metadata.
+func prefixCollisionRate(sample []relation.Tuple, meta relation.KeyMeta) float64 {
+	prefixes := make(map[uint64]struct{}, len(sample))
+	full := make(map[string]struct{}, len(sample))
+	for _, t := range sample {
+		prefixes[t.Key] = struct{}{}
+		full[string(meta.FullKey(int(t.Payload)))] = struct{}{}
+	}
+	if len(full) == 0 {
+		return 0
+	}
+	return float64(len(full)-len(prefixes)) / float64(len(full))
 }
 
 // fillFromSample computes every derived statistic from the stored sample.
@@ -500,6 +538,10 @@ func (p *Profile) Filtered(pred func(relation.Tuple) bool) *Profile {
 		SampleSize:     len(kept),
 		Sample:         kept,
 		SortedFraction: 1,
+		// Selection copies tuples whole, so the key regime carries over.
+		KeyNormalized:       p.KeyNormalized,
+		KeyTieBreak:         p.KeyTieBreak,
+		PrefixCollisionRate: p.PrefixCollisionRate,
 	}
 	cp.fillFromSample()
 	return cp

@@ -1,0 +1,70 @@
+package mpsm
+
+import (
+	"repro/internal/keys"
+)
+
+// Schema describes a composite join key — typed columns with sort
+// direction and null ordering — and encodes rows of such keys into
+// relations the engine joins at radix speed.
+//
+// Every composite key is normalized into an order-preserving byte string
+// whose first eight bytes become the tuple's uint64 key, so the packed
+// radix sort, the branch-free selection vectors and the cache-blocked
+// merge kernels run unmodified on real-world keys. A single non-nullable
+// numeric column fits the prefix entirely and joins on the raw fast path
+// with zero overhead; strings, composites and nullable columns carry their
+// full normalized keys alongside the relation and the join verifies
+// prefix-equal candidate pairs against them (the tie-break path), chosen
+// automatically at plan time. Explain shows which path a join takes.
+//
+// Schemas are immutable and safe for concurrent use. Both join sides must
+// be encoded under schemas with equal Signatures.
+type Schema = keys.Schema
+
+// SchemaColumn is one column of a key schema.
+type SchemaColumn = keys.Column
+
+// ColumnType is the value type of a schema column.
+type ColumnType = keys.Type
+
+// Schema column types.
+const (
+	// ColumnInt64 is a signed 64-bit integer column.
+	ColumnInt64 = keys.Int64
+	// ColumnUint64 is an unsigned 64-bit integer column.
+	ColumnUint64 = keys.Uint64
+	// ColumnFloat64 is an IEEE-754 double column; NaNs compare equal to
+	// each other and greater than every number, -0.0 equals +0.0.
+	ColumnFloat64 = keys.Float64
+	// ColumnBytes is a variable-length byte-string column.
+	ColumnBytes = keys.Bytes
+)
+
+// KeyValue is one key column value; build them with Int64Key, Uint64Key,
+// Float64Key, BytesKey, StringKey and NullKey.
+type KeyValue = keys.Value
+
+// NewSchema validates the columns and returns their schema.
+func NewSchema(cols ...SchemaColumn) (*Schema, error) { return keys.New(cols...) }
+
+// MustSchema is NewSchema for statically known schemas; it panics on error.
+func MustSchema(cols ...SchemaColumn) *Schema { return keys.MustNew(cols...) }
+
+// Int64Key returns a signed integer key value.
+func Int64Key(v int64) KeyValue { return keys.Int64Value(v) }
+
+// Uint64Key returns an unsigned integer key value.
+func Uint64Key(v uint64) KeyValue { return keys.Uint64Value(v) }
+
+// Float64Key returns a float key value.
+func Float64Key(v float64) KeyValue { return keys.Float64Value(v) }
+
+// BytesKey returns a byte-string key value; the bytes are not copied.
+func BytesKey(v []byte) KeyValue { return keys.BytesValue(v) }
+
+// StringKey returns a byte-string key value backed by the string.
+func StringKey(v string) KeyValue { return keys.StringValue(v) }
+
+// NullKey returns the null value, valid for any nullable column.
+func NullKey() KeyValue { return keys.NullValue() }
