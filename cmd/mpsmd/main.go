@@ -5,9 +5,10 @@
 // Start a server and run a join:
 //
 //	mpsmd -addr :7737 -pool -auto &
-//	curl -s localhost:7737/v1/relations -d '{"name":"R","generate":{"size":100000,"seed":1}}'
-//	curl -s localhost:7737/v1/relations -d '{"name":"S","generate":{"size":400000,"seed":2,"foreign_key_of":"R"}}'
-//	curl -s localhost:7737/v1/join -d '{"r":"R","s":"S"}'
+//	curl -s localhost:7737/v1/relations -d '{"name":"r","generate":{"size":100000,"seed":1}}'
+//	curl -s localhost:7737/v1/relations -d '{"name":"s","generate":{"size":400000,"seed":2,"foreign_key_of":"r"}}'
+//	curl -s localhost:7737/v1/join -d '{"r":"r","s":"s"}'
+//	curl -s localhost:7737/v1/query -d '{"query":"ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y)","limit":5}'
 //	curl -s localhost:7737/v1/stats
 //
 // Joins admitted beyond the memory limit queue FIFO (429 once the queue is

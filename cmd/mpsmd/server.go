@@ -36,7 +36,21 @@ func newServer(svc *mpsm.Service) *server {
 	s.mux.HandleFunc("GET /v1/relations", s.handleListRelations)
 	s.mux.HandleFunc("POST /v1/relations", s.handleCreateRelation)
 	s.mux.HandleFunc("POST /v1/join", s.handleJoin)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	return s
+}
+
+// catalog snapshots the relation map as an mpsm.Catalog for query
+// compilation. Compile resolves names eagerly, so the snapshot only needs to
+// be stable for the duration of the lookup.
+func (s *server) catalog() mpsm.Catalog {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cat := make(mpsm.MapCatalog, len(s.relations))
+	for name, rel := range s.relations {
+		cat[name] = rel
+	}
+	return cat
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -242,6 +256,112 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Workers:     res.Workers,
 		TotalMillis: float64(time.Since(start).Microseconds()) / 1000.0,
 	})
+}
+
+// queryRequest submits a Datalog-style query over the named catalog
+// relations; see the mpsm.Compile documentation for the language.
+type queryRequest struct {
+	// Query is the rule text, e.g.
+	// "ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y)".
+	Query string `json:"query"`
+	// Limit bounds the number of tuples returned (0 = all).
+	Limit int `json:"limit,omitempty"`
+	// Explain additionally renders the physical plan.
+	Explain bool `json:"explain,omitempty"`
+	// Weight, BudgetBytes and Label behave as in joinRequest.
+	Weight      int    `json:"weight,omitempty"`
+	BudgetBytes int64  `json:"budget_bytes,omitempty"`
+	Label       string `json:"label,omitempty"`
+}
+
+// queryError is the error body for failed compilations: the message plus,
+// for positioned errors, the 1-based line/column and a caret-annotated
+// rendering of the offending source line.
+type queryError struct {
+	Error    string `json:"error"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Annotate string `json:"annotate,omitempty"`
+}
+
+// queryResponse carries the canonical query text, the result tuples (bounded
+// by Limit) and timing.
+type queryResponse struct {
+	Query       string       `json:"query"`
+	Columns     [2]string    `json:"columns"`
+	Rows        int          `json:"rows"`
+	Tuples      []mpsm.Tuple `json:"tuples"`
+	Truncated   bool         `json:"truncated,omitempty"`
+	Plan        string       `json:"plan,omitempty"`
+	TotalMillis float64      `json:"total_millis"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+
+	plan, err := mpsm.Compile(req.Query, s.catalog())
+	if err != nil {
+		var qe *mpsm.QueryError
+		if errors.As(err, &qe) {
+			writeJSON(w, http.StatusBadRequest, queryError{
+				Error:    qe.Error(),
+				Line:     qe.Pos.Line,
+				Col:      qe.Pos.Col,
+				Annotate: qe.Annotate(),
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var qopts []mpsm.QueryOption
+	if req.Weight > 0 {
+		qopts = append(qopts, mpsm.WithQueryWeight(req.Weight))
+	}
+	if req.BudgetBytes > 0 {
+		qopts = append(qopts, mpsm.WithQueryBudget(req.BudgetBytes))
+	}
+	if req.Label != "" {
+		qopts = append(qopts, mpsm.WithQueryLabel(req.Label))
+	}
+
+	resp := queryResponse{Query: plan.QueryInfo().Text, Columns: plan.QueryInfo().Columns}
+	if req.Explain {
+		ex, err := s.svc.Explain(plan, qopts...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Plan = ex.String()
+	}
+
+	start := time.Now()
+	res, err := s.svc.RunPlan(r.Context(), plan, qopts...)
+	if err != nil {
+		status := joinErrorStatus(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp.Rows = res.Output.Len()
+	resp.Tuples = res.Output.Tuples
+	if req.Limit > 0 && len(resp.Tuples) > req.Limit {
+		resp.Tuples = resp.Tuples[:req.Limit]
+		resp.Truncated = true
+	}
+	resp.TotalMillis = float64(time.Since(start).Microseconds()) / 1000.0
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // joinErrorStatus maps serving-layer errors to HTTP statuses: admission

@@ -153,3 +153,115 @@ func TestServerErrors(t *testing.T) {
 		t.Fatalf("oversized budget: status %d, want 413", code)
 	}
 }
+
+// TestServerQuery: a three-way aggregation query over HTTP matches a locally
+// computed plan over identical (seed-deterministic) relations, explain
+// returns the rendered plan, limit truncates, and repeated queries hit the
+// text-keyed plan cache.
+func TestServerQuery(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	for _, req := range []createRelationRequest{
+		{Name: "r", Generate: &generateSpec{Size: 1 << 11, Seed: 41}},
+		{Name: "s", Generate: &generateSpec{Size: 1 << 12, Seed: 42, ForeignKeyOf: "r"}},
+		{Name: "t", Generate: &generateSpec{Size: 1 << 12, Seed: 43, ForeignKeyOf: "r"}},
+	} {
+		if code := post(t, ts.URL+"/v1/relations", req, nil); code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", req.Name, code)
+		}
+	}
+
+	const src = "ans(K, Sum) :- r(K, X), s(K, Y), t(K, Z), X > 10, agg sum(Z)"
+	var res queryResponse
+	if code := post(t, ts.URL+"/v1/query",
+		queryRequest{Query: src, Explain: true, Label: "http-query"}, &res); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+
+	// Re-run the same query locally on identical generated inputs.
+	r := mpsm.GenerateUniform("r", 1<<11, 41)
+	cat := mpsm.MapCatalog{
+		"r": r,
+		"s": mpsm.GenerateForeignKey("s", r, 1<<12, 42),
+		"t": mpsm.GenerateForeignKey("t", r, 1<<12, 43),
+	}
+	want, err := mpsm.New(mpsm.WithWorkers(2)).Query(t.Context(), src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != want.Output.Len() {
+		t.Fatalf("query over HTTP returned %d rows, want %d", res.Rows, want.Output.Len())
+	}
+	if res.Query != src+"." {
+		t.Fatalf("canonical query = %q", res.Query)
+	}
+	if res.Plan == "" || !bytes.Contains([]byte(res.Plan), []byte("GroupAggregate")) {
+		t.Fatalf("explain plan missing or incomplete: %q", res.Plan)
+	}
+
+	// Limit truncates and flags it.
+	var limited queryResponse
+	if code := post(t, ts.URL+"/v1/query", queryRequest{Query: src, Limit: 3}, &limited); code != http.StatusOK {
+		t.Fatalf("limited query: status %d", code)
+	}
+	if len(limited.Tuples) != 3 || !limited.Truncated || limited.Rows != want.Output.Len() {
+		t.Fatalf("limit: got %d tuples (truncated=%v, rows=%d), want 3 of %d",
+			len(limited.Tuples), limited.Truncated, limited.Rows, want.Output.Len())
+	}
+
+	// A differently spelled but equivalent query shares the cached plan.
+	var stats mpsm.ServiceStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	hitsBefore := stats.PlanCache.Hits
+	respell := "ans(K,Sum) :- r(K,X), s(K,Y), t(K,Z), 10 < X, agg sum(Z)."
+	if code := post(t, ts.URL+"/v1/query", queryRequest{Query: respell}, &res); code != http.StatusOK {
+		t.Fatalf("respelled query: status %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats.PlanCache.Hits <= hitsBefore {
+		t.Fatalf("respelled query missed the text-keyed plan cache: hits %d -> %d",
+			hitsBefore, stats.PlanCache.Hits)
+	}
+}
+
+// TestServerQueryErrors: syntax errors return 400 with position and a
+// caret-annotated source line; unknown relations and empty queries are 400.
+func TestServerQueryErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	if code := post(t, ts.URL+"/v1/query", queryRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty query: status %d, want 400", code)
+	}
+
+	var qerr queryError
+	if code := post(t, ts.URL+"/v1/query",
+		queryRequest{Query: "ans(K, V) :- r(K, V), K @ 5"}, &qerr); code != http.StatusBadRequest {
+		t.Fatalf("syntax error: status %d, want 400", code)
+	}
+	if qerr.Line != 1 || qerr.Col != 25 {
+		t.Fatalf("error position = %d:%d, want 1:25 (%s)", qerr.Line, qerr.Col, qerr.Error)
+	}
+	if !bytes.Contains([]byte(qerr.Annotate), []byte("^")) {
+		t.Fatalf("annotation missing caret: %q", qerr.Annotate)
+	}
+
+	// Unknown relation: positioned at the atom.
+	qerr = queryError{}
+	if code := post(t, ts.URL+"/v1/query",
+		queryRequest{Query: "ans(K, V) :- ghost(K, V)"}, &qerr); code != http.StatusBadRequest {
+		t.Fatalf("unknown relation: status %d, want 400", code)
+	}
+	if !bytes.Contains([]byte(qerr.Error), []byte("ghost")) || qerr.Line != 1 {
+		t.Fatalf("unknown-relation error = %+v", qerr)
+	}
+}

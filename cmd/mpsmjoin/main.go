@@ -27,6 +27,15 @@
 //
 //	mpsmjoin -auto -explain -r 1000000 -multiplicity 4
 //
+// With -query the command compiles and runs a Datalog-style query over the
+// generated (or file-loaded) inputs, bound as relations r and s plus a third
+// foreign-key relation t; -repl starts an interactive loop instead.
+// Compilation errors print the offending line with a caret and exit
+// non-zero:
+//
+//	mpsmjoin -r 100000 -query 'ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y)'
+//	mpsmjoin -repl -auto -explain
+//
 // With -r-file/-s-file the inputs come from CSV or TSV files (first row is
 // the header) joined on typed key columns declared with -key, instead of
 // being generated. String, composite, descending and nullable keys are
@@ -79,6 +88,8 @@ func main() {
 		keySpecFlag   = flag.String("key", "", "typed key columns for file inputs, e.g. \"region:string,id:int64:desc\" (types: int64, uint64, float64, bytes; modifiers: asc, desc, nullable, nullslast)")
 		payloadCol    = flag.String("payload", "", "file column holding the uint64 tuple payload (default: row index)")
 		sepFlag       = flag.String("sep", "", "field delimiter for file inputs (default: tab for .tsv, comma otherwise)")
+		queryText     = flag.String("query", "", "compile and run a Datalog-style query over relations r, s, t instead of the flag-built join (see README \"Query language\")")
+		replMode      = flag.Bool("repl", false, "interactive query loop over relations r, s, t (one rule per line)")
 		planMode      = flag.Bool("plan", false, "run the 3-way operator plan demo (R ⋈ S) ⋈ T + GROUP BY SUM instead of a single join")
 		autoPlan      = flag.Bool("auto", false, "let the cost-based planner pick algorithm, join order, scheduler and presorted declarations from sampled statistics")
 		explainPlan   = flag.Bool("explain", false, "print the chosen physical plan (algorithm, order, scheduler, estimates) before running")
@@ -169,6 +180,15 @@ func main() {
 		opts = append(opts, mpsm.WithPerWorkerStats())
 	}
 
+	if *queryText != "" || *replMode {
+		cat := queryCatalog(r, s, *seed)
+		if *queryText != "" {
+			runQuery(ctx, engine, cat, *queryText, *jsonOut, *explainPlan, opts)
+		} else {
+			runREPL(ctx, engine, cat, *explainPlan, opts)
+		}
+		return
+	}
 	if *planMode {
 		runPlanDemo(ctx, engine, r, s, *seed, scheduler, *jsonOut, *explainPlan, *autoPlan, opts)
 		return

@@ -45,6 +45,10 @@ type ExplainNode struct {
 	Inputs []int  `json:"inputs,omitempty"`
 	// Relation names the scanned relation for Scan nodes.
 	Relation string `json:"relation,omitempty"`
+	// Filter describes a Scan node's selection: the branch-free key range
+	// ("key∈[lo,hi)"), an opaque predicate ("pred"), or both. Empty for
+	// unfiltered scans.
+	Filter string `json:"filter,omitempty"`
 
 	// EstRows is the planner's estimated output cardinality. For join nodes
 	// it is the estimated match count even when the join's output is fused
@@ -156,6 +160,7 @@ func (e *Engine) explain(p *Plan, opts []Option) (*Explain, *exec.Plan, error) {
 			if n.Rel != nil {
 				en.Relation = n.Rel.Name
 			}
+			en.Filter = scanFilterDesc(n)
 		case exec.NodeJoin:
 			en.Algorithm = d.Algorithm.String()
 			en.Scheduler = d.Scheduler.String()
@@ -173,6 +178,18 @@ func (e *Engine) explain(p *Plan, opts []Option) (*Explain, *exec.Plan, error) {
 		ex.Nodes = append(ex.Nodes, en)
 	}
 	return ex, optimized, nil
+}
+
+// scanFilterDesc summarizes a scan node's selection for Explain.
+func scanFilterDesc(n exec.PlanNode) string {
+	var parts []string
+	if n.Range != nil {
+		parts = append(parts, fmt.Sprintf("key∈[%d,%d)", n.Range.Low, n.Range.High))
+	}
+	if n.Pred != nil {
+		parts = append(parts, "pred")
+	}
+	return strings.Join(parts, ", ")
 }
 
 // MarshalJSON renders the description as JSON.
@@ -231,6 +248,9 @@ func (n ExplainNode) describe() string {
 		b.WriteString(" " + n.Relation)
 	}
 	var attrs []string
+	if n.Filter != "" {
+		attrs = append(attrs, n.Filter)
+	}
 	if n.Algorithm != "" {
 		attrs = append(attrs, n.Algorithm)
 	}

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/mergejoin"
+	"repro/internal/relation"
+)
+
+// tieRel builds a tie-break (inexact-key) relation: a Bytes column whose
+// values exceed the 8-byte prefix, forcing full-key verification.
+func tieRel(t *testing.T, name string) *relation.Relation {
+	t.Helper()
+	schema := keys.MustNew(keys.Column{Name: "name", Type: keys.Bytes})
+	return schema.MustEncode(name, [][]keys.Value{
+		{keys.StringValue("abcdefghijkl")},
+		{keys.StringValue("abcdefghijzz")},
+	}, []uint64{1, 2})
+}
+
+// TestKeyMetadataErrorsNameRelation: every validateKeyMetadata rejection
+// names the offending tie-break relation, its key regime, and the allowed
+// regimes — not just a node number.
+func TestKeyMetadataErrorsNameRelation(t *testing.T) {
+	tie := tieRel(t, "orders")
+	tie2 := tieRel(t, "lineitem")
+	raw := relation.New("raw", []relation.Tuple{{Key: 1, Payload: 1}})
+
+	join := func(p *Plan, b, pr NodeID, opts core.Options) NodeID {
+		return p.AddJoin(b, pr, AlgorithmPMPSM, opts, core.DiskOptions{})
+	}
+
+	cases := []struct {
+		name  string
+		build func() *Plan
+		wants []string
+	}{
+		{
+			"join over join",
+			func() *Plan {
+				p := &Plan{}
+				a := p.AddScan(tie, nil)
+				b := p.AddScan(tie2, nil)
+				ab := join(p, a, b, core.Options{})
+				c := p.AddScan(raw, nil)
+				join(p, ab, c, core.Options{})
+				return p
+			},
+			[]string{`tie-break relation "orders"`, "8-byte prefix + tie-break verify", "directly over the scan"},
+		},
+		{
+			"non-inner kind",
+			func() *Plan {
+				p := &Plan{}
+				a := p.AddScan(tie, nil)
+				b := p.AddScan(tie2, nil)
+				join(p, a, b, core.Options{Kind: mergejoin.Semi})
+				return p
+			},
+			[]string{`tie-break relation "orders"`, "semi", "inner"},
+		},
+		{
+			"band join",
+			func() *Plan {
+				p := &Plan{}
+				a := p.AddScan(tie, nil)
+				b := p.AddScan(tie2, nil)
+				join(p, a, b, core.Options{Band: 5})
+				return p
+			},
+			[]string{`tie-break relation "orders"`, "band join", "not distance between keys"},
+		},
+		{
+			"group aggregate",
+			func() *Plan {
+				p := &Plan{}
+				a := p.AddScan(tie, nil)
+				b := p.AddScan(tie2, nil)
+				ab := join(p, a, b, core.Options{})
+				p.AddGroupAggregate(ab, 0)
+				return p
+			},
+			[]string{"GroupAggregate", `tie-break relation "orders"`, "merge distinct groups"},
+		},
+		{
+			"map",
+			func() *Plan {
+				p := &Plan{}
+				a := p.AddScan(tie, nil)
+				p.AddMap(a, func(t relation.Tuple) relation.Tuple { return t })
+				return p
+			},
+			[]string{"Map", `tie-break relation "orders"`, "row-index payloads"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build().Validate()
+			if err == nil {
+				t.Fatal("expected a key-metadata validation error")
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q\n  missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKeyMetadataExactComposes: exact-schema relations pass everywhere the
+// tie-break ones are rejected.
+func TestKeyMetadataExactComposes(t *testing.T) {
+	schema := keys.MustNew(keys.Column{Name: "id", Type: keys.Int64})
+	a := schema.MustEncode("a", [][]keys.Value{{keys.Int64Value(1)}}, []uint64{1})
+	b := schema.MustEncode("b", [][]keys.Value{{keys.Int64Value(1)}}, []uint64{2})
+	p := &Plan{}
+	sa := p.AddScan(a, nil)
+	sb := p.AddScan(b, nil)
+	ab := p.AddJoin(sa, sb, AlgorithmPMPSM, core.Options{}, core.DiskOptions{})
+	p.AddGroupAggregate(ab, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("exact schemas should compose: %v", err)
+	}
+}

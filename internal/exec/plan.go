@@ -303,6 +303,29 @@ func (p *Plan) validateKeyMetadata() error {
 		}
 		return v
 	}
+	// tieBreakSource names the tie-break relation whose prefix keys reach a
+	// node, so rejections point at the offending input rather than a bare
+	// node number.
+	var tieBreakSource func(id NodeID) string
+	tieBreakSource = func(id NodeID) string {
+		n := p.Nodes[id]
+		if n.Kind == NodeScan {
+			if n.Rel.Meta != nil && !n.Rel.Meta.Exact() {
+				return fmt.Sprintf("tie-break relation %q (%s)", n.Rel.Name, n.Rel.Meta.Describe())
+			}
+			return ""
+		}
+		for _, in := range n.Inputs {
+			if s := tieBreakSource(in); s != "" {
+				return s
+			}
+		}
+		return ""
+	}
+	// The allowed regime, stated once per message: exact schemas compose
+	// everywhere, tie-break prefixes only through a verifying join directly
+	// over the scan.
+	const allowed = "tie-break keys support only a single inner non-band join directly over the scan; exact-schema keys compose everywhere"
 	for id, n := range p.Nodes {
 		switch n.Kind {
 		case NodeJoin:
@@ -310,25 +333,29 @@ func (p *Plan) validateKeyMetadata() error {
 				if !inexactAt(in) {
 					continue
 				}
+				src := tieBreakSource(in)
 				if p.Nodes[in].Kind != NodeScan {
-					return fmt.Errorf("exec: plan node %d: join over node %d (%v) with tie-break keys is not supported (its output carries unverifiable prefix keys; join scans directly)",
-						id, in, p.Nodes[in].Kind)
+					return fmt.Errorf("exec: plan node %d: join input node %d (%v) carries unverifiable prefix keys from %s; a join can only verify prefixes against the scan itself (%s)",
+						id, in, p.Nodes[in].Kind, src, allowed)
 				}
 				if n.JoinOptions.Kind != mergejoin.Inner {
-					return fmt.Errorf("exec: plan node %d: %v join on tie-break keys is not supported (inner only)",
-						id, n.JoinOptions.Kind)
+					return fmt.Errorf("exec: plan node %d: %v join on %s is not supported — non-inner kinds emit unverified prefix-only matches (%s)",
+						id, n.JoinOptions.Kind, src, allowed)
 				}
 				if n.JoinOptions.Band != 0 {
-					return fmt.Errorf("exec: plan node %d: band join on tie-break keys is not supported (prefix distance is not key distance)", id)
+					return fmt.Errorf("exec: plan node %d: band join on %s is not supported — distance between normalized key prefixes is not distance between keys (%s)",
+						id, src, allowed)
 				}
 			}
 		case NodeGroupAggregate:
-			if inexactAt(n.Inputs[0]) {
-				return fmt.Errorf("exec: plan node %d: GroupAggregate over tie-break keys is not supported (grouping by key prefix would merge distinct groups)", id)
+			if in := n.Inputs[0]; inexactAt(in) {
+				return fmt.Errorf("exec: plan node %d: GroupAggregate over %s is not supported — grouping by the 8-byte key prefix would merge distinct groups (%s)",
+					id, tieBreakSource(in), allowed)
 			}
 		case NodeMap:
-			if inexactAt(n.Inputs[0]) {
-				return fmt.Errorf("exec: plan node %d: Map over tie-break keys is not supported (the mapped relation loses its key metadata)", id)
+			if in := n.Inputs[0]; inexactAt(in) {
+				return fmt.Errorf("exec: plan node %d: Map over %s is not supported — rewriting tuples loses the row-index payloads the key metadata is addressed by (%s)",
+					id, tieBreakSource(in), allowed)
 			}
 		}
 	}

@@ -1,0 +1,731 @@
+package query
+
+import (
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Resolver maps a relation name to the relation it denotes.
+type Resolver func(name string) (*relation.Relation, bool)
+
+// Range is a half-open key interval [Low, High), matching the executor's
+// branch-free KeyRange scan filter.
+type Range struct {
+	Low, High uint64
+}
+
+// Cmp is one residual comparison a scan evaluates as an opaque predicate:
+// key or payload against a constant.
+type Cmp struct {
+	Op    CmpOp
+	Const uint64
+	OnKey bool
+}
+
+// OpKind enumerates the compiled logical operators.
+type OpKind int
+
+const (
+	// OpScan reads one relation, optionally through a key range and residual
+	// comparisons.
+	OpScan OpKind = iota
+	// OpJoin equi-joins (or, with Band > 0, band-joins) two earlier ops.
+	OpJoin
+	// OpProject projects one side's payload (or the key) out of a join's
+	// pair stream.
+	OpProject
+	// OpMap reshapes a tuple stream (key-as-payload).
+	OpMap
+	// OpAggregate groups its input by key and aggregates.
+	OpAggregate
+)
+
+// Op is one operator of the compiled logical plan. Ops reference earlier ops
+// by index; the last op is the root.
+type Op struct {
+	Kind OpKind
+
+	// OpScan.
+	RelName string
+	Rel     *relation.Relation
+	Range   *Range
+	Cmps    []Cmp
+
+	// OpJoin: Left and Right are op indices (build, probe); Band > 0 selects
+	// a band join of that width.
+	Left, Right int
+	Band        uint64
+
+	// OpProject / OpMap / OpAggregate: Input is the op index consumed.
+	Input int
+	// OpProject: ProbeSide projects the probe payload, otherwise the build
+	// payload; KeyValue (Project or Map) emits the key as the payload
+	// instead.
+	ProbeSide bool
+	KeyValue  bool
+
+	// OpAggregate.
+	Agg AggFunc
+}
+
+// Compiled is a query lowered to its logical operator list.
+type Compiled struct {
+	// Query is the parsed rule.
+	Query *Query
+	// Text is the canonical pretty-printed form of the rule: the normalized
+	// query text that keys the service plan cache.
+	Text string
+	// HeadName and Columns name the output relation and its two columns.
+	HeadName string
+	Columns  [2]string
+	// Ops is the operator list; the last op is the root.
+	Ops []Op
+}
+
+// Compile parses and compiles one rule against the resolver.
+func Compile(src string, resolve Resolver) (*Compiled, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileQuery(q, resolve)
+}
+
+// atomInfo is one resolved pattern.
+type atomInfo struct {
+	atom    *Atom
+	rel     *relation.Relation
+	keyVar  string
+	payload Term
+	// meta facts, derived from rel.Meta: schema-encoded at all, and if so
+	// whether the uint64 prefix is exact or a tie-break prefix.
+	schema bool
+	exact  bool
+	sig    string
+}
+
+// varBinding records where a variable is bound.
+type varBinding struct {
+	// key lists the indices of atoms binding the variable in key position.
+	key []int
+	// payload is the index of the atom binding it in payload position (-1).
+	payload int
+	pos     Pos
+}
+
+// compiler carries the state of one compilation.
+type compiler struct {
+	q       *Query
+	resolve Resolver
+	atoms   []*atomInfo
+	cmps    []*Compare
+	band    *Band
+	agg     *Agg
+	vars    map[string]*varBinding
+}
+
+// errf builds a positioned semantic error against the query source.
+func (c *compiler) errf(pos Pos, format string, args ...any) error {
+	return errf(c.q.Src, pos, format, args...)
+}
+
+// CompileQuery compiles a parsed rule against the resolver. Semantic errors
+// are *Error values positioned at the offending clause or term.
+func CompileQuery(q *Query, resolve Resolver) (*Compiled, error) {
+	c := &compiler{q: q, resolve: resolve, vars: map[string]*varBinding{}}
+	if err := c.collect(); err != nil {
+		return nil, err
+	}
+	if err := c.checkJoinKeys(); err != nil {
+		return nil, err
+	}
+	if err := c.checkMeta(); err != nil {
+		return nil, err
+	}
+	if err := c.placeProjected(); err != nil {
+		return nil, err
+	}
+	ranges, residual, err := c.compileComparisons()
+	if err != nil {
+		return nil, err
+	}
+	ops, err := c.emit(ranges, residual)
+	if err != nil {
+		return nil, err
+	}
+	out := &Compiled{
+		Query:    q,
+		Text:     q.String(),
+		HeadName: q.Head.Name,
+		Ops:      ops,
+	}
+	for i, t := range q.Head.Args {
+		out.Columns[i] = t.Name
+	}
+	return out, nil
+}
+
+// collect splits the body into atoms/comparisons/band/aggregate, resolves
+// every pattern against the resolver and builds the variable binding table.
+func (c *compiler) collect() error {
+	for _, cl := range c.q.Body {
+		switch cl := cl.(type) {
+		case *Atom:
+			if err := c.addAtom(cl); err != nil {
+				return err
+			}
+		case *Compare:
+			c.cmps = append(c.cmps, cl)
+		case *Band:
+			if c.band != nil {
+				return c.errf(cl.Pos, "at most one band predicate is supported")
+			}
+			c.band = cl
+		case *Agg:
+			if c.agg != nil {
+				return c.errf(cl.Pos, "at most one aggregate clause is supported")
+			}
+			c.agg = cl
+		}
+	}
+	if len(c.atoms) == 0 {
+		return c.errf(c.q.Head.Pos, "a query needs at least one pattern in its body")
+	}
+	if len(c.q.Head.Args) != 2 {
+		return c.errf(c.q.Head.Pos, "the head takes exactly two arguments (key, value), got %d", len(c.q.Head.Args))
+	}
+	for _, t := range c.q.Head.Args {
+		if t.Kind != TermVar {
+			return c.errf(t.Pos, "head arguments must be variables")
+		}
+	}
+	return nil
+}
+
+// addAtom resolves one pattern and registers its variable bindings.
+func (c *compiler) addAtom(a *Atom) error {
+	rel, ok := c.resolve(a.Name)
+	if !ok || rel == nil {
+		return c.errf(a.Pos, "unknown relation %q", a.Name)
+	}
+	if len(a.Args) != 2 {
+		return c.errf(a.Pos, "pattern %s takes (key, payload), got %d arguments", a.Name, len(a.Args))
+	}
+	key, payload := a.Args[0], a.Args[1]
+	switch key.Kind {
+	case TermVar:
+	case TermNumber:
+		return c.errf(key.Pos, "the key position of %s must be a variable; constrain it with a comparison (e.g. K = %d)", a.Name, key.Num)
+	default:
+		return c.errf(key.Pos, "the key position of %s must be a variable, not a wildcard", a.Name)
+	}
+	info := &atomInfo{atom: a, rel: rel, keyVar: key.Name, payload: payload}
+	if rel.Meta != nil {
+		info.schema = true
+		info.exact = rel.Meta.Exact()
+		info.sig = rel.Meta.Signature()
+	}
+	idx := len(c.atoms)
+	c.atoms = append(c.atoms, info)
+
+	kb := c.binding(key.Name, key.Pos)
+	if kb.payload >= 0 {
+		return c.errf(key.Pos, "variable %s is already a payload of %s; a variable cannot name both a key and a payload",
+			key.Name, c.atoms[kb.payload].atom.Name)
+	}
+	kb.key = append(kb.key, idx)
+
+	if payload.Kind == TermVar {
+		pb := c.binding(payload.Name, payload.Pos)
+		if len(pb.key) > 0 {
+			return c.errf(payload.Pos, "variable %s is already a key of %s; a variable cannot name both a key and a payload",
+				payload.Name, c.atoms[pb.key[0]].atom.Name)
+		}
+		if pb.payload >= 0 {
+			return c.errf(payload.Pos, "variable %s is already the payload of %s; joins match keys, not payloads",
+				payload.Name, c.atoms[pb.payload].atom.Name)
+		}
+		pb.payload = idx
+	}
+	return nil
+}
+
+// binding returns (creating if needed) the binding record of a variable.
+func (c *compiler) binding(name string, pos Pos) *varBinding {
+	b, ok := c.vars[name]
+	if !ok {
+		b = &varBinding{payload: -1, pos: pos}
+		c.vars[name] = b
+	}
+	return b
+}
+
+// checkJoinKeys enforces the join structure: without a band predicate, every
+// pattern shares one key variable (the equi-join key); with one, exactly two
+// patterns with distinct key variables linked by the band's endpoints.
+func (c *compiler) checkJoinKeys() error {
+	if c.band == nil {
+		want := c.atoms[0].keyVar
+		for _, a := range c.atoms[1:] {
+			if a.keyVar != want {
+				return c.errf(a.atom.Args[0].Pos,
+					"pattern %s has key variable %s but %s joins on %s; MPSM joins are equi-joins, so all patterns must share one key variable (or use a band predicate |%s - %s| <= c)",
+					a.atom.Name, a.keyVar, c.atoms[0].atom.Name, want, want, a.keyVar)
+			}
+		}
+		return nil
+	}
+	if len(c.atoms) != 2 {
+		return c.errf(c.band.Pos, "a band predicate joins exactly two patterns, got %d", len(c.atoms))
+	}
+	x, y := c.band.X.Name, c.band.Y.Name
+	if x == y {
+		return c.errf(c.band.Y.Pos, "band endpoints must be distinct variables")
+	}
+	k0, k1 := c.atoms[0].keyVar, c.atoms[1].keyVar
+	if k0 == k1 {
+		return c.errf(c.band.Pos, "the two patterns already share key variable %s; a band predicate needs distinct key variables", k0)
+	}
+	if !(x == k0 && y == k1) && !(x == k1 && y == k0) {
+		return c.errf(c.band.Pos, "band endpoints must be the key variables of the two patterns (%s and %s)", k0, k1)
+	}
+	// The head key names the output key, which is the build (left) pattern's
+	// key; put that pattern first.
+	headKey := c.q.Head.Args[0].Name
+	switch headKey {
+	case k0:
+	case k1:
+		c.atoms[0], c.atoms[1] = c.atoms[1], c.atoms[0]
+		c.rebind()
+	default:
+		return c.errf(c.q.Head.Args[0].Pos,
+			"the head key of a band query must be one of the patterns' key variables (%s or %s), got %s", k0, k1, headKey)
+	}
+	return nil
+}
+
+// rebind recomputes the variable bindings' atom indices after the atom order
+// changed (band orientation, projected-pattern placement).
+func (c *compiler) rebind() {
+	for _, b := range c.vars {
+		b.key = b.key[:0]
+		b.payload = -1
+	}
+	for i, a := range c.atoms {
+		kb := c.vars[a.keyVar]
+		kb.key = append(kb.key, i)
+		if a.payload.Kind == TermVar {
+			c.vars[a.payload.Name].payload = i
+		}
+	}
+}
+
+// checkMeta enforces the schema-key composition rules at compile time, with
+// positions, instead of letting the executor reject the lowered plan.
+func (c *compiler) checkMeta() error {
+	var sig string
+	var sigAtom *atomInfo
+	for _, a := range c.atoms {
+		if !a.schema {
+			continue
+		}
+		if c.band != nil {
+			return c.errf(a.atom.Pos,
+				"band predicates require raw integer keys; %s is schema-encoded (%s) and its normalized key bytes do not measure distance", a.atom.Name, a.sig)
+		}
+		if sig == "" {
+			sig, sigAtom = a.sig, a
+		} else if a.sig != sig {
+			return c.errf(a.atom.Pos, "patterns %s and %s join on different key schemas ([%s] vs [%s])",
+				sigAtom.atom.Name, a.atom.Name, sig, a.sig)
+		}
+		if a.exact {
+			continue
+		}
+		// Tie-break (inexact) relations: their uint64 keys are prefixes and
+		// their payloads are internal row indices, so they are only readable
+		// through a single verifying join.
+		if len(c.atoms) == 1 {
+			return c.errf(a.atom.Pos,
+				"pattern %s reads a tie-break (inexact-key) relation outside a join; its payloads are internal row indices — join it against another pattern", a.atom.Name)
+		}
+		if len(c.atoms) > 2 {
+			return c.errf(a.atom.Pos,
+				"tie-break relation %s supports a single two-way join; a third pattern would join over unverifiable prefix keys", a.atom.Name)
+		}
+		if c.agg != nil {
+			return c.errf(c.agg.Pos,
+				"aggregates over tie-break relation %s are not supported (grouping by the key prefix would merge distinct groups)", a.atom.Name)
+		}
+		if a.payload.Kind == TermNumber {
+			return c.errf(a.payload.Pos,
+				"the payloads of tie-break relation %s are internal row indices; payload constants are not supported", a.atom.Name)
+		}
+	}
+	return nil
+}
+
+// projectedVar is the payload variable whose value the query emits: the agg
+// argument for sum/min/max, otherwise the head's value variable when it is a
+// payload. Empty when the query emits the default pair projection, the key,
+// or a count.
+func (c *compiler) projectedVar() string {
+	if c.agg != nil {
+		if c.agg.Func != AggCount && c.agg.Arg.Kind == TermVar {
+			return c.agg.Arg.Name
+		}
+		return ""
+	}
+	name := c.q.Head.Args[1].Name
+	if b, ok := c.vars[name]; ok && b.payload >= 0 {
+		return name
+	}
+	return ""
+}
+
+// placeProjected moves the pattern supplying the projected payload to the
+// end of the join chain, where its payload is still addressable above the
+// top join. Inner equi-joins are commutative and associative over the shared
+// key, so the move never changes the result multiset (and the cost-based
+// optimizer reorders the chain again anyway).
+func (c *compiler) placeProjected() error {
+	if c.band != nil || len(c.atoms) < 3 {
+		return nil
+	}
+	name := c.projectedVar()
+	if name == "" {
+		return nil
+	}
+	owner := c.vars[name].payload
+	if owner < 0 || owner == len(c.atoms)-1 {
+		return nil
+	}
+	moved := c.atoms[owner]
+	c.atoms = append(c.atoms[:owner], c.atoms[owner+1:]...)
+	c.atoms = append(c.atoms, moved)
+	c.rebind()
+	return nil
+}
+
+// scanFilter accumulates the filters of one scan.
+type scanFilter struct {
+	rng  *Range
+	cmps []Cmp
+}
+
+// keyBounds folds a key variable's comparisons into one half-open range.
+type keyBounds struct {
+	lo, hi       uint64
+	loSet, hiSet bool
+	empty        bool
+	residual     []Cmp
+}
+
+// add folds one comparison into the bounds; unfoldable ones stay residual.
+func (b *keyBounds) add(op CmpOp, k uint64) {
+	switch op {
+	case OpGE:
+		if !b.loSet || k > b.lo {
+			b.lo, b.loSet = k, true
+		}
+	case OpGT:
+		if k == math.MaxUint64 {
+			b.empty = true
+			return
+		}
+		if !b.loSet || k+1 > b.lo {
+			b.lo, b.loSet = k+1, true
+		}
+	case OpLT:
+		if !b.hiSet || k < b.hi {
+			b.hi, b.hiSet = k, true
+		}
+	case OpLE:
+		if k == math.MaxUint64 {
+			return // always true for uint64 keys
+		}
+		if !b.hiSet || k+1 < b.hi {
+			b.hi, b.hiSet = k+1, true
+		}
+	case OpEQ:
+		if k == math.MaxUint64 {
+			// [k, k+1) is unrepresentable in a half-open uint64 range.
+			b.residual = append(b.residual, Cmp{Op: OpEQ, Const: k, OnKey: true})
+			return
+		}
+		b.add(OpGE, k)
+		b.add(OpLT, k+1)
+	case OpNE:
+		b.residual = append(b.residual, Cmp{Op: OpNE, Const: k, OnKey: true})
+	}
+}
+
+// filters converts the folded bounds into a scan's range + residual form.
+// A fully bounded interval becomes a branch-free Range; a half-bounded one
+// stays an opaque predicate (the executor's Range is half-open over uint64
+// and cannot express "everything above k" including MaxUint64).
+func (b *keyBounds) filters() scanFilter {
+	if b.empty {
+		return scanFilter{rng: &Range{Low: 0, High: 0}}
+	}
+	f := scanFilter{cmps: b.residual}
+	switch {
+	case b.loSet && b.hiSet:
+		hi := b.hi
+		if hi < b.lo {
+			hi = b.lo // empty range, normalized
+		}
+		f.rng = &Range{Low: b.lo, High: hi}
+	case b.loSet:
+		f.cmps = append(f.cmps, Cmp{Op: OpGE, Const: b.lo, OnKey: true})
+	case b.hiSet:
+		f.cmps = append(f.cmps, Cmp{Op: OpLT, Const: b.hi, OnKey: true})
+	}
+	return f
+}
+
+// compileComparisons resolves every comparison clause onto the scans it
+// filters: key-variable comparisons fold into per-variable ranges applied to
+// every pattern binding that variable, payload comparisons (and payload
+// constants) become per-scan residual predicates.
+func (c *compiler) compileComparisons() (map[int]*Range, map[int][]Cmp, error) {
+	bounds := map[string]*keyBounds{}
+	residual := map[int][]Cmp{}
+
+	for _, cmp := range c.cmps {
+		v, op, k, err := c.normalizeCompare(cmp)
+		if err != nil {
+			return nil, nil, err
+		}
+		b := c.vars[v.Name]
+		switch {
+		case len(b.key) > 0:
+			for _, i := range b.key {
+				if c.atoms[i].schema {
+					return nil, nil, c.errf(cmp.Pos,
+						"comparisons on %s are not supported: it is the schema-encoded key of %s, and normalized key bytes do not compare as integers",
+						v.Name, c.atoms[i].atom.Name)
+				}
+			}
+			kb, ok := bounds[v.Name]
+			if !ok {
+				kb = &keyBounds{}
+				bounds[v.Name] = kb
+			}
+			kb.add(op, k)
+		default:
+			i := b.payload
+			a := c.atoms[i]
+			if a.schema && !a.exact {
+				return nil, nil, c.errf(cmp.Pos,
+					"comparisons on %s are not supported: the payloads of tie-break relation %s are internal row indices",
+					v.Name, a.atom.Name)
+			}
+			residual[i] = append(residual[i], Cmp{Op: op, Const: k})
+		}
+	}
+
+	// Payload constants in patterns are equality filters.
+	for i, a := range c.atoms {
+		if a.payload.Kind == TermNumber {
+			residual[i] = append(residual[i], Cmp{Op: OpEQ, Const: a.payload.Num})
+		}
+	}
+
+	ranges := map[int]*Range{}
+	for name, kb := range bounds {
+		f := kb.filters()
+		for _, i := range c.vars[name].key {
+			if f.rng != nil {
+				ranges[i] = f.rng
+			}
+			residual[i] = append(residual[i], f.cmps...)
+		}
+	}
+	return ranges, residual, nil
+}
+
+// normalizeCompare orients a comparison as (variable, op, constant) and
+// checks that the variable is bound by a pattern.
+func (c *compiler) normalizeCompare(cmp *Compare) (Term, CmpOp, uint64, error) {
+	l, r := cmp.Left, cmp.Right
+	op := cmp.Op
+	if l.Kind == TermNumber && r.Kind == TermVar {
+		l, r = r, l
+		op = op.flip()
+	}
+	if l.Kind != TermVar || r.Kind != TermNumber {
+		if l.Kind == TermVar && r.Kind == TermVar {
+			return Term{}, 0, 0, c.errf(cmp.Pos,
+				"comparisons between two variables are not supported; join on a shared key variable or use a band predicate")
+		}
+		return Term{}, 0, 0, c.errf(cmp.Pos, "a comparison needs one variable and one constant")
+	}
+	if _, ok := c.vars[l.Name]; !ok {
+		if c.agg != nil && l.Name == c.q.Head.Args[1].Name {
+			return Term{}, 0, 0, c.errf(l.Pos,
+				"comparisons on the aggregate result %s are not supported (there is no HAVING); filter the inputs instead", l.Name)
+		}
+		return Term{}, 0, 0, c.errf(l.Pos, "comparison references unbound variable %s", l.Name)
+	}
+	return l, op, r.Num, nil
+}
+
+// emit lowers the validated rule into the operator list.
+func (c *compiler) emit(ranges map[int]*Range, residual map[int][]Cmp) ([]Op, error) {
+	var ops []Op
+	for i, a := range c.atoms {
+		ops = append(ops, Op{
+			Kind:    OpScan,
+			RelName: a.atom.Name,
+			Rel:     a.rel,
+			Range:   ranges[i],
+			Cmps:    residual[i],
+		})
+	}
+	root := 0
+	if len(c.atoms) > 1 {
+		var band uint64
+		if c.band != nil {
+			band = c.band.Width.Num
+		}
+		root = len(ops)
+		ops = append(ops, Op{Kind: OpJoin, Left: 0, Right: 1, Band: band})
+		for i := 2; i < len(c.atoms); i++ {
+			next := len(ops)
+			ops = append(ops, Op{Kind: OpJoin, Left: root, Right: i})
+			root = next
+		}
+	}
+	shaped, err := c.emitHead(ops, root)
+	if err != nil {
+		return nil, err
+	}
+	return shaped, nil
+}
+
+// emitHead appends the head shaping — projection, key-as-value map,
+// aggregation — above the top join (or the single scan).
+func (c *compiler) emitHead(ops []Op, root int) ([]Op, error) {
+	headKey, headVal := c.q.Head.Args[0], c.q.Head.Args[1]
+	single := len(c.atoms) == 1
+	keyVar := c.atoms[0].keyVar // equi: the shared key; band: the build key
+
+	if headKey.Name != keyVar {
+		if c.band != nil {
+			return nil, c.errf(headKey.Pos,
+				"the head key of a band query must be a pattern key variable, got %s", headKey.Name)
+		}
+		return nil, c.errf(headKey.Pos,
+			"the head key must be the join key variable %s, got %s", keyVar, headKey.Name)
+	}
+
+	if c.agg != nil {
+		return c.emitAggregate(ops, root, headVal)
+	}
+
+	vb, bound := c.vars[headVal.Name]
+	if !bound || (len(vb.key) == 0 && vb.payload < 0) {
+		return nil, c.errf(headVal.Pos, "head variable %s is not bound by any pattern", headVal.Name)
+	}
+
+	if len(vb.key) > 0 {
+		// Key as the value column; in a band query the probe pattern's key
+		// differs from the build key and is projected from the probe side.
+		if single {
+			ops = append(ops, Op{Kind: OpMap, Input: root, KeyValue: true})
+		} else {
+			probe := c.band != nil && headVal.Name == c.atoms[1].keyVar
+			ops = append(ops, Op{Kind: OpProject, Input: root, KeyValue: true, ProbeSide: probe})
+		}
+		return ops, nil
+	}
+
+	owner := vb.payload
+	if single {
+		// The scan already produces (key, payload) — the head is the
+		// identity over the single pattern.
+		return ops, nil
+	}
+	last := len(c.atoms) - 1
+	switch owner {
+	case last:
+		ops = append(ops, Op{Kind: OpProject, Input: root, ProbeSide: true})
+	case 0:
+		if len(c.atoms) > 2 {
+			// placeProjected moves the owner to the end for chains of three
+			// or more patterns, so this is unreachable; keep the error for
+			// safety against future reordering changes.
+			return nil, c.errf(headVal.Pos,
+				"variable %s is the payload of an inner pattern and is not addressable above the top join", headVal.Name)
+		}
+		ops = append(ops, Op{Kind: OpProject, Input: root})
+	default:
+		return nil, c.errf(headVal.Pos,
+			"variable %s is the payload of an inner pattern and is not addressable above the top join", headVal.Name)
+	}
+	return ops, nil
+}
+
+// emitAggregate appends the aggregate shaping: count aggregates the join's
+// pair stream (or the scan) directly; sum/min/max first project the
+// aggregated payload out of the top join.
+func (c *compiler) emitAggregate(ops []Op, root int, headVal Term) ([]Op, error) {
+	if b, ok := c.vars[headVal.Name]; ok && (len(b.key) > 0 || b.payload >= 0) {
+		return nil, c.errf(headVal.Pos,
+			"head variable %s is already bound in the body; with an aggregate the head's second argument is a fresh variable naming the aggregate result", headVal.Name)
+	}
+	agg := c.agg
+	if agg.Func == AggCount {
+		if agg.Arg.Kind == TermVar {
+			if b, ok := c.vars[agg.Arg.Name]; !ok || (len(b.key) == 0 && b.payload < 0) {
+				return nil, c.errf(agg.Arg.Pos, "count references unbound variable %s", agg.Arg.Name)
+			}
+		}
+		ops = append(ops, Op{Kind: OpAggregate, Input: root, Agg: AggCount})
+		return ops, nil
+	}
+	if agg.Arg.Kind != TermVar {
+		return nil, c.errf(agg.Arg.Pos, "%s takes a payload variable (only count takes *)", agg.Func)
+	}
+	b, ok := c.vars[agg.Arg.Name]
+	if !ok || (len(b.key) == 0 && b.payload < 0) {
+		return nil, c.errf(agg.Arg.Pos, "%s references unbound variable %s", agg.Func, agg.Arg.Name)
+	}
+	single := len(c.atoms) == 1
+	if len(b.key) > 0 {
+		// Aggregating the key per key group is well-defined but degenerate
+		// (every group aggregates copies of its own key); supported via the
+		// key-as-value projection.
+		if single {
+			ops = append(ops, Op{Kind: OpMap, Input: root, KeyValue: true})
+		} else {
+			probe := c.band != nil && agg.Arg.Name == c.atoms[1].keyVar
+			ops = append(ops, Op{Kind: OpProject, Input: root, KeyValue: true, ProbeSide: probe})
+		}
+		ops = append(ops, Op{Kind: OpAggregate, Input: len(ops) - 1, Agg: agg.Func})
+		return ops, nil
+	}
+	owner := b.payload
+	if single {
+		ops = append(ops, Op{Kind: OpAggregate, Input: root, Agg: agg.Func})
+		return ops, nil
+	}
+	last := len(c.atoms) - 1
+	switch owner {
+	case last:
+		ops = append(ops, Op{Kind: OpProject, Input: root, ProbeSide: true})
+	case 0:
+		if len(c.atoms) > 2 {
+			return nil, c.errf(agg.Arg.Pos,
+				"variable %s is the payload of an inner pattern and is not addressable above the top join", agg.Arg.Name)
+		}
+		ops = append(ops, Op{Kind: OpProject, Input: root})
+	default:
+		return nil, c.errf(agg.Arg.Pos,
+			"variable %s is the payload of an inner pattern and is not addressable above the top join", agg.Arg.Name)
+	}
+	ops = append(ops, Op{Kind: OpAggregate, Input: len(ops) - 1, Agg: agg.Func})
+	return ops, nil
+}

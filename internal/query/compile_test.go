@@ -1,0 +1,285 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/relation"
+)
+
+// testResolver builds a resolver over raw relations r, s, t plus one
+// exact-schema relation (single int64 column) and one tie-break relation
+// (bytes column, whose prefixes need full-key verification).
+func testResolver(t *testing.T) Resolver {
+	t.Helper()
+	mk := func(name string, n int) *relation.Relation {
+		rel := relation.NewWithCapacity(name, n)
+		for i := 0; i < n; i++ {
+			rel.Tuples = append(rel.Tuples, relation.Tuple{Key: uint64(i % 16), Payload: uint64(i)})
+		}
+		return rel
+	}
+	exactSchema := keys.MustNew(keys.Column{Name: "id", Type: keys.Int64})
+	exact := exactSchema.MustEncode("exact", [][]keys.Value{
+		{keys.Int64Value(1)}, {keys.Int64Value(2)},
+	}, []uint64{10, 20})
+	tieSchema := keys.MustNew(keys.Column{Name: "name", Type: keys.Bytes})
+	tie := tieSchema.MustEncode("tie", [][]keys.Value{
+		{keys.StringValue("abcdefghijkl")}, {keys.StringValue("abcdefghijzz")},
+	}, []uint64{1, 2})
+	rels := map[string]*relation.Relation{
+		"r": mk("r", 64), "s": mk("s", 64), "t": mk("t", 64),
+		"exact": exact, "tie": tie,
+	}
+	return func(name string) (*relation.Relation, bool) {
+		rel, ok := rels[name]
+		return rel, ok
+	}
+}
+
+// opKinds summarizes a compiled op list for shape assertions.
+func opKinds(c *Compiled) []OpKind {
+	kinds := make([]OpKind, len(c.Ops))
+	for i, op := range c.Ops {
+		kinds[i] = op.Kind
+	}
+	return kinds
+}
+
+func kindsEqual(a, b []OpKind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompileShapes: representative queries lower to the expected operator
+// shapes.
+func TestCompileShapes(t *testing.T) {
+	resolve := testResolver(t)
+	cases := []struct {
+		src  string
+		want []OpKind
+	}{
+		// Single pattern: identity over the scan.
+		{"ans(K, V) :- r(K, V)", []OpKind{OpScan}},
+		// Key as the value: Map above the scan.
+		{"ans(K, K) :- r(K, _)", []OpKind{OpScan, OpMap}},
+		// Two-way join, probe payload projected.
+		{"ans(K, V) :- r(K, _), s(K, V)", []OpKind{OpScan, OpScan, OpJoin, OpProject}},
+		// Three-way join with aggregation: project then aggregate.
+		{"ans(K, Sum) :- r(K, _), s(K, _), t(K, Z), agg sum(Z)",
+			[]OpKind{OpScan, OpScan, OpScan, OpJoin, OpJoin, OpProject, OpAggregate}},
+		// Count aggregates the pair stream directly, no projection.
+		{"ans(K, N) :- r(K, _), s(K, _), agg count(*)",
+			[]OpKind{OpScan, OpScan, OpJoin, OpAggregate}},
+		// Band join.
+		{"ans(X, V) :- r(X, _), s(Y, V), |X - Y| <= 5",
+			[]OpKind{OpScan, OpScan, OpJoin, OpProject}},
+		// Single pattern with aggregate.
+		{"ans(K, M) :- r(K, V), agg max(V)", []OpKind{OpScan, OpAggregate}},
+	}
+	for _, tc := range cases {
+		c, err := Compile(tc.src, resolve)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", tc.src, err)
+			continue
+		}
+		if got := opKinds(c); !kindsEqual(got, tc.want) {
+			t.Errorf("Compile(%q) ops = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestCompileReordersProjectedPattern: in a 3-way chain the pattern that
+// supplies the projected payload is joined last so it stays addressable.
+func TestCompileReordersProjectedPattern(t *testing.T) {
+	c, err := Compile("ans(K, X) :- r(K, X), s(K, _), t(K, _)", testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ops[2].RelName != "r" {
+		t.Errorf("pattern r (projected payload) should be scanned last, got scan order %s, %s, %s",
+			c.Ops[0].RelName, c.Ops[1].RelName, c.Ops[2].RelName)
+	}
+	last := c.Ops[len(c.Ops)-1]
+	if last.Kind != OpProject || !last.ProbeSide {
+		t.Errorf("root should project the probe side, got %+v", last)
+	}
+}
+
+// TestCompileBandOrientation: the head key picks the build side of a band
+// join.
+func TestCompileBandOrientation(t *testing.T) {
+	c, err := Compile("ans(Y, V) :- r(X, V), s(Y, _), |X - Y| <= 5", testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ops[0].RelName != "s" {
+		t.Errorf("head key Y should make s the build side, got scans %s, %s", c.Ops[0].RelName, c.Ops[1].RelName)
+	}
+	if c.Ops[2].Band != 5 {
+		t.Errorf("band width = %d, want 5", c.Ops[2].Band)
+	}
+	// V is r's payload; r is now the probe side.
+	if last := c.Ops[len(c.Ops)-1]; last.Kind != OpProject || !last.ProbeSide {
+		t.Errorf("projection should address the probe side, got %+v", last)
+	}
+}
+
+// TestCompileKeyRanges: fully bounded key comparisons fold into one
+// branch-free range per variable, applied to every pattern binding it;
+// leftovers stay residual predicates.
+func TestCompileKeyRanges(t *testing.T) {
+	resolve := testResolver(t)
+
+	c, err := Compile("ans(K, V) :- r(K, _), s(K, V), K >= 10, K < 20, K != 15", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		op := c.Ops[i]
+		if op.Range == nil || op.Range.Low != 10 || op.Range.High != 20 {
+			t.Errorf("scan %s range = %+v, want [10,20)", op.RelName, op.Range)
+		}
+		if len(op.Cmps) != 1 || op.Cmps[0].Op != OpNE || op.Cmps[0].Const != 15 || !op.Cmps[0].OnKey {
+			t.Errorf("scan %s residuals = %+v, want key != 15", op.RelName, op.Cmps)
+		}
+	}
+
+	// Equality is the one-key range.
+	c, err = Compile("ans(K, V) :- r(K, V), K = 7", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := c.Ops[0]; op.Range == nil || op.Range.Low != 7 || op.Range.High != 8 {
+		t.Errorf("K = 7 range = %+v, want [7,8)", c.Ops[0].Range)
+	}
+
+	// Half-bounded comparisons stay opaque (no range).
+	c, err = Compile("ans(K, V) :- r(K, V), K > 5", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := c.Ops[0]; op.Range != nil || len(op.Cmps) != 1 || !op.Cmps[0].OnKey {
+		t.Errorf("K > 5 should be residual, got range=%+v cmps=%+v", op.Range, op.Cmps)
+	}
+
+	// MaxUint64 equality is unrepresentable as a half-open range.
+	c, err = Compile("ans(K, V) :- r(K, V), K = 18446744073709551615", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := c.Ops[0]; op.Range != nil || len(op.Cmps) != 1 || op.Cmps[0].Op != OpEQ {
+		t.Errorf("K = MaxUint64 should be residual, got range=%+v cmps=%+v", op.Range, op.Cmps)
+	}
+
+	// Contradictory bounds produce an empty range, not an error.
+	c, err = Compile("ans(K, V) :- r(K, V), K >= 20, K < 10", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := c.Ops[0]; op.Range == nil || op.Range.Low != op.Range.High {
+		t.Errorf("contradictory bounds should yield an empty range, got %+v", op.Range)
+	}
+
+	// Payload comparisons and payload constants are per-scan residuals.
+	c, err = Compile("ans(K, V) :- r(K, V), s(K, 3), V <= 9", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := c.Ops[0]; len(op.Cmps) != 1 || op.Cmps[0].OnKey || op.Cmps[0].Op != OpLE || op.Cmps[0].Const != 9 {
+		t.Errorf("r residuals = %+v, want payload <= 9", op.Cmps)
+	}
+	if op := c.Ops[1]; len(op.Cmps) != 1 || op.Cmps[0].OnKey || op.Cmps[0].Op != OpEQ || op.Cmps[0].Const != 3 {
+		t.Errorf("s residuals = %+v, want payload = 3", op.Cmps)
+	}
+}
+
+// TestCompileText: the compiled Text is the canonical form, shared by
+// differently spelled but identical queries.
+func TestCompileText(t *testing.T) {
+	resolve := testResolver(t)
+	a, err := Compile("ans(K,V):-r(K,_),s(K,V),K==5", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile("ans(K, V) :- r(K, _), s(K, V), K = 5.", resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Errorf("equivalent spellings compile to different texts: %q vs %q", a.Text, b.Text)
+	}
+	if a.HeadName != "ans" || a.Columns != [2]string{"K", "V"} {
+		t.Errorf("head = %q %v", a.HeadName, a.Columns)
+	}
+}
+
+// TestCompileErrors: semantic errors are positioned *Error values.
+func TestCompileErrors(t *testing.T) {
+	resolve := testResolver(t)
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"ans(K, V) :- nope(K, V)", `unknown relation "nope"`},
+		{"ans(K, V) :- r(K, V, W)", "takes (key, payload)"},
+		{"ans(K, V) :- r(5, V)", "must be a variable"},
+		{"ans(K, V) :- r(_, V)", "not a wildcard"},
+		{"ans(K, V) :- K > 3", "at least one pattern"},
+		{"ans(K, V, W) :- r(K, V)", "exactly two arguments"},
+		{"ans(K, 5) :- r(K, V)", "head arguments must be variables"},
+		{"ans(K, V) :- r(K, V), s(J, V2)", "must share one key variable"},
+		{"ans(K, V) :- r(K, V), s(K, V)", "joins match keys, not payloads"},
+		{"ans(K, K2) :- r(K, K2), s(K2, _)", "cannot name both a key and a payload"},
+		{"ans(K, V) :- r(K, V), X > 3", "unbound variable X"},
+		{"ans(K, V) :- r(K, V), X > Y", "between two variables"},
+		{"ans(K, V) :- r(K, V), 3 > 4", "one variable and one constant"},
+		{"ans(K, W) :- r(K, V)", "head variable W is not bound"},
+		{"ans(J, V) :- r(K, V)", "head key must be the join key variable"},
+		{"ans(K, S) :- r(K, V), agg sum(V), agg sum(V)", "at most one aggregate"},
+		{"ans(K, V) :- r(K, V), agg sum(V)", "head variable V is already bound"},
+		{"ans(K, S) :- r(K, V), agg sum(W)", "unbound variable W"},
+		{"ans(K, S) :- r(K, V), agg sum(*)", "only count takes *"},
+		{"ans(K, S) :- r(K, V), agg sum(S), S > 10", "aggregate result"},
+		{"ans(X, V) :- r(X, V), s(Y, _), t(Z, _), |X - Y| <= 5", "exactly two patterns"},
+		{"ans(X, V) :- r(X, V), s(Y, _), |X - Y| <= 5, |X - Y| <= 9", "at most one band"},
+		{"ans(X, V) :- r(X, V), s(Y, _), |X - X| <= 5", "distinct variables"},
+		{"ans(X, V) :- r(X, V), s(Y, _), |X - Z| <= 5", "band endpoints must be the key variables"},
+		{"ans(Z, V) :- r(X, V), s(Y, _), |X - Y| <= 5", "head key of a band query"},
+		{"ans(K, V) :- r(K, V), s(K2, _), |K - K2| <= 5, exact(K, _)", "exactly two patterns"},
+		{"ans(X, V) :- exact(X, V), s(Y, _), |X - Y| <= 5", "band predicates require raw integer keys"},
+		{"ans(K, V) :- tie(K, V)", "outside a join"},
+		{"ans(K, V) :- tie(K, _), r(K, _), s(K, V)", "single two-way join"},
+		{"ans(K, S) :- tie(K, _), r(K, V), agg sum(V)", "aggregates over tie-break relation"},
+		{"ans(K, V) :- tie(K, 5), r(K, V)", "internal row indices"},
+		{"ans(K, V) :- tie(K, W), r(K, V), W > 3", "internal row indices"},
+		{"ans(K, V) :- exact(K, V), K > 3", "schema-encoded key"},
+		{"ans(K, V) :- exact(K, _), tie(K, V)", "different key schemas"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src, resolve)
+		if err == nil {
+			t.Errorf("Compile(%q): expected error containing %q", tc.src, tc.wantMsg)
+			continue
+		}
+		qe, ok := err.(*Error)
+		if !ok {
+			t.Errorf("Compile(%q): error is %T, want *Error: %v", tc.src, err, err)
+			continue
+		}
+		if !strings.Contains(qe.Msg, tc.wantMsg) {
+			t.Errorf("Compile(%q) error %q, want substring %q", tc.src, qe.Msg, tc.wantMsg)
+		}
+		if qe.Pos.Line < 1 || qe.Pos.Col < 1 {
+			t.Errorf("Compile(%q) error lacks a position: %+v", tc.src, qe.Pos)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a query-language error — lexical, syntactic or semantic — located
+// at a position in the source. Error renders as "line:col: message"; Annotate
+// additionally shows the source line with a caret under the offending column.
+type Error struct {
+	// Msg describes the problem.
+	Msg string
+	// Pos locates the offending token (1-based Line and Col).
+	Pos Pos
+	// Src is the query source the position refers to, kept so the error can
+	// render its own annotation.
+	Src string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Annotate renders the error with its source line and a caret marking the
+// column:
+//
+//	1:7: unexpected ')', expected a term
+//	  ans(K, ) :- r(K, V)
+//	         ^
+func (e *Error) Annotate() string {
+	line, ok := lineAt(e.Src, e.Pos.Line)
+	if !ok {
+		return e.Error()
+	}
+	var b strings.Builder
+	b.WriteString(e.Error())
+	b.WriteString("\n  ")
+	b.WriteString(line)
+	b.WriteString("\n  ")
+	for i := 0; i < e.Pos.Col-1 && i < len(line); i++ {
+		// Keep tabs so the caret lines up under tab-indented sources.
+		if line[i] == '\t' {
+			b.WriteByte('\t')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('^')
+	return b.String()
+}
+
+// lineAt extracts the n-th (1-based) line of src.
+func lineAt(src string, n int) (string, bool) {
+	if n < 1 {
+		return "", false
+	}
+	for i := 1; ; i++ {
+		next := strings.IndexByte(src, '\n')
+		line := src
+		if next >= 0 {
+			line = src[:next]
+			src = src[next+1:]
+		}
+		if i == n {
+			return strings.TrimSuffix(line, "\r"), true
+		}
+		if next < 0 {
+			return "", false
+		}
+	}
+}
+
+// errf builds a positioned error against the given source.
+func errf(src string, pos Pos, format string, args ...any) *Error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Pos: pos, Src: src}
+}

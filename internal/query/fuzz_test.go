@@ -1,0 +1,60 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics, always reports positioned
+// errors, and that accepted inputs have a canonical form that re-parses to
+// itself.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"ans(K, V) :- r(K, V).",
+		"ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y).",
+		"ans(X, V) :- r(X, V), s(Y, _), |X - Y| <= 5.",
+		"ans(K, N) :- r(K, _), agg count(*)",
+		"ans(K, V) :- r(K, V), K >= 10, K < 20, K != 15",
+		"% comment\nans(K,V) :- r(K,V)",
+		"ans(K, V) :- r(K, 18446744073709551615)",
+		"ans(K V) :- r(K, V)",
+		"ans(K, V) :- r(K, V), K @ 5",
+		"ans(K, V) :- r(K, V), |K - | <= 5",
+		"ans(K, 99999999999999999999)",
+		"ans(K, V) :-\n\tr(K, V),\n\ts(K, )",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			qe, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("Parse(%q): error is %T, want *Error: %v", src, err, err)
+			}
+			if qe.Pos.Line < 1 || qe.Pos.Col < 1 {
+				t.Fatalf("Parse(%q): error position not 1-based: %+v", src, qe.Pos)
+			}
+			if qe.Pos.Offset < 0 || qe.Pos.Offset > len(src) {
+				t.Fatalf("Parse(%q): error offset %d out of range [0,%d]", src, qe.Pos.Offset, len(src))
+			}
+			// Annotate must not panic either, whatever the position.
+			_ = qe.Annotate()
+			return
+		}
+		// Accepted input: the canonical form must re-parse to itself.
+		text := q.String()
+		if !strings.HasSuffix(text, ".") {
+			t.Fatalf("Parse(%q): canonical form %q lacks trailing period", src, text)
+		}
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): canonical form %q fails to re-parse: %v", src, text, err)
+		}
+		if got := q2.String(); got != text {
+			t.Fatalf("Parse(%q): canonical form unstable: %q -> %q", src, text, got)
+		}
+	})
+}

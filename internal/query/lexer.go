@@ -1,0 +1,136 @@
+package query
+
+import "strconv"
+
+// lexer turns query source into tokens, tracking 1-based line/column
+// positions. `%` starts a comment running to the end of the line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// pos is the position of the next unread byte.
+func (l *lexer) pos() Pos { return Pos{Offset: l.off, Line: l.line, Col: l.col} }
+
+// advance consumes one byte, updating the line/column bookkeeping.
+func (l *lexer) advance() {
+	if l.src[l.off] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.off++
+}
+
+// peek returns the next unread byte, or 0 at end of input.
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+
+// next lexes one token.
+func (l *lexer) next() (token, *Error) {
+	for l.off < len(l.src) {
+		c := l.peek()
+		if isSpace(c) {
+			l.advance()
+			continue
+		}
+		if c == '%' { // comment to end of line
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start.Offset:l.off]
+		n, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return token{}, errf(l.src, start, "number %s overflows uint64", text)
+		}
+		return token{kind: tokNumber, text: text, num: n, pos: start}, nil
+	case isLetter(c):
+		for l.off < len(l.src) && isIdent(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start.Offset:l.off]
+		kind := tokVar
+		if text == "_" {
+			kind = tokWildcard
+		} else if text[0] >= 'a' && text[0] <= 'z' {
+			kind = tokIdent
+		}
+		return token{kind: kind, text: text, pos: start}, nil
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '.':
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case '|':
+		return token{kind: tokPipe, text: "|", pos: start}, nil
+	case '-':
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case '*':
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case ':':
+		if l.peek() == '-' {
+			l.advance()
+			return token{kind: tokImplies, text: ":-", pos: start}, nil
+		}
+		return token{}, errf(l.src, start, "unexpected ':' (expected ':-')")
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokLE, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokLT, text: "<", pos: start}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokGE, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokGT, text: ">", pos: start}, nil
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokEQ, text: "==", pos: start}, nil
+		}
+		return token{kind: tokEQ, text: "=", pos: start}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokNE, text: "!=", pos: start}, nil
+		}
+		return token{}, errf(l.src, start, "unexpected '!' (expected '!=')")
+	}
+	return token{}, errf(l.src, start, "unexpected character %q", string(rune(c)))
+}

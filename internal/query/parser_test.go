@@ -1,0 +1,169 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseCanonical: parsing normalizes spacing, `==`, and optional trailing
+// periods into one canonical form.
+func TestParseCanonical(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			"ans(K,V):-r(K,V)",
+			"ans(K, V) :- r(K, V).",
+		},
+		{
+			"ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y).",
+			"ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y).",
+		},
+		{
+			"ans(K,V) :- r(K,_), s(K,V), K==5",
+			"ans(K, V) :- r(K, _), s(K, V), K = 5.",
+		},
+		{
+			"ans(X,V) :- r(X,V), s(Y,_), |X-Y|<=7",
+			"ans(X, V) :- r(X, V), s(Y, _), |X - Y| <= 7.",
+		},
+		{
+			"ans(K,N) :- r(K,_), agg count(*)",
+			"ans(K, N) :- r(K, _), agg count(*).",
+		},
+		{
+			"ans(K,N) :- r(K,_), agg count(_)",
+			"ans(K, N) :- r(K, _), agg count(*).",
+		},
+		{
+			// Comments vanish and constant-first comparisons flip to the
+			// variable-first canonical orientation.
+			"% comment\nans(K,V) :- % inline\n  r(K,V), 10 <= K.",
+			"ans(K, V) :- r(K, V), K >= 10.",
+		},
+		{
+			"ans(K,V) :- r(K, 18446744073709551615)",
+			"ans(K, V) :- r(K, 18446744073709551615).",
+		},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := q.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseFixpoint: the canonical form re-parses to itself.
+func TestParseFixpoint(t *testing.T) {
+	inputs := []string{
+		"ans(K, Sum) :- r(K, X), s(K, Y), X > 10, agg sum(Y).",
+		"a(X, V) :- b(X, V), c(Y, _), |X - Y| <= 3, V != 0.",
+		"q(K, K) :- r(K, 5).",
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("canonical form not a fixpoint: %q -> %q", q1.String(), q2.String())
+		}
+	}
+}
+
+// TestParseErrors: syntax errors carry the position of the offending token.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantMsg  string
+		wantLine int
+		wantCol  int
+	}{
+		{"", "unexpected end of query", 1, 1},
+		{"ans(K, V)", "expected ':-'", 1, 10},
+		{"ans(K V) :- r(K, V)", "expected ')'", 1, 7},
+		{"ans(K, V) :- r(K, )", "expected a variable, '_' or a number", 1, 19},
+		{"ans(K, V) :- r(K, V), ", "expected a pattern, comparison, band predicate or aggregate", 1, 23},
+		{"ans(K, V) :- r(K, V) extra", "after the rule", 1, 22},
+		{"ans(K, V) :- r(K, V), K <", "expected a variable or a number", 1, 26},
+		{"ans(K, V) :- r(K, V), |K - | <= 5", "expected a variable", 1, 28},
+		{"ans(K, V) :- r(K, V), agg avg(V)", `unknown aggregate "avg"`, 1, 27},
+		{"ans(K, V) :- r(K, V), K ! 5", "expected '!='", 1, 25},
+		{"ans(K, V) :-\n  r(K, V),\n  K @ 5", "unexpected character", 3, 5},
+		{"ans(K, V) : r(K, V)", "expected ':-'", 1, 11},
+		{"ans(K, 99999999999999999999)", "overflows uint64", 1, 8},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", tc.in)
+			continue
+		}
+		qe, ok := err.(*Error)
+		if !ok {
+			t.Errorf("Parse(%q): error is %T, want *Error", tc.in, err)
+			continue
+		}
+		if !strings.Contains(qe.Msg, tc.wantMsg) {
+			t.Errorf("Parse(%q) error %q, want substring %q", tc.in, qe.Msg, tc.wantMsg)
+		}
+		if qe.Pos.Line != tc.wantLine || qe.Pos.Col != tc.wantCol {
+			t.Errorf("Parse(%q) error at %d:%d, want %d:%d (%s)",
+				tc.in, qe.Pos.Line, qe.Pos.Col, tc.wantLine, tc.wantCol, qe.Msg)
+		}
+	}
+}
+
+// TestErrorAnnotate: the annotated rendering shows the source line with a
+// caret under the offending column.
+func TestErrorAnnotate(t *testing.T) {
+	_, err := Parse("ans(K, V) :- r(K, )")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	qe := err.(*Error)
+	got := qe.Annotate()
+	lines := strings.Split(got, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Annotate() = %q, want 3 lines", got)
+	}
+	if !strings.Contains(lines[1], "ans(K, V) :- r(K, )") {
+		t.Errorf("annotation missing source line: %q", got)
+	}
+	caret := strings.IndexByte(lines[2], '^')
+	if caret < 0 {
+		t.Fatalf("annotation missing caret: %q", got)
+	}
+	// The caret's column (minus the 2-space indent) is the error column.
+	if caret-2 != qe.Pos.Col-1 {
+		t.Errorf("caret at rendered column %d, error at source column %d:\n%s", caret-2+1, qe.Pos.Col, got)
+	}
+}
+
+// TestErrorAnnotateMultiline: the caret lands on the right line of a
+// multi-line query.
+func TestErrorAnnotateMultiline(t *testing.T) {
+	src := "ans(K, V) :-\n\tr(K, V),\n\ts(K, )"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	qe := err.(*Error)
+	if qe.Pos.Line != 3 {
+		t.Fatalf("error at line %d, want 3: %v", qe.Pos.Line, err)
+	}
+	got := qe.Annotate()
+	if !strings.Contains(got, "s(K, )") {
+		t.Errorf("annotation should show line 3: %q", got)
+	}
+	if strings.Contains(got, "r(K, V)") {
+		t.Errorf("annotation shows the wrong line: %q", got)
+	}
+}

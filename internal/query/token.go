@@ -1,0 +1,102 @@
+package query
+
+import "fmt"
+
+// Pos locates a token in the query source: byte offset plus 1-based line and
+// column.
+type Pos struct {
+	Offset int `json:"offset"`
+	Line   int `json:"line"`
+	Col    int `json:"col"`
+}
+
+// tokKind enumerates the token types of the language.
+type tokKind int
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // lowercase-led identifier: relation and aggregate names
+	tokVar              // uppercase- or underscore-led identifier: a variable
+	tokWildcard         // bare underscore
+	tokNumber           // unsigned decimal integer
+	tokStar             // * (count(*))
+	tokLParen           // (
+	tokRParen           // )
+	tokComma            // ,
+	tokDot              // .
+	tokImplies          // :-
+	tokPipe             // |
+	tokMinus            // -
+	tokLT               // <
+	tokLE               // <=
+	tokGT               // >
+	tokGE               // >=
+	tokEQ               // = or ==
+	tokNE               // !=
+)
+
+// String renders the kind for error messages.
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokWildcard:
+		return "'_'"
+	case tokNumber:
+		return "number"
+	case tokStar:
+		return "'*'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokPipe:
+		return "'|'"
+	case tokMinus:
+		return "'-'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'='"
+	case tokNE:
+		return "'!='"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// token is one lexed token; num is set for tokNumber.
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	pos  Pos
+}
+
+// describe renders a concrete token for "unexpected ..." messages.
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokIdent, tokVar, tokNumber:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.kind.String()
+	}
+}

@@ -98,12 +98,30 @@ func NewPlanCache(profile func(*relation.Relation) *stats.Profile, size int) *Pl
 // safe to execute concurrently with other queries — cached entries hold only
 // physical decisions, never relations or sinks.
 func (c *PlanCache) Optimize(p *exec.Plan, rewrite bool) (*exec.Plan, error) {
-	key := cacheKey(p, rewrite)
+	return c.optimize(cacheKey(p, rewrite), p, rewrite)
+}
+
+// OptimizeKeyed is Optimize under a caller-provided cache key — typically the
+// canonical text of a compiled query, so equivalent spellings share one
+// entry without normalizing the lowered plan's shape. Content staleness is
+// still caught per lookup: the per-relation fingerprints are validated on
+// every hit, so rebinding a name to new data invalidates rather than reuses
+// the entry. Caller keys live in their own namespace and never collide with
+// structural keys.
+func (c *PlanCache) OptimizeKeyed(key string, p *exec.Plan, rewrite bool) (*exec.Plan, error) {
+	return c.optimize(fmt.Sprintf("key%q;rw%t", key, rewrite), p, rewrite)
+}
+
+// optimize is the shared lookup-or-plan core of Optimize and OptimizeKeyed.
+func (c *PlanCache) optimize(key string, p *exec.Plan, rewrite bool) (*exec.Plan, error) {
 	prints := fingerprints(p)
 
 	c.mu.Lock()
 	if ent, ok := c.entries[key]; ok {
-		if printsMatch(ent.prints, prints) {
+		// The choice vector must line up with the plan (a caller key used
+		// across differently shaped plans is a caller bug; degrade to a
+		// re-plan rather than applying choices onto the wrong nodes).
+		if len(ent.choices) == len(p.Nodes) && printsMatch(ent.prints, prints) {
 			c.clock++
 			ent.use = c.clock
 			c.stats.Hits++
@@ -215,6 +233,9 @@ func cacheKey(p *exec.Plan, rewrite bool) string {
 		switch n.Kind {
 		case exec.NodeScan:
 			fmt.Fprintf(&b, "r%p/%d f%x", n.Rel, n.Rel.Len(), fnPtr(n.Pred))
+			if n.Range != nil {
+				fmt.Fprintf(&b, " rg[%d,%d)", n.Range.Low, n.Range.High)
+			}
 		case exec.NodeJoin:
 			o := n.JoinOptions
 			fmt.Fprintf(&b, "a%v w%d k%v b%d h%d s%v c%d pp%t pv%t sch%v m%d d%+v",

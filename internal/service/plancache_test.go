@@ -191,3 +191,61 @@ func sortedTuples(in []relation.Tuple) []relation.Tuple {
 	})
 	return out
 }
+
+// TestPlanCacheKeyed: OptimizeKeyed shares one entry per caller key,
+// invalidates on relation mutation, and never collides with structural keys.
+func TestPlanCacheKeyed(t *testing.T) {
+	r, s := testRel("R", 2000), testRel("S", 4000)
+	c := NewPlanCache(nil, 0)
+
+	const key = "ans(K, V) :- r(K, _), s(K, V)."
+	if _, err := c.OptimizeKeyed(key, lowerPlan(r, s, 2), true); err != nil {
+		t.Fatalf("first OptimizeKeyed: %v", err)
+	}
+	if _, err := c.OptimizeKeyed(key, lowerPlan(r, s, 2), true); err != nil {
+		t.Fatalf("second OptimizeKeyed: %v", err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 hit / 1 entry", st)
+	}
+
+	// The same plan through the structural path is a separate entry: caller
+	// keys live in their own namespace.
+	if _, err := c.Optimize(lowerPlan(r, s, 2), true); err != nil {
+		t.Fatalf("structural Optimize: %v", err)
+	}
+	if st = c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want a second miss and entry for the structural key", st)
+	}
+
+	// Mutating a scanned relation invalidates the keyed entry.
+	r.Tuples[0].Payload += 12345
+	if _, err := c.OptimizeKeyed(key, lowerPlan(r, s, 2), true); err != nil {
+		t.Fatalf("post-mutation OptimizeKeyed: %v", err)
+	}
+	if st = c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("stats = %+v, want 1 invalidation after relation mutation", st)
+	}
+}
+
+// TestPlanCacheKeyedShapeMismatch: reusing one caller key across differently
+// shaped plans degrades to a re-plan instead of corrupting the new plan.
+func TestPlanCacheKeyedShapeMismatch(t *testing.T) {
+	r, s := testRel("R", 2000), testRel("S", 4000)
+	c := NewPlanCache(nil, 0)
+
+	if _, err := c.OptimizeKeyed("k", lowerPlan(r, s, 2), true); err != nil {
+		t.Fatalf("OptimizeKeyed: %v", err)
+	}
+	// Same key, different shape: a bare scan.
+	short := &exec.Plan{}
+	short.AddScan(r, nil)
+	got, err := c.OptimizeKeyed("k", short, true)
+	if err != nil {
+		t.Fatalf("OptimizeKeyed with new shape: %v", err)
+	}
+	if len(got.Nodes) != 1 || got.Nodes[0].Kind != exec.NodeScan {
+		t.Fatalf("mismatched-shape lookup corrupted the plan: %+v", got.Nodes)
+	}
+}

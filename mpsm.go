@@ -80,6 +80,14 @@
 //	res, err := engine.RunPlan(ctx, plan)
 //	// res.Output: one {key, sum} tuple per group, ascending
 //
+// The same plan can be written as a Datalog-style rule and compiled with
+// Compile (or run in one step with Engine.Query / Service.Query); see the
+// Compile documentation for the language:
+//
+//	cat := mpsm.MapCatalog{"r": r, "s": s, "t": t}
+//	res, err := engine.Query(ctx,
+//	        "ans(K, Sum) :- r(K, _), s(K, _), t(K, Z), agg sum(Z)", cat)
+//
 // # Auto-planning
 //
 // With WithAutoPlan(true) the engine stops taking physical orders: sampled

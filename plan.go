@@ -50,7 +50,25 @@ const (
 type Plan struct {
 	nodes []planNode
 	err   error
+	// info is set when the plan was compiled from query text (Compile); the
+	// service keys its plan cache by the canonical text instead of the
+	// structural shape.
+	info *QueryInfo
 }
+
+// QueryInfo describes the query text a compiled plan came from.
+type QueryInfo struct {
+	// Text is the canonical (pretty-printed) query: equivalent spellings
+	// share one Text, which is what keys the service plan cache.
+	Text string
+	// Head names the output relation; Columns name its key and value.
+	Head    string
+	Columns [2]string
+}
+
+// QueryInfo returns the query this plan was compiled from, or nil for a
+// hand-built plan.
+func (p *Plan) QueryInfo() *QueryInfo { return p.info }
 
 // planNode is one deferred node spec; join options are resolved against the
 // engine configuration at RunPlan time.
@@ -58,6 +76,7 @@ type planNode struct {
 	kind   exec.NodeKind
 	inputs []exec.NodeID
 	rel    *Relation
+	rng    *exec.KeyRange
 	pred   func(Tuple) bool
 	opts   []Option // join nodes: per-node option overrides
 	mapFn  func(Tuple) Tuple
@@ -112,6 +131,21 @@ func (p *Plan) Scan(rel *Relation, pred ...func(Tuple) bool) PlanNode {
 		pr = pred[0]
 	}
 	return p.add(planNode{kind: exec.NodeScan, rel: rel, pred: pr})
+}
+
+// ScanRange adds a scan of rel restricted to keys in the half-open interval
+// [low, high), evaluated branch-free inside the scan, with an optional
+// additional predicate (same contract as Scan's). Compiled queries lower
+// fully bounded key comparisons through this node.
+func (p *Plan) ScanRange(rel *Relation, low, high uint64, pred ...func(Tuple) bool) PlanNode {
+	var pr func(Tuple) bool
+	if len(pred) > 1 {
+		return p.fail("mpsm: ScanRange takes at most one predicate, got %d", len(pred))
+	}
+	if len(pred) == 1 {
+		pr = pred[0]
+	}
+	return p.add(planNode{kind: exec.NodeScan, rel: rel, rng: &exec.KeyRange{Low: low, High: high}, pred: pr})
 }
 
 // Join adds a join of the build (private) input against the probe (public)
@@ -270,7 +304,11 @@ func (e *Engine) buildExecPlan(p *Plan, opts []Option) (*exec.Plan, settings, er
 	for _, n := range p.nodes {
 		switch n.kind {
 		case exec.NodeScan:
-			ep.AddScan(n.rel, predicate(n.pred))
+			if n.rng != nil {
+				ep.AddScanRange(n.rel, n.rng, predicate(n.pred))
+			} else {
+				ep.AddScan(n.rel, predicate(n.pred))
+			}
 		case exec.NodeJoin:
 			cfg := e.resolve(opts)
 			for _, o := range n.opts {

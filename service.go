@@ -402,6 +402,17 @@ func (s *Service) RunPlan(ctx context.Context, p *Plan, opts ...QueryOption) (*P
 	return s.run(ctx, p, q, rows)
 }
 
+// Explain renders the physical plan the underlying engine would execute for
+// p, without running it. Per-query engine options (WithQueryOptions) apply;
+// serving-layer options are irrelevant to planning and ignored.
+func (s *Service) Explain(p *Plan, opts ...QueryOption) (*Explain, error) {
+	var q queryConfig
+	for _, o := range opts {
+		o(&q)
+	}
+	return s.engine.Explain(p, q.engineOpts...)
+}
+
 // budgetFor resolves a query's admission budget: the declared one, the
 // service default, or an estimate from the input cardinality (the MPSM runs
 // copy both inputs once and the partition phase copies the private one
@@ -570,7 +581,14 @@ func (s *Service) execute(ctx context.Context, p *Plan, opts []Option, res *memo
 	if err != nil {
 		return nil, err
 	}
-	ep, err = s.cache.Optimize(ep, g.autoPlan)
+	if p.info != nil {
+		// Compiled queries cache by their canonical text: equivalent
+		// spellings share one entry, and the per-relation fingerprints still
+		// invalidate it when the underlying data changes.
+		ep, err = s.cache.OptimizeKeyed(p.info.Text, ep, g.autoPlan)
+	} else {
+		ep, err = s.cache.Optimize(ep, g.autoPlan)
+	}
 	if err != nil {
 		return nil, err
 	}
